@@ -1,0 +1,35 @@
+"""Shared helpers for the experiment benchmarks (E1-E10).
+
+Each benchmark regenerates one of the paper's results (see DESIGN.md's
+experiment index): it measures the relevant quantity across a parameter
+sweep, prints the comparison table, writes it to ``benchmarks/results/``,
+and asserts the *shape* the paper proves (who wins, monotonicity,
+bounded measured/bound ratios).  ``pytest-benchmark`` times the core
+operation of each experiment.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_table(results_dir):
+    """Save a rendered table under benchmarks/results/<name>.txt."""
+
+    def _save(name, table):
+        text = table.render()
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return text
+
+    return _save

@@ -1,0 +1,103 @@
+"""E11 — continuous routing (Scheideler-Vocking [43], Section 1.3.1).
+
+The paper's batch bounds have a steady-state sibling: the maximum
+injection rate a wormhole network can sustain carries the same
+``D^(1/B)`` factor.  We inject Bernoulli traffic (random destinations)
+into a butterfly at increasing per-input rates, classify each rate as
+stable/unstable by the backlog trend, and report the measured knee per
+``B``.  Shape checks: the knee rises monotonically with ``B``, and the
+relative gain from B=1 to B=2 exceeds the gain from B=2 to B=4
+(diminishing returns, consistent with the ``log^(1/B)``-type factor).
+"""
+
+import numpy as np
+import pytest
+
+from repro import Butterfly, Table
+from repro.sim.continuous import ContinuousWormholeSimulator
+
+N = 32
+L = 6
+HORIZON = 2500
+RATES = (0.01, 0.02, 0.04, 0.08, 0.16, 0.32)
+
+
+def path_gen(bf):
+    def path_of(source, rng):
+        return list(bf.path_edges(source, int(rng.integers(bf.n))))
+
+    return path_of
+
+
+def is_stable(res):
+    """Backlog shows no growth trend (queueing fluctuation is fine)."""
+    return res.backlog_slope() < 0.05
+
+
+def knee(bf, B):
+    """Largest tested rate that is still stable."""
+    best = 0.0
+    for rate in RATES:
+        sim = ContinuousWormholeSimulator(bf, bf.n, B, seed=17)
+        res = sim.run(rate, L, path_gen(bf), horizon=HORIZON, sample_every=100)
+        if is_stable(res):
+            best = rate
+        else:
+            break
+    return best
+
+
+def test_e11_stability_knee(benchmark, save_table):
+    bf = Butterfly(N)
+
+    def sweep():
+        return {B: knee(bf, B) for B in (1, 2, 4)}
+
+    knees = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    table = Table(
+        f"E11: max stable injection rate (n={N} butterfly, L={L}, "
+        f"random destinations, horizon={HORIZON})",
+        ["B", "max stable rate (per input per flit step)"],
+    )
+    for B, r in knees.items():
+        table.add_row([B, r])
+    save_table("e11_stability", table)
+
+    assert knees[1] < knees[2] <= knees[4]
+
+
+def test_e11_latency_vs_rate(benchmark, save_table):
+    """Below the knee, latency stays near L + D - 1 and rises with load;
+    past it, latency and backlog blow up."""
+    bf = Butterfly(N)
+
+    def sweep():
+        rows = []
+        for B in (1, 2):
+            for rate in (0.02, 0.08, 0.32):
+                sim = ContinuousWormholeSimulator(bf, bf.n, B, seed=23)
+                res = sim.run(rate, L, path_gen(bf), horizon=1500, sample_every=100)
+                rows.append(
+                    {
+                        "B": B,
+                        "rate": rate,
+                        "throughput": res.throughput,
+                        "mean latency": res.mean_latency,
+                        "backlog slope": res.backlog_slope(),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    table = Table("E11b: latency and backlog vs injection rate", list(rows[0].keys()))
+    for r in rows:
+        table.add_row(list(r.values()))
+    save_table("e11b_latency", table)
+
+    floor = L + bf.log_n - 1
+    for r in rows:
+        assert r["mean latency"] >= floor - 1e-9
+    # At the same overloaded rate, B = 2 sustains more throughput.
+    over1 = [r for r in rows if r["B"] == 1 and r["rate"] == 0.32][0]
+    over2 = [r for r in rows if r["B"] == 2 and r["rate"] == 0.32][0]
+    assert over2["throughput"] > over1["throughput"]

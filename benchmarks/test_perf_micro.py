@@ -1,0 +1,74 @@
+"""Performance micro-benchmarks of the package's hot paths.
+
+These are genuine timing benchmarks (multiple rounds, statistics) of the
+inner loops the experiments lean on, per the HPC guidance: measure
+before optimizing, and keep regressions visible.
+
+* flit-level simulation throughput on a congested workload;
+* vectorized butterfly path generation;
+* one Moser-Tardos refinement stage;
+* a full level-synchronized butterfly subround.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Butterfly, WormholeSimulator, arbitrate_levels
+from repro.core.coloring import MessageEdgeIncidence, refine_colors
+from repro.network.random_networks import layered_network, random_walk_paths
+from repro.routing.paths import paths_from_node_walks
+
+
+@pytest.fixture(scope="module")
+def big_workload():
+    rng = np.random.default_rng(0)
+    net = layered_network(24, 20, 3, rng)
+    walks = random_walk_paths(net, 24, 20, 600, rng)
+    return net, paths_from_node_walks(net, walks)
+
+
+def test_perf_wormhole_simulation(benchmark, big_workload):
+    net, paths = big_workload
+
+    def run():
+        return WormholeSimulator(net, 2, seed=0).run(paths, message_length=12)
+
+    result = benchmark(run)
+    assert result.all_delivered
+
+
+def test_perf_butterfly_path_batch(benchmark):
+    bf = Butterfly(1024, passes=2)
+    rng = np.random.default_rng(1)
+    src = rng.integers(0, 1024, 4096)
+    mid = rng.integers(0, 1024, 4096)
+    dst = rng.integers(0, 1024, 4096)
+
+    edges = benchmark(bf.two_pass_path_edges_batch, src, mid, dst)
+    assert edges.shape == (4096, 20)
+
+
+def test_perf_refinement_stage(benchmark, big_workload):
+    _, paths = big_workload
+    inc = MessageEdgeIncidence.from_paths(paths)
+    colors = np.zeros(len(paths), dtype=np.int64)
+
+    def stage():
+        return refine_colors(
+            inc, colors, r=24, mf=3, rng=np.random.default_rng(2)
+        )
+
+    out = benchmark(stage)
+    assert out is not None
+
+
+def test_perf_subround_arbitration(benchmark):
+    bf = Butterfly(256, passes=2)
+    rng = np.random.default_rng(3)
+    src = rng.integers(0, 256, 2048)
+    mid = rng.integers(0, 256, 2048)
+    dst = rng.integers(0, 256, 2048)
+    edges = bf.two_pass_path_edges_batch(src, mid, dst)
+
+    alive = benchmark(arbitrate_levels, edges, 2, np.random.default_rng(4))
+    assert alive.any()

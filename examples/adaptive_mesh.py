@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Scenario: adaptive routing on a mesh under standard traffic patterns.
+
+Evaluates deterministic XY routing against the Glass-Ni west-first turn
+model on a 2-D mesh across the classic traffic battery.  The comparison
+shows the real trade, not a strawman: on benign symmetric loads
+(uniform, bit-complement) XY's perfect row/column separation wins, while
+on *skewed* loads (traffic concentrated along a row) adaptivity routes
+around the hot row and wins by ~2x.
+
+It closes with the deadlock demonstration that motivates the whole
+virtual-channel story: unrestricted minimal adaptivity can deadlock at
+one channel; a turn rule or one extra virtual channel fixes it.
+
+Run:  python examples/adaptive_mesh.py
+"""
+
+import numpy as np
+
+from repro import KAryNCube, Table
+from repro.routing.traffic import (
+    bit_complement_traffic,
+    hotspot_traffic,
+    uniform_traffic,
+)
+from repro.sim.adaptive import AdaptiveMeshRouter
+
+K, L = 6, 6
+
+
+def main() -> None:
+    mesh = KAryNCube(k=K, n=2, wrap=False)
+    rng = np.random.default_rng(0)
+    patterns = {
+        "uniform": uniform_traffic(mesh, 2, rng),
+        "hotspot(25% -> center)": hotspot_traffic(
+            mesh, 2, hotspot=mesh.node((K // 2, K // 2)), fraction=0.25, rng=rng
+        ),
+        "bit-complement": bit_complement_traffic(mesh),
+        "row-concentrated": [
+            (mesh.node((x, 0)), mesh.node((min(K - 1, x + 2), K - 1)))
+            for x in range(K - 1)
+            for _ in range(4)
+        ],
+    }
+
+    table = Table(
+        f"{K}x{K} mesh, L={L}, B=1: mean makespan over 5 seeds",
+        ["pattern", "XY (deterministic)", "west-first (adaptive)"],
+    )
+    for name, demands in patterns.items():
+        spans = {"dimension": [], "west-first": []}
+        for policy in spans:
+            for seed in range(5):
+                out = AdaptiveMeshRouter(mesh, 1, policy=policy, seed=seed).run(
+                    demands, message_length=L
+                )
+                assert out.all_delivered
+                spans[policy].append(out.result.makespan)
+        table.add_row(
+            [name, float(np.mean(spans["dimension"])), float(np.mean(spans["west-first"]))]
+        )
+    print(table.render())
+    print()
+    print(
+        "XY's regularity wins on symmetric loads; west-first's freedom "
+        "to turn early wins ~2x when traffic piles onto one row."
+    )
+
+    # Deadlock demonstration: four worms chasing around a square.
+    a, b = mesh.node((0, 0)), mesh.node((1, 0))
+    c, d = mesh.node((1, 1)), mesh.node((0, 1))
+    cycle = [(a, c), (b, d), (c, a), (d, b)]
+    print()
+    print("Square-cycle workload (the classic wormhole deadlock):")
+    for policy, B in [("fully-adaptive", 1), ("fully-adaptive", 2), ("west-first", 1)]:
+        deadlocks = sum(
+            AdaptiveMeshRouter(mesh, B, policy=policy, seed=s)
+            .run(cycle, message_length=4)
+            .result.deadlocked
+            for s in range(30)
+        )
+        print(f"  {policy:>15} B={B}: {deadlocks}/30 runs deadlock")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Scenario: offline batch scheduling with the Theorem 2.1.6 pipeline.
+
+A batch-routing compiler for a fixed communication pattern: given a
+leveled network and a set of message routes with congestion C and
+dilation D, construct a provably block-free wormhole schedule by LLL
+color refinement (multiplex size C -> B), then execute it on the exact
+flit-level model.  Compares, per virtual-channel count B:
+
+* the naive conflict-coloring baseline of footnote 5 (O((L+D) C D));
+* the Theorem 2.1.6 schedule (O((L+D) C (D log D)^(1/B) / B));
+* uncontrolled greedy injection (fast but with heavy blocking and no
+  guarantee).
+
+Run:  python examples/offline_scheduling.py
+"""
+
+import numpy as np
+
+from repro import (
+    Table,
+    WormholeSimulator,
+    bounds,
+    execute_schedule,
+    lll_schedule,
+    naive_coloring_schedule,
+)
+from repro.network.random_networks import layered_network, random_walk_paths
+from repro.routing.paths import congestion, dilation, paths_from_node_walks
+
+WIDTH, DEPTH, MESSAGES = 14, 16, 260
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    net = layered_network(WIDTH, DEPTH, 3, rng)
+    walks = random_walk_paths(net, WIDTH, DEPTH, MESSAGES, rng)
+    paths = paths_from_node_walks(net, walks)
+    C, D = congestion(paths), dilation(paths)
+    L = D
+    print(
+        f"Workload: {MESSAGES} messages, C = {C}, D = {D}, L = {L} on a "
+        f"{WIDTH}-wide, {DEPTH}-deep leveled network"
+    )
+
+    naive = naive_coloring_schedule(paths, L)
+    naive_run = execute_schedule(net, paths, naive.schedule, B=1)
+
+    table = Table(
+        "Schedules (all runs verified block-free where claimed)",
+        [
+            "B",
+            "LLL classes",
+            "LLL makespan",
+            "naive makespan (B=1)",
+            "greedy makespan",
+            "greedy blocked steps",
+            "theorem bound",
+        ],
+    )
+    for B in (1, 2, 3, 4):
+        build = lll_schedule(
+            paths, message_length=L, B=B, rng=np.random.default_rng(B), mode="direct"
+        )
+        run = execute_schedule(net, paths, build.schedule, B=B)
+        greedy = WormholeSimulator(net, B, seed=0).run(paths, message_length=L)
+        table.add_row(
+            [
+                B,
+                build.num_classes,
+                run.makespan,
+                naive_run.makespan,
+                greedy.makespan,
+                greedy.total_blocked_steps,
+                bounds.general_upper_bound(L, C, D, B),
+            ]
+        )
+    print()
+    print(table.render())
+    print()
+    print(
+        "The LLL schedule's makespan falls superlinearly as channels are "
+        "added (classes shrink faster than 1/B), and unlike greedy "
+        "injection it never blocks a single flit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: route a permutation through a butterfly wormhole router.
+
+Builds an 8-input butterfly (the paper's Fig. 1), routes the bit-reversal
+permutation as 8 worms of 16 flits each, and shows how virtual channels
+change the outcome: with B = 1 worms serialize wherever their greedy
+paths share an edge; with B = 2 most conflicts vanish.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Butterfly, Table, WormholeSimulator, bit_reversal_permutation
+
+N = 8
+L = 16  # flits per message
+
+
+def main() -> None:
+    bf = Butterfly(N)
+    inst = bit_reversal_permutation(N)
+    # Each message follows the butterfly's unique greedy (bit-fixing) path.
+    edges = bf.path_edges_batch(inst.sources, inst.dests)
+    paths = [list(row) for row in edges]
+
+    table = Table(
+        f"Bit-reversal on an {N}-input butterfly, L = {L} flits "
+        f"(unobstructed time would be {L + bf.depth - 1})",
+        ["virtual channels B", "makespan (flit steps)", "blocked flit steps"],
+    )
+    for B in (1, 2, 4):
+        sim = WormholeSimulator(bf, num_virtual_channels=B, seed=0)
+        result = sim.run(paths, message_length=L)
+        assert result.all_delivered
+        table.add_row([B, result.makespan, result.total_blocked_steps])
+    print(table.render())
+    print()
+    print(
+        "Adding virtual channels removes header blocking: the makespan "
+        "approaches the contention-free floor L + D - 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,203 @@
+"""Reproduction of Cole, Maggs & Sitaraman (SPAA 1996 / JCSS 2001):
+*On the Benefit of Supporting Virtual Channels in Wormhole Routers*.
+
+The package builds the paper's machine model — flit-level wormhole
+routing with ``B`` virtual channels per physical channel — plus every
+substrate the analysis touches: butterfly/Benes/mesh/hypercube/etc.
+topologies, store-and-forward and virtual cut-through baselines, circuit
+switching, the LLL-based offline scheduler of Theorem 2.1.6, the hard
+instance of Theorem 2.2.1, and the randomized butterfly algorithm of
+Section 3 with its lower-bound machinery.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import Butterfly, WormholeSimulator
+>>> bf = Butterfly(8)
+>>> edges = bf.path_edges_batch(np.arange(8), np.arange(8)[::-1])
+>>> sim = WormholeSimulator(bf, num_virtual_channels=2)
+>>> result = sim.run([list(r) for r in edges], message_length=4)
+>>> bool(result.all_delivered)
+True
+"""
+
+from .analysis.balls_bins import lemma_3_2_3_bound, prob_no_bin_exceeds
+from .analysis.lll import chernoff_upper_tail, lll_condition
+from .analysis.fitting import PowerLawFit, fit_power_law, loglog_slope
+from .analysis.render import render_butterfly, render_route, render_spacetime
+from .analysis.tables import Table
+from .core import bounds
+from .core.butterfly_lower_bound import (
+    OnePassOutcome,
+    collides,
+    one_pass_route,
+    phase_partition,
+    subset_collision_rate,
+    truncated_paths,
+)
+from .core.benes_routing import route_permutation_benes, route_q_relation_benes
+from .core.butterfly_routing import (
+    ButterflyRouter,
+    ButterflyRoutingResult,
+    arbitrate_levels,
+)
+from .core.coloring import (
+    MessageEdgeIncidence,
+    multiplex_size,
+    reduce_multiplex_size,
+)
+from .core.hypercube_routing import (
+    HypercubeRoutingResult,
+    route_hypercube_permutation,
+)
+from .core.leveled import leveled_bound, random_delay_release, route_leveled_greedy
+from .core.multibutterfly_routing import MultibutterflyRouter
+from .core.online_routing import online_window, route_online_random_delays
+from .core.lower_bound import (
+    HardInstance,
+    build_hard_instance,
+    hard_instance_lower_bound,
+    max_m_prime,
+)
+from .core.schedule import ColorClassSchedule, execute_schedule
+from .core.scheduler import (
+    ScheduleBuild,
+    lll_schedule,
+    naive_coloring_schedule,
+)
+from .network.benes import Benes, waksman_paths
+from .network.butterfly import Butterfly, wrapped_butterfly
+from .network.debruijn import DeBruijn, ShuffleExchange, debruijn_path
+from .network.graph import Network, NetworkError
+from .network.hypercube import Hypercube, bit_fixing_path
+from .network.mesh import KAryNCube, dimension_order_path
+from .network.multibutterfly import Multibutterfly
+from .network.random_networks import (
+    chain_bundle,
+    layered_network,
+    random_walk_paths,
+)
+from .network.tree import CompleteTree, tree_path
+from .routing.decompose import decompose_q_relation
+from .routing.paths import Path, congestion, dilation, path_set_stats
+from .routing.problems import (
+    RoutingInstance,
+    bit_reversal_permutation,
+    random_destinations,
+    random_permutation,
+    random_q_relation,
+    transpose_permutation,
+)
+from .routing.select import select_paths
+from .routing.shortest import bfs_path, shortest_paths
+from .routing.valiant import valiant_path, valiant_paths
+from .sim.adaptive import AdaptiveMeshRouter, AdaptiveRunResult
+from .sim.circuit import CircuitSwitchResult, circuit_switch_butterfly
+from .sim.continuous import ContinuousResult, ContinuousWormholeSimulator
+from .sim.cut_through import CutThroughSimulator
+from .sim.deadlock import (
+    channel_dependency_graph,
+    dateline_vc_assignment,
+    is_deadlock_free,
+)
+from .sim.restricted import RestrictedWormholeSimulator
+from .sim.stats import SimulationResult
+from .sim.store_forward import StoreForwardSimulator
+from .sim.wormhole import WormholeSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveMeshRouter",
+    "AdaptiveRunResult",
+    "Benes",
+    "Butterfly",
+    "ButterflyRouter",
+    "ButterflyRoutingResult",
+    "CircuitSwitchResult",
+    "ColorClassSchedule",
+    "CompleteTree",
+    "ContinuousResult",
+    "ContinuousWormholeSimulator",
+    "CutThroughSimulator",
+    "DeBruijn",
+    "HardInstance",
+    "Hypercube",
+    "HypercubeRoutingResult",
+    "KAryNCube",
+    "MessageEdgeIncidence",
+    "Multibutterfly",
+    "MultibutterflyRouter",
+    "Network",
+    "NetworkError",
+    "OnePassOutcome",
+    "Path",
+    "PowerLawFit",
+    "RestrictedWormholeSimulator",
+    "RoutingInstance",
+    "ScheduleBuild",
+    "ShuffleExchange",
+    "SimulationResult",
+    "StoreForwardSimulator",
+    "Table",
+    "WormholeSimulator",
+    "arbitrate_levels",
+    "bfs_path",
+    "bit_fixing_path",
+    "bit_reversal_permutation",
+    "bounds",
+    "build_hard_instance",
+    "chain_bundle",
+    "channel_dependency_graph",
+    "chernoff_upper_tail",
+    "circuit_switch_butterfly",
+    "collides",
+    "congestion",
+    "dateline_vc_assignment",
+    "debruijn_path",
+    "decompose_q_relation",
+    "dilation",
+    "dimension_order_path",
+    "execute_schedule",
+    "fit_power_law",
+    "hard_instance_lower_bound",
+    "is_deadlock_free",
+    "layered_network",
+    "lemma_3_2_3_bound",
+    "leveled_bound",
+    "lll_condition",
+    "lll_schedule",
+    "loglog_slope",
+    "max_m_prime",
+    "multiplex_size",
+    "naive_coloring_schedule",
+    "one_pass_route",
+    "online_window",
+    "path_set_stats",
+    "phase_partition",
+    "prob_no_bin_exceeds",
+    "random_delay_release",
+    "random_destinations",
+    "random_permutation",
+    "random_q_relation",
+    "random_walk_paths",
+    "reduce_multiplex_size",
+    "render_butterfly",
+    "render_route",
+    "render_spacetime",
+    "route_hypercube_permutation",
+    "route_leveled_greedy",
+    "route_online_random_delays",
+    "route_permutation_benes",
+    "route_q_relation_benes",
+    "select_paths",
+    "shortest_paths",
+    "subset_collision_rate",
+    "transpose_permutation",
+    "tree_path",
+    "truncated_paths",
+    "valiant_path",
+    "valiant_paths",
+    "waksman_paths",
+    "wrapped_butterfly",
+]

@@ -1,0 +1,48 @@
+"""Probabilistic toolbox and experiment reporting."""
+
+from .balls_bins import (
+    lemma_3_2_3_bound,
+    max_load_samples,
+    per_bin_overflow_lower_bound,
+    prob_no_bin_exceeds,
+)
+from .circuit_recursion import (
+    edge_load_distribution,
+    expected_survivors,
+    kruskal_snir_b1_probability,
+)
+from .fitting import PowerLawFit, fit_power_law, loglog_slope
+from .lll import (
+    bad_event_probability_case12,
+    bad_event_probability_case3,
+    binomial,
+    chernoff_upper_tail,
+    lll_condition,
+    log_binomial,
+)
+from .render import render_butterfly, render_route, render_spacetime
+from .tables import Table, format_value
+
+__all__ = [
+    "PowerLawFit",
+    "Table",
+    "bad_event_probability_case12",
+    "bad_event_probability_case3",
+    "binomial",
+    "chernoff_upper_tail",
+    "edge_load_distribution",
+    "expected_survivors",
+    "fit_power_law",
+    "format_value",
+    "kruskal_snir_b1_probability",
+    "lemma_3_2_3_bound",
+    "lll_condition",
+    "log_binomial",
+    "loglog_slope",
+    "max_load_samples",
+    "per_bin_overflow_lower_bound",
+    "prob_no_bin_exceeds",
+    "render_butterfly",
+    "render_route",
+    "render_spacetime",
+]

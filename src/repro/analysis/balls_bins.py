@@ -1,0 +1,98 @@
+"""Balls-in-bins machinery for the Section 3.2 lower bound.
+
+Lemma 3.2.3: throwing ``m <= n`` balls independently and uniformly into
+``n`` bins, the probability that **no** bin receives more than ``B`` balls
+is at most ``exp(-alpha m^(B+2) / ((2B n)^(B+1) B))`` for a positive
+constant ``alpha``.  (The proof's final display carries ``m^(B+1)``; the
+statement's ``m^(B+2)`` follows from multiplying the per-bin failure
+probability across ``m/2B`` inspected bins.  We expose both exponents.)
+
+The lemma feeds the strip decomposition of Lemma 3.2.4: messages entering
+an ``m``-input subbutterfly with random outputs collide (``B+1`` on one
+edge) unless the balls-in-bins event fails in every strip.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "prob_no_bin_exceeds",
+    "max_load_samples",
+    "lemma_3_2_3_bound",
+    "per_bin_overflow_lower_bound",
+]
+
+
+def prob_no_bin_exceeds(
+    m: int,
+    n: int,
+    B: int,
+    trials: int,
+    rng: np.random.Generator,
+) -> float:
+    """Monte-Carlo estimate of ``Pr[max bin load <= B]``.
+
+    Vectorized: all ``trials`` experiments are thrown at once.
+    """
+    if m < 0 or n < 1 or B < 0 or trials < 1:
+        raise ValueError("need m >= 0, n >= 1, B >= 0, trials >= 1")
+    if m == 0:
+        return 1.0
+    bins = rng.integers(0, n, size=(trials, m))
+    # Per-trial max load via offset bincount.
+    offsets = np.arange(trials, dtype=np.int64)[:, None] * n
+    flat = (bins + offsets).ravel()
+    counts = np.bincount(flat, minlength=trials * n).reshape(trials, n)
+    return float((counts.max(axis=1) <= B).mean())
+
+
+def max_load_samples(
+    m: int, n: int, trials: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sampled maximum bin loads for ``m`` balls in ``n`` bins."""
+    bins = rng.integers(0, n, size=(trials, m))
+    offsets = np.arange(trials, dtype=np.int64)[:, None] * n
+    flat = (bins + offsets).ravel()
+    counts = np.bincount(flat, minlength=trials * n).reshape(trials, n)
+    return counts.max(axis=1)
+
+
+def per_bin_overflow_lower_bound(m: int, n: int, B: int) -> float:
+    """The proof's lower bound on one inspected bin overflowing.
+
+    With at least ``m/2`` balls still unassigned, the chance an inspected
+    bin receives more than ``B`` balls is at least
+    ``C(m/2, B+1) n^-(B+1) (1 - 1/n)^(m/2)``, which the proof further
+    lower-bounds by ``alpha' m^(B+1) / (2B n)^(B+1)``.  We return the
+    exact binomial form (the sharper of the two).
+    """
+    half = m // 2
+    if half < B + 1:
+        return 0.0
+    log_p = (
+        math.lgamma(half + 1)
+        - math.lgamma(B + 2)
+        - math.lgamma(half - B)
+        - (B + 1) * math.log(n)
+        + half * math.log(max(1.0 - 1.0 / n, 1e-300))
+    )
+    return math.exp(min(log_p, 0.0))
+
+
+def lemma_3_2_3_bound(
+    m: int, n: int, B: int, alpha: float = 1.0, statement_exponent: bool = True
+) -> float:
+    """Lemma 3.2.3's closed form ``exp(-alpha m^e / ((2Bn)^(B+1) B))``.
+
+    ``statement_exponent=True`` uses the statement's ``e = B+2``; ``False``
+    uses the proof display's ``e = B+1``.  ``alpha`` is the unspecified
+    positive constant.
+    """
+    if m < 0 or n < 1 or B < 1:
+        raise ValueError("need m >= 0, n >= 1, B >= 1")
+    e = B + 2 if statement_exponent else B + 1
+    exponent = alpha * (m**e) / (((2 * B * n) ** (B + 1)) * B)
+    return math.exp(-exponent)

@@ -1,0 +1,93 @@
+"""Analytic survival recursion for circuit-switched butterflies.
+
+Kruskal and Snir [24] analyzed circuit switching on banyan networks with
+an independence recursion: track, level by level, the distribution of
+the number of circuits carried by an edge.  Koch [22] generalized the
+analysis to capacity ``B`` (our E6 regime).  The recursion:
+
+* an edge at level ``l+1`` is fed by its tail node, which receives the
+  circuits of its two incoming level-``l`` edges;
+* each arriving circuit independently requests this out-edge with
+  probability 1/2 (random destinations);
+* the edge carries ``min(requests, B)`` circuits; the surplus is dropped.
+
+Treating the two feeding edges as independent (exact on trees, and
+asymptotically accurate on butterflies — the dependence vanishes as
+``n`` grows) gives a ``(B+1)``-state distribution recursion.  Expected
+survivors are ``2 n E[circuits per final edge]``.
+
+This module provides the recursion and the closed Kruskal-Snir special
+case ``B = 1`` (``p' = 1 - (1 - p/2)^2``), so experiments can compare
+analysis against the Monte-Carlo simulator in :mod:`repro.sim.circuit`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..network.butterfly import is_power_of_two
+
+__all__ = [
+    "edge_load_distribution",
+    "expected_survivors",
+    "kruskal_snir_b1_probability",
+]
+
+
+def _binomial_split(dist: np.ndarray) -> np.ndarray:
+    """Distribution of requests to one out-edge given ``dist`` circuits
+    at the tail node, each choosing the edge with probability 1/2."""
+    max_c = dist.size - 1
+    out = np.zeros(max_c + 1)
+    for total, p_total in enumerate(dist):
+        if p_total == 0:
+            continue
+        for r in range(total + 1):
+            out[r] += p_total * math.comb(total, r) * 0.5**total
+    return out
+
+
+def _cap(dist: np.ndarray, B: int) -> np.ndarray:
+    """Truncate a count distribution at capacity ``B`` (drop surplus)."""
+    out = np.zeros(B + 1)
+    out[: min(dist.size, B + 1)] = dist[: B + 1]
+    if dist.size > B + 1:
+        out[B] += dist[B + 1 :].sum()
+    return out
+
+
+def edge_load_distribution(n: int, B: int) -> np.ndarray:
+    """Distribution of circuits on a final-level edge (independence
+    recursion), as a length ``B+1`` probability vector."""
+    if not is_power_of_two(n) or n < 2:
+        raise ValueError(f"need a power-of-two n >= 2, got {n}")
+    if B < 1:
+        raise ValueError("capacity B must be >= 1")
+    log_n = n.bit_length() - 1
+    # Level-1 edges: one message per input picks one of two out-edges.
+    dist = _cap(_binomial_split(np.array([0.0, 1.0])), B)
+    for _ in range(log_n - 1):
+        # Tail node's circuit count = sum of two independent edges.
+        node = np.convolve(dist, dist)
+        dist = _cap(_binomial_split(node), B)
+    return dist
+
+
+def expected_survivors(n: int, B: int) -> float:
+    """Predicted survivor count: ``2 n * E[circuits per final edge]``."""
+    dist = edge_load_distribution(n, B)
+    return float(2 * n * (np.arange(dist.size) * dist).sum())
+
+
+def kruskal_snir_b1_probability(n: int) -> float:
+    """The classic closed recursion at ``B = 1``:
+    ``p_1 = 1/2``; ``p_{l+1} = 1 - (1 - p_l / 2)^2``."""
+    if not is_power_of_two(n) or n < 2:
+        raise ValueError(f"need a power-of-two n >= 2, got {n}")
+    log_n = n.bit_length() - 1
+    p = 0.5
+    for _ in range(log_n - 1):
+        p = 1.0 - (1.0 - p / 2.0) ** 2
+    return p

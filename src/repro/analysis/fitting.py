@@ -1,0 +1,56 @@
+"""Power-law fitting for experiment series.
+
+The paper's bounds are power laws in D, B, n (``D^(1/B)``,
+``log^(1/B) n``, ...); the experiment harness checks their *shape* by
+estimating exponents from measured series with ordinary least squares in
+log-log space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law", "loglog_slope"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of fitting ``y = coefficient * x**exponent``."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.coefficient * np.asarray(x, dtype=np.float64) ** self.exponent
+
+
+def fit_power_law(x: np.ndarray, y: np.ndarray) -> PowerLawFit:
+    """OLS fit of ``log y = log c + a log x``.
+
+    Requires strictly positive data and at least two distinct ``x``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1 or x.size < 2:
+        raise ValueError("need equal-length 1-d arrays with >= 2 points")
+    if (x <= 0).any() or (y <= 0).any():
+        raise ValueError("power-law fitting needs strictly positive data")
+    lx, ly = np.log(x), np.log(y)
+    if np.allclose(lx, lx[0]):
+        raise ValueError("need at least two distinct x values")
+    lx_c = lx - lx.mean()
+    a = float((lx_c * (ly - ly.mean())).sum() / (lx_c * lx_c).sum())
+    logc = float(ly.mean() - a * lx.mean())
+    resid = ly - (logc + a * lx)
+    total = ly - ly.mean()
+    ss_tot = float((total * total).sum())
+    r2 = 1.0 - float((resid * resid).sum()) / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(exponent=a, coefficient=float(np.exp(logc)), r_squared=r2)
+
+
+def loglog_slope(x: np.ndarray, y: np.ndarray) -> float:
+    """Shortcut for :func:`fit_power_law`'s exponent."""
+    return fit_power_law(x, y).exponent

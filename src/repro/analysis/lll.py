@@ -1,0 +1,95 @@
+"""Probabilistic toolbox: Lovász local lemma and Chernoff bounds.
+
+Section 2.1 of the paper rests on two classical lemmas:
+
+* **Lemma 2.1.1 (Lovász).**  If each of a set of bad events occurs with
+  probability at most ``q`` and depends on at most ``b`` others, and
+  ``4 q b < 1``, then with nonzero probability no bad event occurs.
+* **Lemma 2.1.2 (Chernoff).**  For a sum ``X`` of independent Bernoulli
+  trials with mean ``mu`` and any ``0 < delta <= 1``,
+  ``Pr[X > (1 + delta) mu] < exp(-mu delta^2 / 3)``.
+
+These helpers evaluate the bounds numerically (in log space where
+necessary) so the scheduler can *check* that each refinement stage's
+parameters satisfy the paper's conditions, and so tests can confirm the
+three cases of Lemma 2.1.5 verify ``4 q b < 1`` exactly as the proof
+claims.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy.special import gammaln
+
+__all__ = [
+    "lll_condition",
+    "chernoff_upper_tail",
+    "log_binomial",
+    "binomial",
+    "bad_event_probability_case12",
+    "bad_event_probability_case3",
+]
+
+
+def lll_condition(q: float, b: float) -> bool:
+    """Lemma 2.1.1's sufficient condition ``4 q b < 1``."""
+    if q < 0 or b < 0:
+        raise ValueError("q and b must be nonnegative")
+    return 4.0 * q * b < 1.0
+
+
+def chernoff_upper_tail(mu: float, delta: float) -> float:
+    """Lemma 2.1.2: ``Pr[X > (1+delta) mu] < exp(-mu delta^2 / 3)``.
+
+    Valid for ``0 < delta <= 1``; we clamp larger deltas to 1, which only
+    weakens the bound (the paper applies it with ``delta <= 1``).
+    """
+    if mu < 0:
+        raise ValueError("mu must be nonnegative")
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    delta = min(delta, 1.0)
+    return math.exp(-mu * delta * delta / 3.0)
+
+
+def log_binomial(n: float, k: float) -> float:
+    """``log C(n, k)`` via log-gamma (valid for real ``n >= k >= 0``)."""
+    if k < 0 or k > n:
+        return float("-inf")
+    return float(gammaln(n + 1) - gammaln(k + 1) - gammaln(n - k + 1))
+
+
+def binomial(n: int, k: int) -> int:
+    """Exact integer binomial coefficient."""
+    return math.comb(n, k)
+
+
+def bad_event_probability_case12(ms: int, mf: int, r: int) -> float:
+    """Bound on the bad-event probability used in cases 1-2 of Lemma 2.1.5.
+
+    A bad event is "more than ``mf`` messages of one new color class use a
+    given edge".  With at most ``ms`` same-color messages on the edge and
+    each independently keeping the color with probability ``1/r``, the
+    probability is at most ``C(ms, mf) * r**(-mf)`` (union over which
+    ``mf`` messages stay, each staying with probability ``1/r``) — the
+    quantity the proof writes as ``(ms choose mf) r^-mf``.
+    """
+    if mf > ms:
+        return 0.0
+    log_p = log_binomial(ms, mf) - mf * math.log(r)
+    return math.exp(min(log_p, 0.0))
+
+
+def bad_event_probability_case3(ms: int, mf: int, r: int) -> float:
+    """Chernoff-based bad-event bound used in case 3 of Lemma 2.1.5.
+
+    The number of same-new-color messages on an edge is a Binomial
+    ``(ms, 1/r)`` with mean ``mu <= ms / r``; the proof bounds
+    ``Pr[X > mf]`` by ``exp(-mu delta^2 / 3)`` with ``delta = mf/mu - 1``.
+    """
+    mu = ms / r
+    if mf <= mu:
+        return 1.0
+    delta = mf / mu - 1.0
+    return chernoff_upper_tail(mu, delta)

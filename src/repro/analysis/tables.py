@@ -1,0 +1,76 @@
+"""ASCII result tables for the experiment harness.
+
+The paper has no numeric tables (it is a theory paper), so the benchmark
+harness prints its *measured vs. bound* series in a uniform tabular form;
+EXPERIMENTS.md records the same rows.  Keeping the renderer here (rather
+than in each bench) makes the output format consistent and testable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "format_value"]
+
+
+def format_value(v: object, precision: int = 3) -> str:
+    """Human formatting: ints plain, floats to ``precision`` significant digits."""
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, int):
+        return str(v)
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "nan"
+        if v == 0:
+            return "0"
+        if abs(v) >= 10000 or abs(v) < 0.001:
+            return f"{v:.{precision}g}"
+        return f"{v:.{precision}g}"
+    return str(v)
+
+
+@dataclass
+class Table:
+    """A fixed-column ASCII table.
+
+    >>> t = Table("demo", ["a", "b"])
+    >>> t.add_row([1, 2.5])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    demo
+    a | b
+    --+----
+    1 | 2.5
+    """
+
+    title: str
+    headers: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, values: Iterable[object], precision: int = 3) -> None:
+        row = [format_value(v, precision) for v in values]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)).rstrip())
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

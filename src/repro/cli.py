@@ -1,0 +1,328 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, reproducible demonstrations of the package's main pipelines:
+
+``info``
+    Package, model, and inventory summary.
+``demo``
+    The quickstart table — a butterfly permutation at several ``B``.
+``butterfly``
+    The Section 3.1 randomized q-relation router, round by round.
+``schedule``
+    The Theorem 2.1.6 LLL schedule pipeline on a random leveled workload.
+``hard-instance``
+    Build and route the Theorem 2.2.1 instance; compare with the bound.
+``spacetime``
+    Worm spacetime diagram of a small contended run.
+
+Every command accepts ``--seed`` and prints deterministic output.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Cole, Maggs & Sitaraman: On the Benefit of "
+            "Supporting Virtual Channels in Wormhole Routers (SPAA 1996)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and model summary")
+
+    p = sub.add_parser("demo", help="quickstart: butterfly permutation vs B")
+    p.add_argument("--n", type=int, default=8, help="butterfly inputs")
+    p.add_argument("--length", type=int, default=16, help="flits per message")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("butterfly", help="Section 3.1 q-relation router")
+    p.add_argument("--n", type=int, default=64)
+    p.add_argument("--q", type=int, default=4)
+    p.add_argument("--channels", type=int, default=2, help="B")
+    p.add_argument("--length", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("schedule", help="Theorem 2.1.6 schedule pipeline")
+    p.add_argument("--width", type=int, default=10)
+    p.add_argument("--depth", type=int, default=10)
+    p.add_argument("--messages", type=int, default=120)
+    p.add_argument("--length", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("hard-instance", help="Theorem 2.2.1 lower bound")
+    p.add_argument("--congestion", type=int, default=8, help="C")
+    p.add_argument("--dilation", type=int, default=15, help="D")
+    p.add_argument("--channels", type=int, default=1, help="B")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("spacetime", help="worm spacetime diagram")
+    p.add_argument("--worms", type=int, default=3)
+    p.add_argument("--depth", type=int, default=4)
+    p.add_argument("--length", type=int, default=5)
+    p.add_argument("--channels", type=int, default=1, help="B")
+
+    p = sub.add_parser(
+        "experiment",
+        help="regenerate one of the paper experiments (e1..e18, perf)",
+    )
+    p.add_argument("name", help="experiment id, e.g. e2 or e11")
+
+    sub.add_parser(
+        "reproduce",
+        help="run every experiment and assemble benchmarks/results/ALL_RESULTS.txt",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "info": _cmd_info,
+        "demo": _cmd_demo,
+        "butterfly": _cmd_butterfly,
+        "schedule": _cmd_schedule,
+        "hard-instance": _cmd_hard_instance,
+        "spacetime": _cmd_spacetime,
+        "experiment": _cmd_experiment,
+        "reproduce": _cmd_reproduce,
+    }[args.command]
+    handler(args)
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> None:
+    import repro
+
+    print(f"repro {repro.__version__}")
+    print(
+        "Model (Section 1.1): B virtual channels per edge; the buffer at "
+        "each edge's head holds B flits,\neach from a distinct message; "
+        "one flit per virtual channel crosses per flit step; a blocked "
+        "header\nstalls its whole worm."
+    )
+    print()
+    print("Main entry points:")
+    for name in (
+        "WormholeSimulator",
+        "lll_schedule / execute_schedule",
+        "build_hard_instance",
+        "ButterflyRouter",
+        "CutThroughSimulator / StoreForwardSimulator",
+        "circuit_switch_butterfly",
+        "ContinuousWormholeSimulator",
+    ):
+        print(f"  - repro.{name}")
+    print()
+    print("See DESIGN.md for the system inventory, EXPERIMENTS.md for results.")
+
+
+def _cmd_demo(args: argparse.Namespace) -> None:
+    from repro import Butterfly, Table, WormholeSimulator, bit_reversal_permutation
+
+    bf = Butterfly(args.n)
+    inst = bit_reversal_permutation(args.n)
+    paths = [list(r) for r in bf.path_edges_batch(inst.sources, inst.dests)]
+    table = Table(
+        f"Bit-reversal on an {args.n}-input butterfly (L={args.length})",
+        ["B", "makespan", "blocked flit steps"],
+    )
+    for B in (1, 2, 4):
+        res = WormholeSimulator(bf, B, seed=args.seed).run(paths, args.length)
+        table.add_row([B, res.makespan, res.total_blocked_steps])
+    print(table.render())
+
+
+def _cmd_butterfly(args: argparse.Namespace) -> None:
+    from repro import ButterflyRouter, Table, bounds, random_q_relation
+
+    inst = random_q_relation(args.n, args.q, np.random.default_rng(args.seed))
+    router = ButterflyRouter(
+        args.n, B=args.channels, message_length=args.length, seed=args.seed
+    )
+    out = router.route(inst)
+    table = Table(
+        f"Section 3.1 router: n={args.n}, q={args.q}, B={args.channels}, "
+        f"L={args.length}",
+        ["round", "candidates", "survivors", "remaining"],
+    )
+    for r in out.rounds:
+        table.add_row(
+            [r.round_index, r.num_candidates, r.num_survivors, r.originals_remaining]
+        )
+    print(table.render())
+    print(
+        f"total: {out.total_flit_steps} flit steps "
+        f"(Thm 3.1.1 form: "
+        f"{bounds.butterfly_upper_bound(args.length, args.q, args.n, args.channels):.0f}); "
+        f"all delivered: {out.all_delivered}"
+    )
+
+
+def _cmd_schedule(args: argparse.Namespace) -> None:
+    from repro import Table, execute_schedule, lll_schedule
+    from repro.network.random_networks import layered_network, random_walk_paths
+    from repro.routing.paths import congestion, dilation, paths_from_node_walks
+
+    rng = np.random.default_rng(args.seed)
+    net = layered_network(args.width, args.depth, 3, rng)
+    walks = random_walk_paths(net, args.width, args.depth, args.messages, rng)
+    paths = paths_from_node_walks(net, walks)
+    table = Table(
+        f"LLL schedules: C={congestion(paths)}, D={dilation(paths)}, "
+        f"L={args.length}, {args.messages} messages",
+        ["B", "classes", "makespan", "blocked"],
+    )
+    for B in (1, 2, 4):
+        build = lll_schedule(
+            paths, args.length, B=B, rng=np.random.default_rng(B), mode="direct"
+        )
+        res = execute_schedule(net, paths, build.schedule, B=B)
+        table.add_row([B, build.num_classes, res.makespan, res.total_blocked_steps])
+    print(table.render())
+
+
+def _cmd_hard_instance(args: argparse.Namespace) -> None:
+    from repro import (
+        WormholeSimulator,
+        build_hard_instance,
+        hard_instance_lower_bound,
+    )
+
+    inst = build_hard_instance(
+        C=args.congestion, D=args.dilation, B=args.channels
+    )
+    L = inst.recommended_length()
+    res = WormholeSimulator(inst.network, args.channels, seed=args.seed).run(
+        inst.paths, message_length=L
+    )
+    print(
+        f"Theorem 2.2.1 instance: M'={inst.m_prime}, M={inst.num_messages}, "
+        f"C={inst.congestion}, D={inst.dilation}, B={inst.B}, L={L}"
+    )
+    print(f"greedy routing time : {res.makespan} flit steps")
+    print(f"Omega bound (L-D)M/B: {hard_instance_lower_bound(inst, L):.0f}")
+
+
+def _cmd_spacetime(args: argparse.Namespace) -> None:
+    from repro.analysis.render import render_spacetime
+    from repro.network.random_networks import chain_bundle
+    from repro.routing.paths import paths_from_node_walks
+    from repro.sim.wormhole import WormholeSimulator
+
+    net, walks = chain_bundle(1, args.depth, args.worms)
+    paths = paths_from_node_walks(net, walks)
+    res = WormholeSimulator(net, args.channels, priority="index").run(
+        paths, message_length=args.length, record_trace=True
+    )
+    print(
+        f"{args.worms} worms (L={args.length}) sharing a {args.depth}-edge "
+        f"chain at B={args.channels}:"
+    )
+    print(
+        render_spacetime(
+            res.extra["trace"], [args.depth] * args.worms, args.length
+        )
+    )
+
+
+def _cmd_experiment(args: argparse.Namespace) -> None:
+    """Run one experiment's benchmark file and print its saved tables."""
+    import subprocess
+    import sys
+
+    bench_dir = _find_bench_dir()
+    name = args.name.lower()
+    matches = sorted(bench_dir.glob(f"test_{name}_*.py")) + sorted(
+        bench_dir.glob(f"test_{name}.py")
+    )
+    if not matches:
+        available = sorted(
+            p.stem.split("_")[1] for p in bench_dir.glob("test_*.py")
+        )
+        raise SystemExit(
+            f"no benchmark for {args.name!r}; available: {', '.join(available)}"
+        )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            *[str(m) for m in matches],
+            "--benchmark-only",
+            "-q",
+            "--benchmark-disable-gc",
+            "--no-header",
+        ],
+        cwd=bench_dir.parent,
+        capture_output=True,
+        text=True,
+    )
+    results_dir = bench_dir / "results"
+    printed = False
+    for table_file in sorted(results_dir.glob(f"{name}*.txt")):
+        print(table_file.read_text().rstrip())
+        print()
+        printed = True
+    if proc.returncode != 0:
+        print(proc.stdout[-2000:])
+        raise SystemExit("benchmark run failed")
+    if not printed:
+        print(proc.stdout[-2000:])
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> None:
+    """Run the full benchmark suite, then bundle every result table."""
+    import subprocess
+    import sys
+
+    bench_dir = _find_bench_dir()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", str(bench_dir), "--benchmark-only", "-q"],
+        cwd=bench_dir.parent,
+        capture_output=True,
+        text=True,
+    )
+    summary = next(
+        (ln for ln in reversed(proc.stdout.splitlines()) if "passed" in ln),
+        proc.stdout.strip().splitlines()[-1] if proc.stdout.strip() else "",
+    )
+    print(f"benchmark suite: {summary.strip()}")
+    if proc.returncode != 0:
+        print(proc.stdout[-3000:])
+        raise SystemExit("reproduction run failed")
+    results_dir = bench_dir / "results"
+    bundle = results_dir / "ALL_RESULTS.txt"
+    parts = []
+    for table_file in sorted(results_dir.glob("e*.txt")):
+        if table_file.name == "ALL_RESULTS.txt":
+            continue
+        parts.append(table_file.read_text().rstrip())
+    bundle.write_text("\n\n".join(parts) + "\n")
+    print(f"{len(parts)} tables bundled into {bundle}")
+
+
+def _find_bench_dir():
+    from pathlib import Path
+
+    candidates = [
+        Path(__file__).resolve().parents[2] / "benchmarks",
+        Path(__file__).resolve().parents[2].parent / "benchmarks",
+    ]
+    for c in candidates:
+        if c.is_dir():
+            return c
+    raise SystemExit("benchmarks directory not found (source checkout required)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,124 @@
+"""Wormhole routing schedules (the object Theorem 2.1.6 constructs).
+
+A schedule assigns each message a *release time*; the router injects a
+message as soon as possible after its release.  Theorem 2.1.6's schedules
+have a special structure: messages are partitioned into color classes of
+multiplex size at most ``B``, and class ``i`` is released at
+``(i - 1)(L + D - 1)`` — within a class no worm is ever blocked (at most
+``B`` same-class worms share any edge, one per virtual channel), so every
+class finishes before the next is released.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..network.graph import Network, NetworkError
+from ..routing.paths import Path, dilation
+from ..sim.stats import SimulationResult
+from ..sim.wormhole import WormholeSimulator
+
+__all__ = ["ColorClassSchedule", "execute_schedule"]
+
+
+@dataclass(frozen=True)
+class ColorClassSchedule:
+    """A release schedule derived from a message coloring.
+
+    Attributes
+    ----------
+    colors:
+        Dense color id per message (``0 .. num_classes - 1``).
+    message_length:
+        The ``L`` the schedule was built for.
+    dilation:
+        The path set's ``D``.
+    phase_length:
+        Flit steps between consecutive class releases; the canonical
+        value is the unobstructed completion time ``L + D - 1``.
+    """
+
+    colors: np.ndarray
+    message_length: int
+    dilation: int
+    phase_length: int
+
+    def __post_init__(self) -> None:
+        colors = np.asarray(self.colors)
+        if colors.size and colors.min() < 0:
+            raise NetworkError("colors must be nonnegative")
+        if self.phase_length < 1:
+            raise NetworkError("phase length must be >= 1")
+
+    @classmethod
+    def from_colors(
+        cls, colors: np.ndarray, message_length: int, D: int
+    ) -> "ColorClassSchedule":
+        """Canonical schedule: one class every ``L + D - 1`` steps."""
+        return cls(
+            colors=np.asarray(colors, dtype=np.int64),
+            message_length=int(message_length),
+            dilation=int(D),
+            phase_length=int(message_length) + int(D) - 1 if int(D) > 0 else int(message_length),
+        )
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.colors.max()) + 1 if self.colors.size else 0
+
+    @property
+    def length_bound(self) -> int:
+        """Guaranteed completion time: ``num_classes * phase_length``."""
+        return self.num_classes * self.phase_length
+
+    def release_times(self) -> np.ndarray:
+        """Per-message release flit steps (class ``i`` at ``i * phase``)."""
+        return self.colors * self.phase_length
+
+
+def execute_schedule(
+    net: Network,
+    paths: Sequence[Path] | Sequence[Sequence[int]],
+    schedule: ColorClassSchedule,
+    B: int,
+    require_unblocked: bool = True,
+    seed: int | None = 0,
+) -> SimulationResult:
+    """Run a schedule through the flit-level simulator and validate it.
+
+    With ``require_unblocked`` (the Theorem 2.1.6 guarantee) the run must
+    deliver every message with **zero** blocked steps and finish within
+    ``schedule.length_bound``; violations raise :class:`NetworkError`.
+    """
+    sim = WormholeSimulator(net, num_virtual_channels=B, seed=seed)
+    result = sim.run(
+        paths,
+        message_length=schedule.message_length,
+        release_times=schedule.release_times(),
+    )
+    if require_unblocked:
+        if not result.all_delivered:
+            raise NetworkError("schedule failed to deliver every message")
+        if result.total_blocked_steps != 0:
+            raise NetworkError(
+                f"schedule blocked for {result.total_blocked_steps} "
+                "message-steps; multiplex size must exceed B"
+            )
+        if result.makespan > schedule.length_bound:
+            raise NetworkError(
+                f"schedule overran its bound: {result.makespan} > "
+                f"{schedule.length_bound}"
+            )
+    return result
+
+
+def schedule_for_paths(
+    paths: Sequence[Path], message_length: int, colors: np.ndarray
+) -> ColorClassSchedule:
+    """Convenience: canonical schedule with ``D`` measured from ``paths``."""
+    return ColorClassSchedule.from_colors(
+        colors, message_length, dilation(paths)
+    )

@@ -1,0 +1,36 @@
+"""Topology substrate: networks the paper's algorithms run on."""
+
+from .benes import Benes, looping_assignment, waksman_paths
+from .butterfly import Butterfly, is_power_of_two, wrapped_butterfly
+from .debruijn import DeBruijn, ShuffleExchange, debruijn_path
+from .graph import EdgeView, Network, NetworkError
+from .hypercube import Hypercube, bit_fixing_path
+from .mesh import KAryNCube, dimension_order_path
+from .multibutterfly import Multibutterfly
+from .random_networks import chain_bundle, layered_network, random_walk_paths
+from .tree import CompleteTree, tree_path
+
+__all__ = [
+    "Benes",
+    "Butterfly",
+    "CompleteTree",
+    "DeBruijn",
+    "EdgeView",
+    "Hypercube",
+    "KAryNCube",
+    "Multibutterfly",
+    "Network",
+    "NetworkError",
+    "ShuffleExchange",
+    "bit_fixing_path",
+    "chain_bundle",
+    "debruijn_path",
+    "dimension_order_path",
+    "is_power_of_two",
+    "layered_network",
+    "looping_assignment",
+    "random_walk_paths",
+    "tree_path",
+    "waksman_paths",
+    "wrapped_butterfly",
+]

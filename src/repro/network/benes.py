@@ -1,0 +1,233 @@
+"""Benes networks and Waksman's permutation-routing algorithm.
+
+A Benes network is two back-to-back butterflies (Section 1.3.3).  Beizer
+and Benes showed that edge-disjoint paths exist between the inputs and the
+outputs for *any* permutation, and Waksman gave a linear-time algorithm
+(the "looping" algorithm) to find them.  Used for wormhole routing, the
+switch settings route any permutation of ``n`` ``L``-flit messages in
+``O(L + log n)`` flit steps because no two worms ever share an edge.
+
+Structure used here: an ``n``-input Benes network has ``2 log n + 1``
+levels of ``n`` nodes.  The cross edges leaving level ``l`` flip
+
+* bit ``l`` for ``l < log n`` (ascending), and
+* bit ``2 log n - 1 - l`` for ``l >= log n`` (descending),
+
+so the outermost edge-levels (0 and ``2 log n - 1``) pair columns ``2i``
+and ``2i + 1`` into 2x2 switches and the middle levels form two disjoint
+``n/2``-input Benes subnetworks on the even / odd columns — exactly the
+recursive shape Waksman's algorithm exploits.
+
+Node and edge id formulas match :class:`repro.network.butterfly.Butterfly`:
+node ``(w, l)`` is ``l * n + w``; the straight/cross edges out of
+``(w, l)`` are ``2 n l + 2 w`` and ``2 n l + 2 w + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .butterfly import is_power_of_two
+from .graph import Network, NetworkError
+
+__all__ = ["Benes", "waksman_paths", "looping_assignment"]
+
+
+@dataclass
+class Benes:
+    """Arithmetic model of an ``n``-input Benes network."""
+
+    n: int
+    log_n: int = field(init=False)
+    depth: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n) or self.n < 2:
+            raise NetworkError(f"Benes needs a power-of-two n >= 2, got {self.n}")
+        self.log_n = self.n.bit_length() - 1
+        self.depth = 2 * self.log_n
+
+    @property
+    def num_levels(self) -> int:
+        return self.depth + 1
+
+    @property
+    def num_nodes(self) -> int:
+        return self.n * self.num_levels
+
+    @property
+    def num_edges(self) -> int:
+        return 2 * self.n * self.depth
+
+    def cross_bit(self, level: int) -> int:
+        """Weight exponent of the bit flipped by cross edges leaving ``level``."""
+        if not 0 <= level < self.depth:
+            raise NetworkError(f"no edge-level {level}")
+        return level if level < self.log_n else self.depth - 1 - level
+
+    def node(self, column: int, level: int) -> int:
+        if not (0 <= column < self.n and 0 <= level <= self.depth):
+            raise NetworkError(f"no node (column={column}, level={level})")
+        return level * self.n + column
+
+    def edge(self, column: int, level: int, cross: bool) -> int:
+        if not (0 <= column < self.n and 0 <= level < self.depth):
+            raise NetworkError(f"no edge out of (column={column}, level={level})")
+        return 2 * self.n * level + 2 * column + (1 if cross else 0)
+
+    def to_network(self) -> Network:
+        """Materialize as a :class:`Network` with ``(column, level)`` labels."""
+        net = Network(name=f"benes(n={self.n})")
+        for level in range(self.num_levels):
+            for w in range(self.n):
+                net.add_node((w, level))
+        for level in range(self.depth):
+            bit = 1 << self.cross_bit(level)
+            for w in range(self.n):
+                net.add_edge(self.node(w, level), self.node(w, level + 1))
+                net.add_edge(self.node(w, level), self.node(w ^ bit, level + 1))
+        return net
+
+    def columns_to_edges(self, columns: np.ndarray) -> np.ndarray:
+        """Convert per-level column paths, shape ``(m, depth+1)``, to edge ids."""
+        cols = np.asarray(columns, dtype=np.int64)
+        if cols.ndim != 2 or cols.shape[1] != self.num_levels:
+            raise NetworkError(
+                f"columns must have shape (m, {self.num_levels}), got {cols.shape}"
+            )
+        tails = cols[:, :-1]
+        heads = cols[:, 1:]
+        levels = np.arange(self.depth, dtype=np.int64)[None, :]
+        cross = (tails != heads).astype(np.int64)
+        return 2 * self.n * levels + 2 * tails + cross
+
+
+def looping_assignment(perm: np.ndarray) -> np.ndarray:
+    """Assign each input to the upper (0) or lower (1) subnetwork.
+
+    This is the core step of Waksman's algorithm.  Constraints: inputs
+    ``2i`` and ``2i+1`` (same input switch) must use different subnetworks,
+    and so must the two inputs destined for outputs ``2o`` and ``2o+1``
+    (same output switch).  The constraint graph is a union of two perfect
+    matchings, hence a disjoint union of even cycles, so a valid 2-coloring
+    always exists; we find it by walking each cycle once ("looping").
+
+    Parameters
+    ----------
+    perm:
+        A permutation of ``range(n)`` with ``n`` even.
+
+    Returns
+    -------
+    ``int8`` array ``s`` with ``s[x]`` the subnetwork of input ``x``.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    n = perm.size
+    if n % 2 != 0:
+        raise NetworkError(f"looping assignment needs even n, got {n}")
+    if not np.array_equal(np.sort(perm), np.arange(n)):
+        raise NetworkError("perm is not a permutation")
+    # co_partner[x] = the input sharing x's *output* switch.
+    inv = np.empty(n, dtype=np.int64)
+    inv[perm] = np.arange(n)
+    co_partner = inv[perm ^ 1]
+    sub = np.full(n, -1, dtype=np.int8)
+    for start in range(n):
+        if sub[start] >= 0:
+            continue
+        x, s = start, 0
+        while sub[x] < 0:
+            sub[x] = s
+            partner = x ^ 1  # same input switch -> opposite subnetwork
+            sub[partner] = 1 - s
+            x = co_partner[partner]  # same output switch -> opposite again
+            s = 1 - sub[partner]
+        # The walk always closes the cycle back at `start` consistently
+        # because the constraint graph's cycles alternate matchings.
+    return sub
+
+
+def waksman_paths(perm: np.ndarray) -> np.ndarray:
+    """Edge-disjoint Benes paths realizing ``perm`` (Waksman's algorithm).
+
+    Parameters
+    ----------
+    perm:
+        Permutation of ``range(n)``; message ``x`` travels from input
+        column ``x`` to output column ``perm[x]``.  ``n`` must be a power
+        of two, ``n >= 2``.
+
+    Returns
+    -------
+    ``int64`` array of shape ``(n, 2 log n + 1)``: row ``x`` lists the
+    column occupied by message ``x`` at each level.  Rows describe
+    pairwise edge-disjoint paths through :class:`Benes`.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    n = perm.size
+    if not is_power_of_two(n) or n < 2:
+        raise NetworkError(f"waksman_paths needs a power-of-two n >= 2, got {n}")
+    if not np.array_equal(np.sort(perm), np.arange(n)):
+        raise NetworkError("perm is not a permutation")
+    log_n = n.bit_length() - 1
+    columns = np.empty((n, 2 * log_n + 1), dtype=np.int64)
+    columns[:, 0] = np.arange(n)
+    _route_recursive(perm, columns, np.arange(n), 0)
+    return columns
+
+
+def _route_recursive(
+    perm: np.ndarray, columns: np.ndarray, rows: np.ndarray, depth: int
+) -> None:
+    """Fill ``columns[rows, depth : 2(log n)+1-depth]`` for sub-perm ``perm``.
+
+    ``rows`` maps sub-input index -> row of the top-level ``columns``
+    matrix; ``depth`` is the recursion depth (how many outer level-pairs
+    have been fixed).  At recursion depth ``d`` the subnetwork spans global
+    levels ``d .. 2 log n - d`` and columns are built from the *high* bits:
+    the global column equals ``(subcolumn << d) | fixed_low_bits``, and the
+    low bits are already recorded in ``columns[:, d]``.
+    """
+    n = perm.size
+    total_levels = columns.shape[1]
+    if n == 2:
+        # Base case: two edge-levels crossing the same bit.  Cross at the
+        # first level if needed, go straight at the second.
+        lo_mask = (1 << depth) - 1
+        for i in range(2):
+            row = rows[i]
+            low = int(columns[row, depth]) & lo_mask
+            dest_col = (int(perm[i]) << depth) | low
+            columns[row, depth + 1] = dest_col
+            columns[row, depth + 2] = dest_col
+        return
+
+    sub = looping_assignment(perm)
+    half = n // 2
+    sub_perm = np.empty((2, half), dtype=np.int64)
+    sub_rows = np.empty((2, half), dtype=np.int64)
+    for x in range(n):
+        s = int(sub[x])
+        in_switch = x >> 1
+        out_switch = int(perm[x]) >> 1
+        sub_perm[s, in_switch] = out_switch
+        sub_rows[s, in_switch] = rows[x]
+        # Entering edge-level `depth`: set the cross bit (global bit
+        # `depth`) of the column to the subnetwork id.
+        row = rows[x]
+        col = int(columns[row, depth])
+        bit = 1 << depth
+        columns[row, depth + 1] = (col & ~bit) | (s << depth)
+    for s in range(2):
+        _route_recursive(sub_perm[s], columns, sub_rows[s], depth + 1)
+    # Leaving edge-level ``2 log n - 1 - depth``: restore bit `depth` to the
+    # destination's bit.
+    exit_level = total_levels - 1 - depth
+    bit = 1 << depth
+    for x in range(n):
+        row = rows[x]
+        col = int(columns[row, exit_level - 1])
+        dest_bit = int(perm[x]) & 1
+        columns[row, exit_level] = (col & ~bit) | (dest_bit << depth)

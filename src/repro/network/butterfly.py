@@ -1,0 +1,279 @@
+"""Butterfly networks (Section 1.2 of the paper, Fig. 1).
+
+An ``n``-input butterfly has ``n (log n + 1)`` nodes arranged in
+``log n + 1`` levels of ``n`` nodes each.  A node is labelled ``(w, i)``
+where ``i`` is its level and ``w`` its column (a ``log n``-bit number).
+Nodes ``(w, i)`` and ``(w', i+1)`` are linked iff ``w == w'`` (a *straight*
+edge) or ``w`` and ``w'`` differ exactly in bit position ``i+1`` (a *cross*
+edge).  We number bit positions 1..log n from the least-significant bit, so
+the cross edge leaving level ``i`` flips the bit of weight ``2**i``.
+
+This module provides:
+
+* :class:`Butterfly` — an arithmetic view with O(1) node/edge id formulas,
+  used by the vectorized Section 3 algorithms.  It generalizes to
+
+  - *truncated* butterflies (first ``depth`` levels only, Section 3.2), and
+  - *cascades* of ``passes`` back-to-back butterflies sharing boundary
+    levels, which is the unrolled form of routing ``passes`` times through
+    a wrap-around butterfly (the two-pass route of Fig. 2 lives in a
+    cascade with ``passes=2``).
+
+* :func:`wrapped_butterfly` — the wrap-around variant where level
+  ``log n`` is identified with level 0 (Section 1.2).
+
+All node and edge ids follow closed forms so that path enumeration never
+touches per-node Python objects:
+
+* node id of ``(w, i)`` is ``i * n + w``;
+* the edges from level ``i`` to ``i+1`` occupy ids ``[2 n i, 2 n (i+1))``,
+  with the straight edge out of column ``w`` at ``2 n i + 2 w`` and the
+  cross edge at ``2 n i + 2 w + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .graph import Network, NetworkError
+
+__all__ = ["Butterfly", "wrapped_butterfly", "is_power_of_two"]
+
+
+def is_power_of_two(n: int) -> bool:
+    """True iff ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass
+class Butterfly:
+    """Arithmetic model of an ``n``-input butterfly cascade.
+
+    Parameters
+    ----------
+    n:
+        Number of inputs; must be a power of two with ``n >= 2``.
+    depth:
+        Number of edge-levels.  Defaults to ``passes * log2(n)``.  Values
+        smaller than ``log2(n)`` give the *truncated* butterfly of
+        Section 3.2; values larger than ``log2(n)`` unroll repeated passes
+        (the cross edge at level ``i`` flips bit ``i mod log2(n)``).
+    passes:
+        Convenience for ``depth = passes * log2(n)``; ignored when
+        ``depth`` is given explicitly.
+    """
+
+    n: int
+    depth: int | None = None
+    passes: int = 1
+    log_n: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n) or self.n < 2:
+            raise NetworkError(f"butterfly needs a power-of-two n >= 2, got {self.n}")
+        if self.passes < 1:
+            raise NetworkError(f"passes must be >= 1, got {self.passes}")
+        self.log_n = self.n.bit_length() - 1
+        if self.depth is None:
+            self.depth = self.passes * self.log_n
+        if self.depth < 1:
+            raise NetworkError(f"depth must be >= 1, got {self.depth}")
+
+    # ------------------------------------------------------------------
+    # sizes and id formulas
+    # ------------------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        """Number of node-levels (``depth + 1``)."""
+        return self.depth + 1
+
+    @property
+    def num_nodes(self) -> int:
+        return self.n * self.num_levels
+
+    @property
+    def num_edges(self) -> int:
+        return 2 * self.n * self.depth
+
+    def node(self, column: int, level: int) -> int:
+        """Node id of ``(column, level)``."""
+        if not (0 <= column < self.n and 0 <= level <= self.depth):
+            raise NetworkError(f"no node (column={column}, level={level})")
+        return level * self.n + column
+
+    def column_of(self, node: int) -> int:
+        return node % self.n
+
+    def level_of(self, node: int) -> int:
+        return node // self.n
+
+    def cross_bit(self, level: int) -> int:
+        """Weight exponent of the bit flipped by cross edges leaving ``level``."""
+        return level % self.log_n
+
+    def edge(self, column: int, level: int, cross: bool) -> int:
+        """Edge id leaving ``(column, level)``; ``cross`` selects the cross edge."""
+        if not (0 <= column < self.n and 0 <= level < self.depth):
+            raise NetworkError(f"no edge out of (column={column}, level={level})")
+        return 2 * self.n * level + 2 * column + (1 if cross else 0)
+
+    def edge_endpoints(self, edge_id: int) -> tuple[int, int]:
+        """(tail node id, head node id) of ``edge_id``."""
+        if not 0 <= edge_id < self.num_edges:
+            raise NetworkError(f"edge id {edge_id} out of range")
+        level, rest = divmod(edge_id, 2 * self.n)
+        column, cross = divmod(rest, 2)
+        tail = self.node(column, level)
+        head_col = column ^ (1 << self.cross_bit(level)) if cross else column
+        return tail, self.node(head_col, level + 1)
+
+    # ------------------------------------------------------------------
+    # greedy (bit-fixing) paths
+    # ------------------------------------------------------------------
+    def path_columns(self, src_col: int, dst_col: int) -> np.ndarray:
+        """Columns visited when bit-fixing from ``src_col`` to ``dst_col``.
+
+        Entry ``i`` is the column at level ``i``.  At each level the bit of
+        weight ``2**cross_bit(level)`` is set to the destination's bit; this
+        is the unique input-to-output path of a single-pass butterfly.  For
+        cascades the same greedy rule is applied per pass, which makes
+        levels ``>= log n`` already agree with ``dst_col`` once every bit
+        has been fixed at least once.
+        """
+        cols = self.path_columns_batch(
+            np.asarray([src_col], dtype=np.int64),
+            np.asarray([dst_col], dtype=np.int64),
+        )
+        return cols[0]
+
+    def path_columns_batch(
+        self, src_cols: np.ndarray, dst_cols: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`path_columns` for message batches.
+
+        Parameters are ``int64`` arrays of shape ``(m,)``; the result has
+        shape ``(m, depth + 1)``.
+        """
+        src = np.asarray(src_cols, dtype=np.int64)
+        dst = np.asarray(dst_cols, dtype=np.int64)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise NetworkError("src_cols and dst_cols must be equal-shape 1-d arrays")
+        if src.size and (
+            src.min() < 0 or src.max() >= self.n or dst.min() < 0 or dst.max() >= self.n
+        ):
+            raise NetworkError("column out of range")
+        cols = np.empty((src.size, self.num_levels), dtype=np.int64)
+        cols[:, 0] = src
+        cur = src.copy()
+        for level in range(self.depth):
+            bit = np.int64(1 << self.cross_bit(level))
+            cur = (cur & ~bit) | (dst & bit)
+            cols[:, level + 1] = cur
+        return cols
+
+    def path_edges_batch(
+        self, src_cols: np.ndarray, dst_cols: np.ndarray
+    ) -> np.ndarray:
+        """Edge ids of the greedy paths, shape ``(m, depth)`` (vectorized)."""
+        cols = self.path_columns_batch(src_cols, dst_cols)
+        tails = cols[:, :-1]
+        heads = cols[:, 1:]
+        levels = np.arange(self.depth, dtype=np.int64)[None, :]
+        cross = (tails != heads).astype(np.int64)
+        return 2 * self.n * levels + 2 * tails + cross
+
+    def path_edges(self, src_col: int, dst_col: int) -> np.ndarray:
+        """Edge ids of the single greedy path from ``src_col`` to ``dst_col``."""
+        return self.path_edges_batch(
+            np.asarray([src_col], dtype=np.int64),
+            np.asarray([dst_col], dtype=np.int64),
+        )[0]
+
+    def two_pass_path_edges_batch(
+        self, src_cols: np.ndarray, mid_cols: np.ndarray, dst_cols: np.ndarray
+    ) -> np.ndarray:
+        """Edge ids of two-pass (Fig. 2) routes in a ``passes>=2`` cascade.
+
+        Pass 1 bit-fixes from ``src`` to the random intermediate column
+        ``mid`` over levels ``[0, log n)``; pass 2 bit-fixes from ``mid`` to
+        ``dst`` over levels ``[log n, 2 log n)``.  Requires
+        ``depth == 2 log n``.
+        """
+        if self.depth != 2 * self.log_n:
+            raise NetworkError(
+                "two-pass paths need a cascade with depth == 2 log n "
+                f"(depth={self.depth}, log n={self.log_n})"
+            )
+        src = np.asarray(src_cols, dtype=np.int64)
+        mid = np.asarray(mid_cols, dtype=np.int64)
+        dst = np.asarray(dst_cols, dtype=np.int64)
+        first = self.path_edges_batch(src, mid)[:, : self.log_n]
+        # Pass 2 uses the same per-level bit order shifted by log n levels.
+        second_cols = Butterfly(self.n).path_columns_batch(mid, dst)
+        tails = second_cols[:, :-1]
+        heads = second_cols[:, 1:]
+        levels = self.log_n + np.arange(self.log_n, dtype=np.int64)[None, :]
+        cross = (tails != heads).astype(np.int64)
+        second = 2 * self.n * levels + 2 * tails + cross
+        return np.concatenate([first, second], axis=1)
+
+    # ------------------------------------------------------------------
+    # materialization
+    # ------------------------------------------------------------------
+    def to_network(self) -> Network:
+        """Materialize as a :class:`Network` with ``(column, level)`` labels.
+
+        Node and edge ids in the returned network coincide with this
+        class's arithmetic formulas, so paths computed arithmetically can
+        be fed straight to the flit-level simulators.
+        """
+        net = Network(name=f"butterfly(n={self.n}, depth={self.depth})")
+        for level in range(self.num_levels):
+            for w in range(self.n):
+                net.add_node((w, level))
+        for level in range(self.depth):
+            bit = 1 << self.cross_bit(level)
+            for w in range(self.n):
+                net.add_edge(self.node(w, level), self.node(w, level + 1))
+                net.add_edge(self.node(w, level), self.node(w ^ bit, level + 1))
+        return net
+
+    def inputs(self) -> np.ndarray:
+        """Node ids of the level-0 inputs."""
+        return np.arange(self.n, dtype=np.int64)
+
+    def outputs(self) -> np.ndarray:
+        """Node ids of the last level."""
+        return self.depth * self.n + np.arange(self.n, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Butterfly(n={self.n}, depth={self.depth})"
+
+
+def wrapped_butterfly(n: int) -> Network:
+    """Wrap-around butterfly: level ``log n`` identified with level 0.
+
+    The result has ``n log n`` nodes labelled ``(w, i)`` for
+    ``0 <= i < log n`` and ``2 n log n`` directed edges; the edges leaving
+    level ``log n - 1`` re-enter level 0 (Section 1.2: "the butterfly is
+    said to wrap around").
+    """
+    if not is_power_of_two(n) or n < 2:
+        raise NetworkError(f"butterfly needs a power-of-two n >= 2, got {n}")
+    log_n = n.bit_length() - 1
+    net = Network(name=f"wrapped_butterfly(n={n})")
+    for level in range(log_n):
+        for w in range(n):
+            net.add_node((w, level))
+
+    def node(w: int, level: int) -> int:
+        return (level % log_n) * n + w
+
+    for level in range(log_n):
+        bit = 1 << (level % log_n)
+        for w in range(n):
+            net.add_edge(node(w, level), node(w, level + 1))
+            net.add_edge(node(w, level), node(w ^ bit, level + 1))
+    return net

@@ -1,0 +1,97 @@
+"""de Bruijn and shuffle-exchange networks (Section 1.3.4).
+
+Cypher [11] designed minimal deadlock-free wormhole algorithms for these
+hypercubic networks; we provide the topologies plus the canonical
+shift-register routes of the de Bruijn graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .butterfly import is_power_of_two
+from .graph import Network, NetworkError
+
+__all__ = ["DeBruijn", "ShuffleExchange", "debruijn_path"]
+
+
+@dataclass
+class DeBruijn:
+    """The binary de Bruijn graph on ``n = 2**d`` nodes.
+
+    Node ``u`` has directed edges to ``(2u) mod n`` and ``(2u + 1) mod n``
+    (shift in a 0 or a 1).  Any node reaches any other in at most ``d``
+    hops by shifting in the destination's bits.
+    """
+
+    n: int
+    network: Network = field(init=False)
+    dimension: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n) or self.n < 4:
+            raise NetworkError(f"de Bruijn needs a power-of-two n >= 4, got {self.n}")
+        self.dimension = self.n.bit_length() - 1
+        net = Network(name=f"debruijn(n={self.n})")
+        for u in range(self.n):
+            net.add_node(u)
+        for u in range(self.n):
+            for b in range(2):
+                v = (2 * u + b) % self.n
+                if v != u:  # skip the self-loops at 0...0 and 1...1
+                    net.add_edge(u, v)
+        self.network = net
+
+
+def debruijn_path(src: int, dst: int, dimension: int) -> list[int]:
+    """Shift-register route from ``src`` to ``dst`` (``dimension`` hops max).
+
+    Successively shifts in the bits of ``dst`` from most to least
+    significant; stops early if an intermediate state already equals a
+    suffix-aligned ``dst``.  Repeated nodes caused by the skipped
+    self-loops are collapsed.
+    """
+    n = 1 << dimension
+    if not (0 <= src < n and 0 <= dst < n):
+        raise NetworkError("src/dst out of range for dimension")
+    nodes = [src]
+    cur = src
+    for j in range(dimension - 1, -1, -1):
+        bit = (dst >> j) & 1
+        nxt = ((2 * cur) % n + bit) % n
+        if nxt != cur:
+            nodes.append(nxt)
+            cur = nxt
+    if cur != dst:  # only possible when every shift was a self-loop collapse
+        raise NetworkError("shift routing failed to reach destination")
+    return nodes
+
+
+@dataclass
+class ShuffleExchange:
+    """The binary shuffle-exchange graph on ``n = 2**d`` nodes.
+
+    Node ``u`` has a *shuffle* edge to ``rotate_left(u)`` and an
+    *exchange* edge to ``u ^ 1``, both directed variants included.
+    """
+
+    n: int
+    network: Network = field(init=False)
+    dimension: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n) or self.n < 4:
+            raise NetworkError(
+                f"shuffle-exchange needs a power-of-two n >= 4, got {self.n}"
+            )
+        self.dimension = self.n.bit_length() - 1
+        net = Network(name=f"shuffle_exchange(n={self.n})")
+        for u in range(self.n):
+            net.add_node(u)
+        high = 1 << (self.dimension - 1)
+        for u in range(self.n):
+            shuffled = ((u & ~high) << 1) | (u >> (self.dimension - 1))
+            if shuffled != u:
+                net.add_edge(u, shuffled)
+            net.add_edge(u, u ^ 1)
+        self.network = net

@@ -1,0 +1,59 @@
+"""Hypercube networks (Section 1.3.4).
+
+An ``n``-node hypercube (``n`` a power of two) links node ``u`` to
+``u ^ 2**j`` for every bit ``j``.  Aiello et al. [1] route any permutation
+of ``L``-flit messages on it in ``O(L + log n)`` flit steps using a small
+constant number of virtual channels; we provide the topology and the
+greedy bit-fixing paths used as inputs to the generic simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .butterfly import is_power_of_two
+from .graph import Network, NetworkError
+
+__all__ = ["Hypercube", "bit_fixing_path"]
+
+
+@dataclass
+class Hypercube:
+    """An ``n``-node hypercube; node labels are the integers themselves."""
+
+    n: int
+    network: Network = field(init=False)
+    dimension: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n) or self.n < 2:
+            raise NetworkError(f"hypercube needs a power-of-two n >= 2, got {self.n}")
+        self.dimension = self.n.bit_length() - 1
+        net = Network(name=f"hypercube(n={self.n})")
+        for u in range(self.n):
+            net.add_node(u)
+        for u in range(self.n):
+            for j in range(self.dimension):
+                v = u ^ (1 << j)
+                if u < v:
+                    net.add_bidirectional_edge(u, v)
+        self.network = net
+
+
+def bit_fixing_path(src: int, dst: int, dimension: int) -> list[int]:
+    """Greedy bit-fixing route from ``src`` to ``dst`` as a node-id list.
+
+    Bits are corrected from least to most significant; this is the
+    canonical oblivious hypercube route (and the building block of
+    Valiant's two-phase scheme).
+    """
+    if not 0 <= src < (1 << dimension) or not 0 <= dst < (1 << dimension):
+        raise NetworkError("src/dst out of range for dimension")
+    nodes = [src]
+    cur = src
+    for j in range(dimension):
+        bit = 1 << j
+        if (cur ^ dst) & bit:
+            cur ^= bit
+            nodes.append(cur)
+    return nodes

@@ -1,0 +1,88 @@
+"""Tree networks (Section 1.3.4).
+
+Complete ``b``-ary trees with bidirectional channels.  Ranade, Schleimer
+and Wilkerson [41] gave offline wormhole schedules of length
+``O(LC + D)`` on trees; the unique tree routes make trees a convenient
+worst-case substrate (congestion concentrates at the root).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .graph import Network, NetworkError
+
+__all__ = ["CompleteTree", "tree_path"]
+
+
+@dataclass
+class CompleteTree:
+    """A complete ``arity``-ary tree of the given ``height``.
+
+    Node ids follow the standard heap layout: the root is 0 and the
+    children of node ``v`` are ``arity * v + 1 .. arity * v + arity``.
+    ``height`` counts edge-levels, so the tree has
+    ``(arity**(height+1) - 1) / (arity - 1)`` nodes.
+    """
+
+    arity: int
+    height: int
+    network: Network = field(init=False)
+    num_nodes: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.arity < 2:
+            raise NetworkError(f"arity must be >= 2, got {self.arity}")
+        if self.height < 1:
+            raise NetworkError(f"height must be >= 1, got {self.height}")
+        self.num_nodes = (self.arity ** (self.height + 1) - 1) // (self.arity - 1)
+        net = Network(name=f"tree(arity={self.arity}, height={self.height})")
+        for v in range(self.num_nodes):
+            net.add_node(v)
+        for v in range(1, self.num_nodes):
+            net.add_bidirectional_edge(self.parent(v), v)
+        self.network = net
+
+    def parent(self, v: int) -> int:
+        """Parent of node ``v`` (root has no parent)."""
+        if not 0 < v < self.num_nodes:
+            raise NetworkError(f"node {v} has no parent")
+        return (v - 1) // self.arity
+
+    def depth(self, v: int) -> int:
+        """Edge-distance from the root."""
+        if not 0 <= v < self.num_nodes:
+            raise NetworkError(f"node id {v} out of range")
+        d = 0
+        while v > 0:
+            v = (v - 1) // self.arity
+            d += 1
+        return d
+
+    def leaves(self) -> range:
+        """Node ids of the deepest level."""
+        first = (self.arity**self.height - 1) // (self.arity - 1)
+        return range(first, self.num_nodes)
+
+
+def tree_path(tree: CompleteTree, src: int, dst: int) -> list[int]:
+    """The unique tree route from ``src`` to ``dst`` as a node-id list."""
+    up: list[int] = [src]
+    down: list[int] = [dst]
+    a, b = src, dst
+    da, db = tree.depth(a), tree.depth(b)
+    while da > db:
+        a = tree.parent(a)
+        up.append(a)
+        da -= 1
+    while db > da:
+        b = tree.parent(b)
+        down.append(b)
+        db -= 1
+    while a != b:
+        a = tree.parent(a)
+        up.append(a)
+        b = tree.parent(b)
+        down.append(b)
+    # `up` ends at the meeting node which `down` also contains; drop the dup.
+    return up + down[-2::-1]

@@ -1,0 +1,179 @@
+"""Paths, congestion, and dilation (Section 1.1).
+
+The paper decouples *path selection* from *scheduling* and expresses every
+bound in terms of two properties of the chosen path set:
+
+* the **congestion** ``C`` — the maximum number of messages traversing any
+  single edge, and
+* the **dilation** ``D`` — the length of the longest path.
+
+This module provides the :class:`Path` value type (a node walk with its
+edge ids resolved against a :class:`~repro.network.graph.Network`) and the
+measurement helpers used throughout the scheduler, the simulators, and the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..network.graph import Network, NetworkError
+
+__all__ = [
+    "Path",
+    "paths_from_node_walks",
+    "congestion",
+    "dilation",
+    "edge_loads",
+    "check_edge_simple",
+    "PathSetStats",
+    "path_set_stats",
+]
+
+
+@dataclass(frozen=True)
+class Path:
+    """A directed walk through a network, resolved to edge ids.
+
+    Attributes
+    ----------
+    nodes:
+        The visited node ids, source first.  A path with a single node has
+        no edges (source == destination) and is permitted — such messages
+        are delivered without entering the network.
+    edges:
+        The edge ids traversed, ``len(nodes) - 1`` of them.
+    """
+
+    nodes: tuple[int, ...]
+    edges: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) == 0:
+            raise NetworkError("a path must visit at least one node")
+        if len(self.edges) != len(self.nodes) - 1:
+            raise NetworkError(
+                f"path with {len(self.nodes)} nodes must have "
+                f"{len(self.nodes) - 1} edges, got {len(self.edges)}"
+            )
+
+    @property
+    def source(self) -> int:
+        return self.nodes[0]
+
+    @property
+    def destination(self) -> int:
+        return self.nodes[-1]
+
+    @property
+    def length(self) -> int:
+        """Number of edges traversed (the path's dilation contribution)."""
+        return len(self.edges)
+
+    def is_edge_simple(self) -> bool:
+        """True iff no edge is traversed more than once (Section 1.3.1)."""
+        return len(set(self.edges)) == len(self.edges)
+
+    @classmethod
+    def from_nodes(cls, net: Network, nodes: Sequence[int]) -> "Path":
+        """Resolve a node walk against ``net``.
+
+        Raises :class:`NetworkError` if any consecutive pair is not linked.
+        """
+        edges = []
+        for u, v in zip(nodes[:-1], nodes[1:]):
+            e = net.edge_between(u, v)
+            if e is None:
+                raise NetworkError(f"no edge from node {u} to node {v}")
+            edges.append(e)
+        return cls(tuple(int(v) for v in nodes), tuple(edges))
+
+    @classmethod
+    def from_edges(cls, net: Network, edges: Sequence[int]) -> "Path":
+        """Build a path from consecutive edge ids, validating continuity."""
+        if len(edges) == 0:
+            raise NetworkError("from_edges needs at least one edge")
+        nodes = [net.tail(edges[0])]
+        for e in edges:
+            if net.tail(e) != nodes[-1]:
+                raise NetworkError(
+                    f"edge {e} does not continue from node {nodes[-1]}"
+                )
+            nodes.append(net.head(e))
+        return cls(tuple(nodes), tuple(int(e) for e in edges))
+
+
+def paths_from_node_walks(
+    net: Network, walks: Iterable[Sequence[int]]
+) -> list[Path]:
+    """Vector version of :meth:`Path.from_nodes`."""
+    return [Path.from_nodes(net, walk) for walk in walks]
+
+
+def edge_loads(paths: Iterable[Path], num_edges: int | None = None) -> np.ndarray:
+    """Per-edge message counts.
+
+    If ``num_edges`` is omitted the array is sized to the largest edge id
+    seen plus one (empty path sets give a zero-length array).
+    """
+    counts: Counter[int] = Counter()
+    for p in paths:
+        counts.update(p.edges)
+    if num_edges is None:
+        num_edges = max(counts) + 1 if counts else 0
+    loads = np.zeros(num_edges, dtype=np.int64)
+    for e, c in counts.items():
+        loads[e] = c
+    return loads
+
+
+def congestion(paths: Iterable[Path]) -> int:
+    """The congestion ``C``: maximum number of messages over any edge."""
+    loads = edge_loads(paths)
+    return int(loads.max()) if loads.size else 0
+
+
+def dilation(paths: Iterable[Path]) -> int:
+    """The dilation ``D``: length of the longest path."""
+    return max((p.length for p in paths), default=0)
+
+
+def check_edge_simple(paths: Iterable[Path]) -> None:
+    """Raise :class:`NetworkError` unless every path is edge-simple.
+
+    The Theorem 2.1.6 schedule (like the O(C+D) store-and-forward result
+    it builds on) requires edge-simple paths.
+    """
+    for i, p in enumerate(paths):
+        if not p.is_edge_simple():
+            raise NetworkError(f"path {i} traverses an edge twice")
+
+
+@dataclass(frozen=True)
+class PathSetStats:
+    """Summary of a path set in the paper's parameters."""
+
+    num_messages: int
+    congestion: int
+    dilation: int
+    total_path_length: int
+
+    @property
+    def mean_path_length(self) -> float:
+        if self.num_messages == 0:
+            return 0.0
+        return self.total_path_length / self.num_messages
+
+
+def path_set_stats(paths: Sequence[Path]) -> PathSetStats:
+    """Compute ``C``, ``D`` and size statistics for a path set."""
+    return PathSetStats(
+        num_messages=len(paths),
+        congestion=congestion(paths),
+        dilation=dilation(paths),
+        total_path_length=sum(p.length for p in paths),
+    )

@@ -1,0 +1,138 @@
+"""Routing-problem generators (Section 1.2).
+
+The paper studies two canonical problems on the butterfly:
+
+* the **q-relation**: at most ``q`` messages originate at each input and
+  at most ``q`` messages are destined for each output (``q = 1`` is
+  permutation routing), and
+* the **random routing problem with q messages per input**: each of the
+  ``q`` messages at each input picks a uniformly random output.
+
+These generators are topology-agnostic: they produce ``(source, dest)``
+index pairs over ``n`` inputs / outputs, which the topology modules then
+turn into paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "RoutingInstance",
+    "random_permutation",
+    "random_q_relation",
+    "random_destinations",
+    "transpose_permutation",
+    "bit_reversal_permutation",
+    "is_q_relation",
+]
+
+
+@dataclass(frozen=True)
+class RoutingInstance:
+    """A set of (source, destination) demands over ``n`` endpoints.
+
+    ``sources[i]`` and ``dests[i]`` give message ``i``'s input and output
+    index in ``[0, n)``.
+    """
+
+    n: int
+    sources: np.ndarray
+    dests: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.sources.shape != self.dests.shape or self.sources.ndim != 1:
+            raise ValueError("sources and dests must be equal-length 1-d arrays")
+        for name, arr in (("sources", self.sources), ("dests", self.dests)):
+            if arr.size and (arr.min() < 0 or arr.max() >= self.n):
+                raise ValueError(f"{name} contains indices outside [0, {self.n})")
+
+    @property
+    def num_messages(self) -> int:
+        return int(self.sources.size)
+
+    def max_per_source(self) -> int:
+        """Largest number of messages originating at one input."""
+        if self.num_messages == 0:
+            return 0
+        return int(np.bincount(self.sources, minlength=self.n).max())
+
+    def max_per_dest(self) -> int:
+        """Largest number of messages destined for one output."""
+        if self.num_messages == 0:
+            return 0
+        return int(np.bincount(self.dests, minlength=self.n).max())
+
+
+def is_q_relation(inst: RoutingInstance, q: int) -> bool:
+    """True iff ``inst`` is a q-relation (Section 1.2)."""
+    return inst.max_per_source() <= q and inst.max_per_dest() <= q
+
+
+def random_permutation(n: int, rng: np.random.Generator) -> RoutingInstance:
+    """A uniformly random permutation routing problem (``q = 1``)."""
+    return RoutingInstance(
+        n=n,
+        sources=np.arange(n, dtype=np.int64),
+        dests=rng.permutation(n).astype(np.int64),
+    )
+
+
+def random_q_relation(n: int, q: int, rng: np.random.Generator) -> RoutingInstance:
+    """A uniformly-structured random q-relation.
+
+    Built as ``q`` independent random permutations stacked together, which
+    gives *exactly* ``q`` messages per input and per output — the extremal
+    q-relation the Section 3.1 bound is stated for.
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    sources = np.tile(np.arange(n, dtype=np.int64), q)
+    dests = np.concatenate([rng.permutation(n).astype(np.int64) for _ in range(q)])
+    return RoutingInstance(n=n, sources=sources, dests=dests)
+
+
+def random_destinations(n: int, q: int, rng: np.random.Generator) -> RoutingInstance:
+    """The random routing problem with ``q`` messages per input.
+
+    Every message independently picks a uniformly random output; outputs
+    may receive far more than ``q`` messages (balls-in-bins), which is
+    precisely the regime of the Section 3.2 lower bound.
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    sources = np.repeat(np.arange(n, dtype=np.int64), q)
+    dests = rng.integers(0, n, size=n * q).astype(np.int64)
+    return RoutingInstance(n=n, sources=sources, dests=dests)
+
+
+def transpose_permutation(n: int) -> RoutingInstance:
+    """The transpose permutation on ``n = m**2`` endpoints.
+
+    Sends ``(row, col)`` to ``(col, row)``; a classic adversarial
+    permutation for oblivious routers.
+    """
+    m = int(round(n**0.5))
+    if m * m != n:
+        raise ValueError(f"transpose needs a square n, got {n}")
+    idx = np.arange(n, dtype=np.int64)
+    rows, cols = divmod(idx, m)
+    return RoutingInstance(n=n, sources=idx, dests=cols * m + rows)
+
+
+def bit_reversal_permutation(n: int) -> RoutingInstance:
+    """The bit-reversal permutation on a power-of-two ``n``.
+
+    Worst-case for dimension-ordered meshes and a standard stress
+    permutation for butterflies.
+    """
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"bit reversal needs a power-of-two n, got {n}")
+    bits = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros_like(idx)
+    for j in range(bits):
+        rev |= ((idx >> j) & 1) << (bits - 1 - j)
+    return RoutingInstance(n=n, sources=idx, dests=rev)

@@ -1,0 +1,84 @@
+"""Shortest-path selection.
+
+BFS-based path selection over arbitrary :class:`~repro.network.graph.Network`
+instances.  Shortest paths are *shortcut free* in the sense of Meyer auf
+der Heide and Vocking [35], which several of the scheduling results cited
+by the paper assume; they also minimize each message's individual dilation
+contribution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..network.graph import Network, NetworkError
+from .paths import Path
+
+__all__ = ["bfs_path", "bfs_tree", "shortest_paths"]
+
+
+def bfs_tree(net: Network, source: int) -> np.ndarray:
+    """Parent-edge array of a BFS tree rooted at ``source``.
+
+    ``parent_edge[v]`` is the edge id by which BFS first reached ``v``
+    (-1 for the source and for unreachable nodes).
+    """
+    parent_edge = np.full(net.num_nodes, -1, dtype=np.int64)
+    seen = np.zeros(net.num_nodes, dtype=bool)
+    seen[source] = True
+    frontier = [source]
+    while frontier:
+        nxt: list[int] = []
+        for u in frontier:
+            for e in net.out_edges(u):
+                v = net.head(e)
+                if not seen[v]:
+                    seen[v] = True
+                    parent_edge[v] = e
+                    nxt.append(v)
+        frontier = nxt
+    return parent_edge
+
+
+def bfs_path(
+    net: Network,
+    source: int,
+    dest: int,
+    rng: np.random.Generator | None = None,
+) -> Path:
+    """One shortest path from ``source`` to ``dest``.
+
+    With ``rng`` given, ties between equally short parents are broken
+    uniformly at random (by shuffling each node's out-edge scan order),
+    which spreads congestion across the shortest-path DAG; without it the
+    first-found path is returned deterministically.
+    """
+    if source == dest:
+        return Path((source,), ())
+    dist = net.bfs_distances(source)
+    if dist[dest] < 0:
+        raise NetworkError(f"node {dest} unreachable from {source}")
+    # Walk backwards from dest choosing predecessors on shortest paths.
+    nodes = [dest]
+    edges: list[int] = []
+    cur = dest
+    while cur != source:
+        candidates = [
+            e for e in net.in_edges(cur) if dist[net.tail(e)] == dist[cur] - 1
+        ]
+        e = candidates[int(rng.integers(len(candidates)))] if rng is not None else candidates[0]
+        edges.append(e)
+        cur = net.tail(e)
+        nodes.append(cur)
+    return Path(tuple(reversed(nodes)), tuple(reversed(edges)))
+
+
+def shortest_paths(
+    net: Network,
+    demands: Sequence[tuple[int, int]],
+    rng: np.random.Generator | None = None,
+) -> list[Path]:
+    """Shortest paths for a list of ``(source, dest)`` node-id demands."""
+    return [bfs_path(net, s, d, rng) for s, d in demands]

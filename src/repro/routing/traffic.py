@@ -1,0 +1,95 @@
+"""Synthetic traffic patterns for mesh/torus experiments.
+
+The interconnect literature the paper sits in (Dally [15, 16] et al.)
+evaluates routers under a standard battery of spatial patterns; these
+generators produce ``(source, destination)`` node-id demands for a
+:class:`~repro.network.mesh.KAryNCube`:
+
+* **uniform** — destinations uniform at random;
+* **hotspot** — a fraction of traffic targets one node, the rest
+  uniform (models a shared resource);
+* **tornado** — each node sends half-way around its row (adversarial
+  for tori: all traffic turns the same way);
+* **neighbor** — each node sends to its +1 neighbor in dimension 0
+  (best case);
+* **bit_complement** — node with coordinates ``c`` sends to
+  ``k - 1 - c`` per dimension (worst-case distance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..network.graph import NetworkError
+from ..network.mesh import KAryNCube
+
+__all__ = [
+    "uniform_traffic",
+    "hotspot_traffic",
+    "tornado_traffic",
+    "neighbor_traffic",
+    "bit_complement_traffic",
+]
+
+
+def uniform_traffic(
+    cube: KAryNCube, messages_per_node: int, rng: np.random.Generator
+) -> list[tuple[int, int]]:
+    """Every node sends ``messages_per_node`` to uniform destinations."""
+    if messages_per_node < 1:
+        raise NetworkError("messages_per_node must be >= 1")
+    N = cube.num_nodes
+    return [
+        (s, int(rng.integers(N)))
+        for s in range(N)
+        for _ in range(messages_per_node)
+    ]
+
+
+def hotspot_traffic(
+    cube: KAryNCube,
+    messages_per_node: int,
+    hotspot: int,
+    fraction: float,
+    rng: np.random.Generator,
+) -> list[tuple[int, int]]:
+    """Uniform traffic with a ``fraction`` redirected to ``hotspot``."""
+    if not 0.0 <= fraction <= 1.0:
+        raise NetworkError("fraction must be in [0, 1]")
+    if not 0 <= hotspot < cube.num_nodes:
+        raise NetworkError("hotspot node out of range")
+    demands = uniform_traffic(cube, messages_per_node, rng)
+    out = []
+    for s, d in demands:
+        out.append((s, hotspot if rng.random() < fraction else d))
+    return out
+
+
+def tornado_traffic(cube: KAryNCube) -> list[tuple[int, int]]:
+    """Each node sends ``floor(k/2)`` hops forward in dimension 0."""
+    half = cube.k // 2
+    demands = []
+    for v in range(cube.num_nodes):
+        coords = list(cube.coords(v))
+        coords[0] = (coords[0] + half) % cube.k
+        demands.append((v, cube.node(tuple(coords))))
+    return demands
+
+
+def neighbor_traffic(cube: KAryNCube) -> list[tuple[int, int]]:
+    """Each node sends one hop forward in dimension 0 (wrapping)."""
+    demands = []
+    for v in range(cube.num_nodes):
+        coords = list(cube.coords(v))
+        coords[0] = (coords[0] + 1) % cube.k
+        demands.append((v, cube.node(tuple(coords))))
+    return demands
+
+
+def bit_complement_traffic(cube: KAryNCube) -> list[tuple[int, int]]:
+    """Each node sends to its coordinate-wise complement."""
+    demands = []
+    for v in range(cube.num_nodes):
+        coords = tuple(cube.k - 1 - c for c in cube.coords(v))
+        demands.append((v, cube.node(coords)))
+    return demands

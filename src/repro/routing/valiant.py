@@ -1,0 +1,52 @@
+"""Valiant's random-intermediate-destination trick [47].
+
+Leighton's butterfly algorithms (Problems 3.285/3.286 of [25]) and the
+paper's own Section 3.1 algorithm route in two phases: first to a random
+intermediate node, then to the true destination.  This converts any fixed
+problem into two random problems, destroying adversarial structure.  The
+generic version here works on arbitrary networks via shortest paths; the
+butterfly-specific version lives in :mod:`repro.core.butterfly_routing`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..network.graph import Network
+from .paths import Path
+from .shortest import bfs_path
+
+__all__ = ["valiant_path", "valiant_paths"]
+
+
+def valiant_path(
+    net: Network,
+    source: int,
+    dest: int,
+    rng: np.random.Generator,
+    intermediates: Sequence[int] | None = None,
+) -> Path:
+    """Route ``source -> random intermediate -> dest`` via shortest paths.
+
+    ``intermediates`` restricts the random choice (e.g. to one level of a
+    leveled network); by default any node may be chosen.  The two legs are
+    concatenated; the result need not be edge-simple in pathological
+    topologies, so callers that require edge-simplicity should check.
+    """
+    pool = intermediates if intermediates is not None else range(net.num_nodes)
+    mid = int(pool[int(rng.integers(len(pool)))])
+    leg1 = bfs_path(net, source, mid, rng)
+    leg2 = bfs_path(net, mid, dest, rng)
+    return Path(leg1.nodes + leg2.nodes[1:], leg1.edges + leg2.edges)
+
+
+def valiant_paths(
+    net: Network,
+    demands: Sequence[tuple[int, int]],
+    rng: np.random.Generator,
+    intermediates: Sequence[int] | None = None,
+) -> list[Path]:
+    """:func:`valiant_path` for every ``(source, dest)`` demand."""
+    return [valiant_path(net, s, d, rng, intermediates) for s, d in demands]

@@ -1,0 +1,38 @@
+"""Router substrate: flit-level simulators and deadlock analysis."""
+
+from .adaptive import AdaptiveMeshRouter, AdaptiveRunResult
+from .circuit import CircuitSwitchResult, circuit_switch_butterfly
+from .continuous import ContinuousResult, ContinuousWormholeSimulator
+from .cut_through import CutThroughSimulator
+from .deadlock import (
+    channel_dependency_graph,
+    dateline_vc_assignment,
+    has_cycle,
+    is_deadlock_free,
+    wait_for_graph,
+)
+from .restricted import RestrictedWormholeSimulator
+from .stats import SimulationResult, summarize_latencies
+from .store_forward import StoreForwardSimulator
+from .wormhole import WormholeSimulator, pad_paths
+
+__all__ = [
+    "AdaptiveMeshRouter",
+    "AdaptiveRunResult",
+    "CircuitSwitchResult",
+    "ContinuousResult",
+    "ContinuousWormholeSimulator",
+    "CutThroughSimulator",
+    "RestrictedWormholeSimulator",
+    "SimulationResult",
+    "StoreForwardSimulator",
+    "WormholeSimulator",
+    "channel_dependency_graph",
+    "circuit_switch_butterfly",
+    "dateline_vc_assignment",
+    "has_cycle",
+    "is_deadlock_free",
+    "pad_paths",
+    "summarize_latencies",
+    "wait_for_graph",
+]

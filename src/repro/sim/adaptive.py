@@ -1,0 +1,236 @@
+"""Adaptive wormhole routing on 2-D meshes (Section 1.3.4's category).
+
+The paper surveys *adaptive* deadlock-free wormhole algorithms (Glass-Ni
+turn models, fully-adaptive minimal schemes [39], ...) as the third big
+strand of wormhole research.  This simulator routes worms whose next hop
+is chosen **online** among the minimal (productive) directions, under a
+configurable restriction:
+
+``"dimension"``
+    Deterministic XY routing (correct X first, then Y) — deadlock-free
+    because no turn from Y back to X ever occurs.
+``"west-first"``
+    The Glass-Ni turn model: if the destination lies to the west, the
+    worm first moves fully west (no adaptivity); otherwise it may choose
+    adaptively among the productive {east, north, south} moves.  The
+    model forbids the two turns into "west", which breaks all cycles —
+    deadlock-free on a mesh with a single (virtual) channel.
+``"fully-adaptive"``
+    Any productive direction, no restriction — *can deadlock* at
+    ``B = 1``; included to demonstrate why the restrictions exist.
+
+Worm mechanics are identical to :class:`~repro.sim.wormhole
+.WormholeSimulator` (B slots per edge, lock-step motion, strict buffer
+release) except the head extends its path one chosen edge at a time.  A
+head is *blocked* only when every direction its policy allows is full;
+this is where adaptivity pays — the worm routes around congestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..network.graph import NetworkError
+from ..network.mesh import KAryNCube
+from .stats import SimulationResult
+
+__all__ = ["AdaptiveMeshRouter", "AdaptiveRunResult"]
+
+_POLICIES = ("dimension", "west-first", "fully-adaptive")
+
+
+@dataclass
+class AdaptiveRunResult:
+    """A :class:`SimulationResult` plus the adaptively chosen routes."""
+
+    result: SimulationResult
+    taken_paths: list[list[int]]  # edge ids actually traversed per message
+
+    @property
+    def all_delivered(self) -> bool:
+        return self.result.all_delivered
+
+
+class AdaptiveMeshRouter:
+    """Online adaptive wormhole router for a 2-D mesh.
+
+    Parameters
+    ----------
+    cube:
+        A :class:`~repro.network.mesh.KAryNCube` with ``n == 2`` and
+        ``wrap=False`` (turn models are stated for meshes).
+    num_virtual_channels:
+        Slots per edge, as in the main model.
+    policy:
+        One of ``"dimension"``, ``"west-first"``, ``"fully-adaptive"``.
+    seed:
+        Random tie-breaking among allowed free directions and among
+        contending headers.
+    """
+
+    def __init__(
+        self,
+        cube: KAryNCube,
+        num_virtual_channels: int = 1,
+        policy: str = "west-first",
+        seed: int | None = 0,
+    ) -> None:
+        if cube.n != 2 or cube.wrap:
+            raise NetworkError("adaptive routing is implemented for 2-D meshes")
+        if num_virtual_channels < 1:
+            raise NetworkError("need at least one virtual channel")
+        if policy not in _POLICIES:
+            raise NetworkError(f"policy must be one of {_POLICIES}")
+        self.cube = cube
+        self.net = cube.network
+        self.B = int(num_virtual_channels)
+        self.policy = policy
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _allowed_moves(self, node: int, dst: int) -> list[int]:
+        """Edge ids of the productive moves this policy allows at ``node``.
+
+        Coordinates are (x, y) with dimension 0 = x; "west" decreases x.
+        """
+        x, y = self.cube.coords(node)
+        dx_, dy_ = self.cube.coords(dst)
+        dx, dy = dx_ - x, dy_ - y
+        moves: list[tuple[int, int]] = []
+        if self.policy == "dimension":
+            if dx != 0:
+                moves = [(1 if dx > 0 else -1, 0)]
+            elif dy != 0:
+                moves = [(0, 1 if dy > 0 else -1)]
+        elif self.policy == "west-first":
+            if dx < 0:
+                moves = [(-1, 0)]  # go fully west first, deterministically
+            else:
+                if dx > 0:
+                    moves.append((1, 0))
+                if dy != 0:
+                    moves.append((0, 1 if dy > 0 else -1))
+        else:  # fully-adaptive
+            if dx != 0:
+                moves.append((1 if dx > 0 else -1, 0))
+            if dy != 0:
+                moves.append((0, 1 if dy > 0 else -1))
+        edges = []
+        for mx, my in moves:
+            nxt = self.cube.node((x + mx, y + my))
+            e = self.net.edge_between(node, nxt)
+            assert e is not None
+            edges.append(e)
+        return edges
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        demands: list[tuple[int, int]],
+        message_length: int,
+        release_times: np.ndarray | None = None,
+        max_steps: int | None = None,
+    ) -> AdaptiveRunResult:
+        """Route ``(source, destination)`` node-id demands adaptively."""
+        L = int(message_length)
+        if L < 1:
+            raise NetworkError("message length L must be >= 1")
+        M = len(demands)
+        release = (
+            np.zeros(M, dtype=np.int64)
+            if release_times is None
+            else np.asarray(release_times, dtype=np.int64)
+        )
+        completion = np.full(M, -1, dtype=np.int64)
+        blocked = np.zeros(M, dtype=np.int64)
+        if M == 0:
+            return AdaptiveRunResult(
+                SimulationResult(completion, -1, 0, blocked), []
+            )
+
+        # Minimal routes all have the Manhattan length.
+        dists = np.asarray(
+            [
+                sum(
+                    abs(a - b)
+                    for a, b in zip(self.cube.coords(s), self.cube.coords(d))
+                )
+                for s, d in demands
+            ],
+            dtype=np.int64,
+        )
+        if max_steps is None:
+            max_steps = int(release.max() + (L + dists + 2).sum() + 10)
+
+        taken: list[list[int]] = [[] for _ in range(M)]
+        position = np.asarray([s for s, _ in demands], dtype=np.int64)
+        dest = np.asarray([d for _, d in demands], dtype=np.int64)
+        k = np.zeros(M, dtype=np.int64)
+        occupancy = np.zeros(self.net.num_edges, dtype=np.int64)
+        done = dists == 0
+        completion[done] = release[done]
+        pending = int(M - done.sum())
+
+        t = 0
+        while pending and t < max_steps:
+            t += 1
+            active = np.flatnonzero(~done & (release < t))
+            if active.size == 0:
+                t = int(release[~done].min())
+                continue
+            movers: list[int] = []
+            # Heads wanting a new edge pick among allowed free moves; we
+            # grant sequentially in a random order using live occupancy
+            # counts (still at most B per edge since grants increment).
+            order = active[np.argsort(self._rng.random(active.size))]
+            for m in order:
+                if k[m] < dists[m]:  # head still extending
+                    options = self._allowed_moves(int(position[m]), int(dest[m]))
+                    free = [e for e in options if occupancy[e] < self.B]
+                    if not free:
+                        blocked[m] += 1
+                        continue
+                    e = free[int(self._rng.integers(len(free)))]
+                    occupancy[e] += 1
+                    taken[m].append(int(e))
+                    position[m] = self.net.head(e)
+                    movers.append(int(m))
+                else:
+                    movers.append(int(m))  # draining
+
+            for m in movers:
+                k[m] += 1
+                d = int(dists[m])
+                rel = int(k[m]) - L - 1
+                if 0 <= rel < d - 1:
+                    occupancy[taken[m][rel]] -= 1
+                if k[m] == L + d - 1:
+                    occupancy[taken[m][d - 1]] -= 1
+                    completion[m] = t
+                    done[m] = True
+                    pending -= 1
+
+            if not movers and bool((release[~done] < t).all()):
+                return AdaptiveRunResult(
+                    SimulationResult(
+                        completion_times=completion,
+                        makespan=int(completion.max()),
+                        steps_executed=t,
+                        blocked_steps=blocked,
+                        deadlocked=True,
+                    ),
+                    taken,
+                )
+
+        return AdaptiveRunResult(
+            SimulationResult(
+                completion_times=completion,
+                makespan=int(completion.max()),
+                steps_executed=t,
+                blocked_steps=blocked,
+                hit_step_cap=pending > 0,
+            ),
+            taken,
+        )

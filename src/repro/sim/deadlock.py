@@ -1,0 +1,160 @@
+"""Deadlock analysis for wormhole routing (Dally-Seitz [14]).
+
+A wormhole algorithm can deadlock when every header is blocked on a buffer
+held by another worm.  Dally and Seitz's classic criterion: a routing
+relation is deadlock-free iff its **channel dependency graph** (CDG) is
+acyclic — the CDG has a vertex per (virtual) channel and an arc from
+channel ``a`` to channel ``b`` whenever some route uses ``b`` immediately
+after ``a``.  Their fix — the reason virtual channels exist at all — is to
+split each physical channel into virtual channels and restrict routes so
+the virtual network's CDG is acyclic.
+
+This module provides:
+
+* :func:`channel_dependency_graph` / :func:`is_deadlock_free` over a set
+  of paths, with an optional per-hop virtual-channel assignment;
+* :func:`dateline_vc_assignment` — the classic torus escape scheme: start
+  on VC 0, switch to VC 1 after crossing each ring's dateline, which
+  breaks every ring cycle;
+* :func:`wait_for_graph` — the runtime wait-for relation of a stuck
+  wormhole configuration, for post-mortem diagnosis of simulator
+  deadlocks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from ..network.mesh import KAryNCube
+from ..routing.paths import Path
+
+__all__ = [
+    "channel_dependency_graph",
+    "is_deadlock_free",
+    "dateline_vc_assignment",
+    "wait_for_graph",
+    "has_cycle",
+]
+
+VcAssignment = Callable[[Path, int], int]
+"""Maps (path, hop index) -> virtual channel id for that hop."""
+
+
+def channel_dependency_graph(
+    paths: Sequence[Path],
+    vc_of: VcAssignment | None = None,
+) -> dict[tuple[int, int], set[tuple[int, int]]]:
+    """Adjacency of the channel dependency graph.
+
+    Vertices are ``(edge id, vc id)`` pairs; with ``vc_of`` omitted all
+    hops use VC 0 and the CDG collapses to the physical-channel CDG.
+    """
+    adj: dict[tuple[int, int], set[tuple[int, int]]] = {}
+    for p in paths:
+        for hop in range(p.length - 1):
+            a = (p.edges[hop], vc_of(p, hop) if vc_of else 0)
+            b = (p.edges[hop + 1], vc_of(p, hop + 1) if vc_of else 0)
+            adj.setdefault(a, set()).add(b)
+            adj.setdefault(b, set())
+        if p.length == 1:
+            only = (p.edges[0], vc_of(p, 0) if vc_of else 0)
+            adj.setdefault(only, set())
+    return adj
+
+
+def has_cycle(adj: dict) -> bool:
+    """Iterative DFS cycle detection on a dict-of-sets adjacency."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {v: WHITE for v in adj}
+    for root in adj:
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[object, object]] = [(root, iter(adj[root]))]
+        color[root] = GRAY
+        while stack:
+            v, it = stack[-1]
+            advanced = False
+            for w in it:
+                if color.get(w, WHITE) == GRAY:
+                    return True
+                if color.get(w, WHITE) == WHITE:
+                    color[w] = GRAY
+                    stack.append((w, iter(adj.get(w, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[v] = BLACK
+                stack.pop()
+    return False
+
+
+def is_deadlock_free(
+    paths: Sequence[Path],
+    vc_of: VcAssignment | None = None,
+) -> bool:
+    """Dally-Seitz criterion: the routes' CDG is acyclic.
+
+    This is a *sufficient* condition for freedom from deadlock under any
+    injection pattern using these routes.
+    """
+    return not has_cycle(channel_dependency_graph(paths, vc_of))
+
+
+def dateline_vc_assignment(cube: KAryNCube) -> VcAssignment:
+    """Dateline virtual-channel assignment for torus rings.
+
+    Each hop starts on VC 0; a message switches to VC 1 for the rest of
+    its traversal of a dimension once it crosses that dimension's dateline
+    (the wrap link between coordinate ``k-1`` and 0, in either direction).
+    With dimension-order routes this makes the per-dimension ring CDG
+    acyclic, the textbook Dally-Seitz construction.
+    """
+
+    def hop_dimension(path: Path, hop: int) -> int | None:
+        a = cube.coords(path.nodes[hop])
+        b = cube.coords(path.nodes[hop + 1])
+        dims = [d for d in range(cube.n) if a[d] != b[d]]
+        return dims[0] if len(dims) == 1 else None
+
+    def is_wrap(path: Path, hop: int, dim: int) -> bool:
+        a = cube.coords(path.nodes[hop])
+        b = cube.coords(path.nodes[hop + 1])
+        return {a[dim], b[dim]} == {0, cube.k - 1}
+
+    def vc_of(path: Path, hop: int) -> int:
+        dim = hop_dimension(path, hop)
+        if dim is None:
+            return 0
+        crossed = any(
+            hop_dimension(path, h) == dim and is_wrap(path, h, dim)
+            for h in range(hop + 1)
+        )
+        return 1 if crossed else 0
+
+    return vc_of
+
+
+def wait_for_graph(
+    paths: Sequence[Path],
+    head_edge_index: np.ndarray,
+    occupancy_of: dict[int, list[int]],
+) -> dict[int, set[int]]:
+    """Message-level wait-for relation of a stuck configuration.
+
+    ``head_edge_index[m]`` is the path-edge index message ``m``'s header
+    wants next (or ``-1`` if draining); ``occupancy_of[e]`` lists the
+    messages currently holding virtual channels on edge ``e``.  Message
+    ``a`` waits for ``b`` if ``b`` holds a channel on the edge ``a``'s
+    header wants.  A cycle in this graph certifies deadlock.
+    """
+    adj: dict[int, set[int]] = {}
+    for m, p in enumerate(paths):
+        k = int(head_edge_index[m])
+        if k < 0 or k >= p.length:
+            continue
+        wanted = p.edges[k]
+        holders = occupancy_of.get(wanted, [])
+        adj[m] = {h for h in holders if h != m}
+    return adj

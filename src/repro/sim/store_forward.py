@@ -1,0 +1,162 @@
+"""Store-and-forward router (Section 1, baseline for E5).
+
+In a store-and-forward router a switch must buffer an *entire* message
+before forwarding it, so a message makes discrete hops; the time to cross
+one link is a *message step* of ``ceil(L / B)`` flit steps (an edge can
+push ``B`` flits per flit step when it supports ``B`` virtual channels,
+and the classic ``B = 1`` case gives ``L`` flit steps per hop).
+
+The scheduler here is the greedy online protocol analyzed in the
+literature the paper builds on (Leighton-Maggs-Rao [27] proved optimal
+``O(C + D)`` schedules exist; Mansour and Patt-Shamir [33] bound greedy
+shortest-path schedules): each edge forwards one waiting message per
+message step, with a configurable priority — ``"random"``,
+``"age"`` (earliest injected first) or ``"farthest"`` (longest remaining
+distance first, the classic greedy rule).
+
+An optional initial random delay in ``[0, delay_range)`` message steps per
+message implements the random-delay smoothing trick behind the
+``O(C + D log n)`` online algorithm of [27].
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..network.graph import Network, NetworkError
+from ..routing.paths import Path
+from .stats import SimulationResult
+from .wormhole import pad_paths
+
+__all__ = ["StoreForwardSimulator"]
+
+_PRIORITIES = ("random", "age", "farthest")
+
+
+class StoreForwardSimulator:
+    """Greedy synchronous store-and-forward simulator.
+
+    Queues at the tail of each edge are unbounded (buffer growth is
+    reported in ``extra["max_queue"]`` so experiments can check the
+    constant-buffer claims of [27, 42] empirically).  Each edge transmits
+    at most one message per message step.
+
+    Parameters
+    ----------
+    net:
+        The network (only edge count and structure via paths are used).
+    bandwidth_flits_per_step:
+        ``B`` in footnote 4; one hop costs ``ceil(L / B)`` flit steps.
+    priority:
+        Arbitration rule among messages queued on the same edge.
+    seed:
+        Seed for random arbitration / delays.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        bandwidth_flits_per_step: int = 1,
+        priority: str = "farthest",
+        seed: int | None = 0,
+    ) -> None:
+        if bandwidth_flits_per_step < 1:
+            raise NetworkError("bandwidth must be >= 1 flit per step")
+        if priority not in _PRIORITIES:
+            raise NetworkError(f"priority must be one of {_PRIORITIES}")
+        self.net = net
+        self.bandwidth = int(bandwidth_flits_per_step)
+        self.priority = priority
+        self._rng = np.random.default_rng(seed)
+
+    def run(
+        self,
+        paths: Sequence[Path] | Sequence[Sequence[int]],
+        message_length: int,
+        release_times: np.ndarray | None = None,
+        delay_range: int = 0,
+        max_steps: int | None = None,
+    ) -> SimulationResult:
+        """Route all messages; times are reported in **flit steps**.
+
+        ``release_times`` are in flit steps and are rounded up to message
+        steps.  ``delay_range > 0`` adds an extra uniform random delay of
+        ``[0, delay_range)`` message steps per message.
+        """
+        if message_length < 1:
+            raise NetworkError("message length L must be >= 1")
+        padded, D = pad_paths(paths)
+        M = D.size
+        hop = -(-message_length // self.bandwidth)  # ceil(L / B) flit steps
+        completion = np.full(M, -1, dtype=np.int64)
+        blocked = np.zeros(M, dtype=np.int64)
+        if M == 0:
+            return SimulationResult(completion, -1, 0, blocked)
+
+        release_fs = (
+            np.zeros(M, dtype=np.int64)
+            if release_times is None
+            else np.asarray(release_times, dtype=np.int64)
+        )
+        # Convert to message steps, rounding release up to a step boundary.
+        release = -(-release_fs // hop)
+        if delay_range > 0:
+            release = release + self._rng.integers(0, delay_range, size=M)
+
+        trivial = D == 0
+        completion[trivial] = release[trivial] * hop
+
+        if max_steps is None:
+            max_steps = int(release.max() + D.sum() + 1)
+
+        hops_done = np.zeros(M, dtype=np.int64)
+        done = trivial.copy()
+        pending = int(M - done.sum())
+        max_queue = 0
+        t = 0  # message steps
+        while pending and t < max_steps:
+            t += 1
+            active = ~done & (release < t)
+            if not active.any():
+                t = int(release[~done].min())
+                continue
+            idx = np.flatnonzero(active)
+            edges = padded[idx, hops_done[idx]]
+            if self.priority == "random":
+                prio = self._rng.random(idx.size)
+            elif self.priority == "age":
+                prio = release[idx].astype(np.float64)
+            else:  # farthest to go first
+                prio = -(D[idx] - hops_done[idx]).astype(np.float64)
+            order = np.lexsort((prio, edges))
+            sorted_edges = edges[order]
+            first_of_group = np.empty(order.size, dtype=bool)
+            first_of_group[0] = True
+            first_of_group[1:] = sorted_edges[1:] != sorted_edges[:-1]
+            winners_sorted = first_of_group  # one message per edge per step
+            winners = np.zeros(idx.size, dtype=bool)
+            winners[order] = winners_sorted
+            # Queue-depth bookkeeping: contenders per edge this step.
+            counts = np.bincount(edges, minlength=0)
+            if counts.size:
+                max_queue = max(max_queue, int(counts.max()))
+
+            movers = idx[winners]
+            hops_done[movers] += 1
+            blocked[idx[~winners]] += hop
+            finished = movers[hops_done[movers] == D[movers]]
+            if finished.size:
+                completion[finished] = t * hop
+                done[finished] = True
+                pending -= finished.size
+
+        return SimulationResult(
+            completion_times=completion,
+            makespan=int(completion.max()),
+            steps_executed=t * hop,
+            blocked_steps=blocked,
+            hit_step_cap=pending > 0,
+            extra={"max_queue": max_queue, "message_step_flits": hop},
+        )

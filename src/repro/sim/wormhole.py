@@ -1,0 +1,368 @@
+"""Flit-level wormhole router with ``B`` virtual channels (Section 1.1).
+
+This simulator implements the paper's machine model exactly:
+
+* Each edge (physical channel) multiplexes ``B`` virtual channels.  The
+  buffer at the head of each edge holds up to ``B`` flits, **each
+  belonging to a different message**.
+* In one flit step, one flit can cross each of the ``B`` virtual channels
+  of an edge — so up to ``B`` flits per edge per step, at most one per
+  message.
+* The header flit cannot cross an edge whose buffer has no free slot;
+  while it is stalled, every flit behind it stalls too (switches buffer
+  only one flit per message).
+* Messages start in external injection buffers and are injected one flit
+  per step; flits reaching the destination are removed immediately into
+  external delivery buffers.
+
+Because each virtual-channel buffer holds exactly one flit, an unblocked
+worm advances in lock-step: in a step where the worm moves, *every* edge
+currently holding one of its flits forwards that flit.  The simulator
+therefore keeps one integer per message — the number of completed moves
+``k`` — instead of per-flit state, which is bit-exact with flit-level
+simulation of this model:
+
+* during its move ``k`` (1-indexed) the worm's flit ``j`` crosses edge
+  ``k - j`` of its path (when ``0 <= k - j <= D_m - 1``);
+* the worm acquires a virtual channel (buffer slot) on path edge ``k - 1``
+  at move ``k`` (for ``k <= D_m``) and releases the slot on edge
+  ``k - L - 1`` after move ``k``: the last flit ``L`` crosses edge ``i``
+  during move ``i + L`` and *leaves its head buffer* during move
+  ``i + L + 1``, so only then is the slot free for another header.  Slots
+  on the final edge are released at completion (delivered flits are
+  removed from the network immediately);
+* the worm finishes after ``L + D_m - 1`` moves, matching the paper's
+  unobstructed latency ``D + L - 1``.
+
+The per-step state update is fully vectorized with NumPy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..network.graph import Network, NetworkError
+from ..routing.paths import Path
+from .stats import SimulationResult
+
+__all__ = ["WormholeSimulator", "pad_paths"]
+
+_PRIORITIES = ("random", "age", "index", "rank")
+
+
+def pad_paths(paths: Sequence[Path] | Sequence[Sequence[int]]) -> tuple[np.ndarray, np.ndarray]:
+    """Pack ragged per-message edge-id lists into a padded matrix.
+
+    Returns ``(padded, lengths)`` where ``padded`` has shape
+    ``(M, max_len)`` with ``-1`` padding and ``lengths[m]`` is message
+    ``m``'s path length ``D_m``.
+    """
+    edge_lists = [
+        list(p.edges) if isinstance(p, Path) else list(p) for p in paths
+    ]
+    lengths = np.asarray([len(e) for e in edge_lists], dtype=np.int64)
+    max_len = int(lengths.max()) if lengths.size else 0
+    padded = np.full((len(edge_lists), max_len), -1, dtype=np.int64)
+    for m, edges in enumerate(edge_lists):
+        padded[m, : len(edges)] = edges
+    return padded, lengths
+
+
+class WormholeSimulator:
+    """Synchronous flit-level wormhole simulator.
+
+    Parameters
+    ----------
+    net:
+        The network; only its edge count is needed for channel state, so
+        arithmetic topologies may pass a pre-built :class:`Network` or any
+        object with a ``num_edges`` attribute.
+    num_virtual_channels:
+        The paper's ``B >= 1``.
+    priority:
+        Arbitration among header flits contending for the free slots of
+        the same edge: ``"random"`` (fresh random priorities each step),
+        ``"age"`` (earlier-released message wins, ties by index),
+        ``"index"`` (message index order, fully deterministic), or
+        ``"rank"`` (a random rank drawn once per message and kept for the
+        whole run — the fixed-priority discipline of Greenberg and Oh's
+        universal wormhole algorithm [19]).
+    seed:
+        Seed for ``"random"`` arbitration (ignored otherwise).
+
+    Notes
+    -----
+    Virtual-channel slots freed in step ``t`` become available in step
+    ``t + 1`` (conservative synchronous semantics): a header never chases
+    the tail of another worm through an edge within a single flit step.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        num_virtual_channels: int = 1,
+        priority: str = "random",
+        seed: int | None = 0,
+    ) -> None:
+        if num_virtual_channels < 1:
+            raise NetworkError(
+                f"need at least one virtual channel, got {num_virtual_channels}"
+            )
+        if priority not in _PRIORITIES:
+            raise NetworkError(f"priority must be one of {_PRIORITIES}")
+        self.net = net
+        self.num_edges = net.num_edges
+        self.B = int(num_virtual_channels)
+        self.priority = priority
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        paths: Sequence[Path] | Sequence[Sequence[int]],
+        message_length: int | np.ndarray,
+        release_times: np.ndarray | None = None,
+        max_steps: int | None = None,
+        record_trace: bool = False,
+        vc_ids: np.ndarray | Sequence[Sequence[int]] | None = None,
+        record_contention: bool = False,
+    ) -> SimulationResult:
+        """Route all messages; returns a :class:`SimulationResult`.
+
+        Parameters
+        ----------
+        paths:
+            Per-message routes — :class:`Path` objects or raw edge-id
+            sequences.  Paths must be edge-simple (a worm cannot hold two
+            virtual channels on one edge).
+        message_length:
+            The paper's ``L`` (>= 1 flits), scalar or per-message array.
+        release_times:
+            Flit step at which each message becomes available for
+            injection (default: all 0; injection is attempted from step
+            ``release + 1`` on).  This is how Theorem 2.1.6 schedules are
+            executed.
+        max_steps:
+            Safety cap; defaults to a generous bound that any live
+            simulation finishes under.
+        record_trace:
+            Store each message's completed-move count after every flit
+            step in ``result.extra["trace"]`` (shape ``(steps, M)``,
+            ``-1`` before release).  Costs O(steps * M) memory; meant for
+            visualization and debugging of small runs.
+        vc_ids:
+            Optional per-hop virtual-channel *class* assignment — the
+            Dally-Seitz mechanism proper.  Ragged per-message sequences
+            (same lengths as ``paths``) of integers in ``[0, B)``; a
+            header may then only enter the *assigned* virtual channel of
+            each edge (one buffer slot per (edge, class)).  Without it,
+            the ``B`` slots of an edge are interchangeable (the paper's
+            Section 1.1 reading).  Class assignments are what make
+            deadlock-freedom *provable* (acyclic CDG); interchangeable
+            slots merely make deadlock unlikely.
+        record_contention:
+            Store, per physical edge, how many header requests were
+            denied over the run in ``result.extra["edge_contention"]`` —
+            a hotspot map for congestion analysis.
+        """
+        padded, D = pad_paths(paths)
+        M = D.size
+        L = np.broadcast_to(
+            np.asarray(message_length, dtype=np.int64), (M,)
+        ).copy()
+        if M and L.min() < 1:
+            raise NetworkError("message length L must be >= 1")
+        self._check_edge_simple(padded, D)
+        release = (
+            np.zeros(M, dtype=np.int64)
+            if release_times is None
+            else np.asarray(release_times, dtype=np.int64).copy()
+        )
+        if release.shape != (M,):
+            raise NetworkError(f"release_times must have shape ({M},)")
+        if M and release.min() < 0:
+            raise NetworkError("release times must be >= 0")
+
+        total_moves = L + D - 1  # moves needed to deliver the whole worm
+        completion = np.full(M, -1, dtype=np.int64)
+        blocked = np.zeros(M, dtype=np.int64)
+        if M == 0:
+            return SimulationResult(
+                completion_times=completion,
+                makespan=-1,
+                steps_executed=0,
+                blocked_steps=blocked,
+            )
+
+        # Zero-length paths (source == destination): delivered at release.
+        trivial = D == 0
+        completion[trivial] = release[trivial]
+
+        if max_steps is None:
+            # Every step, at least one pending message moves (else
+            # deadlock is declared), and each message needs L+D-1 moves.
+            max_steps = int(release.max() + total_moves[~trivial].sum() + 1) if (~trivial).any() else 0
+
+        # Slot model: without VC classes, a slot is an edge with capacity
+        # B; with classes, a slot is an (edge, class) pair with capacity 1.
+        if vc_ids is None:
+            slot_keys = padded
+            capacity = self.B
+            num_slots = self.num_edges
+        else:
+            vc_padded, vc_lengths = pad_paths(
+                [list(v) for v in vc_ids]
+            )
+            if not np.array_equal(vc_lengths, D):
+                raise NetworkError("vc_ids must match the path lengths")
+            valid = padded >= 0
+            if valid.any() and (
+                vc_padded[valid].min() < 0 or vc_padded[valid].max() >= self.B
+            ):
+                raise NetworkError(f"vc ids must lie in [0, {self.B})")
+            slot_keys = np.where(valid, padded * self.B + vc_padded, -1)
+            capacity = 1
+            num_slots = self.num_edges * self.B
+
+        k = np.zeros(M, dtype=np.int64)  # completed moves per message
+        occupancy = np.zeros(num_slots, dtype=np.int64)
+        edge_contention = (
+            np.zeros(self.num_edges, dtype=np.int64)
+            if record_contention
+            else None
+        )
+        done = trivial.copy()
+        pending = int(M - done.sum())
+        age_priority = np.lexsort((np.arange(M), release)).argsort()
+        rank_priority = (
+            self._rng.permutation(M) if self.priority == "rank" else None
+        )
+        trace: list[np.ndarray] = []
+
+        t = 0
+        while pending and t < max_steps:
+            t += 1
+            active = ~done & (release < t)
+            if not active.any():
+                # Jump to the next release to avoid idling through gaps.
+                future = release[~done]
+                t = int(future.min())
+                continue
+            idx = np.flatnonzero(active)
+            k_a = k[idx]
+            needs_edge = k_a < D[idx]
+            movers_local = np.zeros(idx.size, dtype=bool)
+            movers_local[~needs_edge] = True  # draining worms always move
+
+            if needs_edge.any():
+                contenders = idx[needs_edge]
+                edges = slot_keys[contenders, k[contenders]]
+                raw_edges = padded[contenders, k[contenders]]
+                if self.priority == "random":
+                    prio = self._rng.random(contenders.size)
+                elif self.priority == "age":
+                    prio = age_priority[contenders]
+                elif self.priority == "rank":
+                    prio = rank_priority[contenders]
+                else:
+                    prio = contenders
+                order = np.lexsort((prio, edges))
+                sorted_edges = edges[order]
+                # Rank of each contender within its edge group.
+                group_start = np.empty(order.size, dtype=np.int64)
+                new_group = np.empty(order.size, dtype=bool)
+                new_group[0] = True
+                new_group[1:] = sorted_edges[1:] != sorted_edges[:-1]
+                group_start = np.maximum.accumulate(
+                    np.where(new_group, np.arange(order.size), 0)
+                )
+                rank = np.arange(order.size) - group_start
+                free = capacity - occupancy[sorted_edges]
+                granted_sorted = rank < free
+                granted = np.empty(order.size, dtype=bool)
+                granted[order] = granted_sorted
+                movers_local[needs_edge] = granted
+                # Acquire the newly entered edges.
+                acquired = edges[granted]
+                np.add.at(occupancy, acquired, 1)
+                blocked_ids = contenders[~granted]
+                blocked[blocked_ids] += 1
+                if edge_contention is not None and blocked_ids.size:
+                    np.add.at(edge_contention, raw_edges[~granted], 1)
+
+            movers = idx[movers_local]
+            k[movers] += 1
+            # Release the buffer the tail just vacated: after move k the
+            # last flit has left the head buffer of edge k - L - 1 (it
+            # crossed the *next* edge this step).  The final edge's slot
+            # is released at completion instead — delivered flits never
+            # occupy a buffer.
+            rel_idx = k[movers] - L[movers] - 1
+            sel = (rel_idx >= 0) & (rel_idx < D[movers] - 1)
+            if sel.any():
+                rel_msgs = movers[sel]
+                rel_edges = slot_keys[rel_msgs, rel_idx[sel]]
+                np.add.at(occupancy, rel_edges, -1)
+            finished = movers[k[movers] == total_moves[movers]]
+            if finished.size:
+                completion[finished] = t
+                done[finished] = True
+                pending -= finished.size
+                last_edges = slot_keys[finished, D[finished] - 1]
+                np.add.at(occupancy, last_edges, -1)
+
+            if record_trace:
+                snapshot = np.where(release < t, k, -1)
+                trace.append(snapshot)
+
+            if movers.size == 0:
+                # Nothing moved.  If every pending message is already
+                # released, the configuration can never change: deadlock.
+                if bool((release[~done] < t).all()):
+                    return SimulationResult(
+                        completion_times=completion,
+                        makespan=int(completion.max()),
+                        steps_executed=t,
+                        blocked_steps=blocked,
+                        deadlocked=True,
+                        extra=self._result_extra(
+                            trace, record_trace, edge_contention
+                        ),
+                    )
+
+        return SimulationResult(
+            completion_times=completion,
+            makespan=int(completion.max()),
+            steps_executed=t,
+            blocked_steps=blocked,
+            hit_step_cap=pending > 0,
+            extra=self._result_extra(trace, record_trace, edge_contention),
+        )
+
+    @staticmethod
+    def _result_extra(
+        trace: list[np.ndarray],
+        record_trace: bool,
+        edge_contention: np.ndarray | None,
+    ) -> dict:
+        extra: dict = {}
+        if record_trace:
+            extra["trace"] = (
+                np.vstack(trace) if trace else np.zeros((0, 0), dtype=np.int64)
+            )
+        if edge_contention is not None:
+            extra["edge_contention"] = edge_contention
+        return extra
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_edge_simple(padded: np.ndarray, lengths: np.ndarray) -> None:
+        for m in range(padded.shape[0]):
+            edges = padded[m, : lengths[m]]
+            if np.unique(edges).size != edges.size:
+                raise NetworkError(
+                    f"path of message {m} is not edge-simple; a worm cannot "
+                    "hold two virtual channels on one edge"
+                )

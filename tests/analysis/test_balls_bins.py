@@ -1,0 +1,68 @@
+"""Unit tests for the balls-in-bins machinery (Lemma 3.2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.balls_bins import (
+    lemma_3_2_3_bound,
+    max_load_samples,
+    per_bin_overflow_lower_bound,
+    prob_no_bin_exceeds,
+)
+
+
+class TestMonteCarlo:
+    def test_trivial_cases(self, rng):
+        assert prob_no_bin_exceeds(0, 5, 1, 10, rng) == 1.0
+        assert prob_no_bin_exceeds(2, 1000, 1, 50, rng) > 0.9
+
+    def test_pigeonhole(self, rng):
+        """More balls than B*n forces an overflow always."""
+        assert prob_no_bin_exceeds(11, 5, 2, 20, rng) == 0.0
+
+    def test_probability_falls_with_m(self, rng):
+        n, B = 50, 1
+        p_small = prob_no_bin_exceeds(5, n, B, 400, np.random.default_rng(0))
+        p_large = prob_no_bin_exceeds(40, n, B, 400, np.random.default_rng(0))
+        assert p_large < p_small
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            prob_no_bin_exceeds(-1, 5, 1, 10, rng)
+
+    def test_max_load_samples_shape(self, rng):
+        loads = max_load_samples(10, 10, 25, rng)
+        assert loads.shape == (25,)
+        assert (loads >= 1).all()
+
+
+class TestClosedForms:
+    def test_bound_decreases_with_m(self):
+        vals = [lemma_3_2_3_bound(m, 100, 1) for m in (10, 50, 100)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_statement_vs_proof_exponent(self):
+        s = lemma_3_2_3_bound(50, 100, 1, statement_exponent=True)
+        p = lemma_3_2_3_bound(50, 100, 1, statement_exponent=False)
+        assert s < p  # extra factor of m tightens the statement form
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lemma_3_2_3_bound(10, 100, 0)
+
+    def test_per_bin_lower_bound_in_range(self):
+        p = per_bin_overflow_lower_bound(m=40, n=50, B=1)
+        assert 0 < p < 1
+
+    def test_per_bin_zero_when_too_few_balls(self):
+        assert per_bin_overflow_lower_bound(m=2, n=50, B=2) == 0.0
+
+    def test_lemma_bound_actually_bounds(self):
+        """Empirical no-overflow probability <= the lemma's bound shape
+        for a suitable constant alpha (we use the proof exponent and
+        alpha small enough to be a certified upper bound here)."""
+        rng = np.random.default_rng(1)
+        m, n, B = 60, 64, 1
+        empirical = prob_no_bin_exceeds(m, n, B, 2000, rng)
+        loose = lemma_3_2_3_bound(m, n, B, alpha=0.05, statement_exponent=False)
+        assert empirical <= loose

@@ -1,0 +1,74 @@
+"""Unit tests for the Kruskal-Snir / Koch circuit survival recursion."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.circuit_recursion import (
+    edge_load_distribution,
+    expected_survivors,
+    kruskal_snir_b1_probability,
+)
+from repro.network.butterfly import Butterfly
+from repro.sim.circuit import circuit_switch_butterfly
+
+
+class TestDistribution:
+    def test_is_probability_vector(self):
+        for n in (4, 64):
+            for B in (1, 2, 4):
+                dist = edge_load_distribution(n, B)
+                assert dist.size == B + 1
+                assert dist.min() >= 0
+                assert dist.sum() == pytest.approx(1.0)
+
+    def test_level1_base_case(self):
+        """At n = 2 there is one edge-level: each input's message picks
+        this out-edge with probability 1/2."""
+        dist = edge_load_distribution(2, 1)
+        assert dist[0] == pytest.approx(0.5)
+        assert dist[1] == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            edge_load_distribution(6, 1)
+        with pytest.raises(ValueError):
+            edge_load_distribution(8, 0)
+        with pytest.raises(ValueError):
+            kruskal_snir_b1_probability(12)
+
+
+class TestAgreement:
+    def test_b1_matches_closed_recursion(self):
+        for n in (8, 64, 1024):
+            dist = edge_load_distribution(n, 1)
+            assert dist[1] == pytest.approx(kruskal_snir_b1_probability(n))
+
+    def test_survivors_monotone_in_b(self):
+        for n in (64, 256):
+            vals = [expected_survivors(n, B) for B in (1, 2, 3, 4)]
+            assert vals == sorted(vals)
+            assert vals[-1] <= n
+
+    @pytest.mark.parametrize("n,B", [(64, 1), (64, 2), (256, 1), (256, 3)])
+    def test_matches_monte_carlo(self, n, B):
+        """Independence recursion within a few percent of simulation."""
+        pred = expected_survivors(n, B)
+        rng = np.random.default_rng(0)
+        bf = Butterfly(n)
+        sim = np.mean(
+            [
+                circuit_switch_butterfly(
+                    bf, rng.integers(0, n, n), B, rng
+                ).num_survivors
+                for _ in range(15)
+            ]
+        )
+        assert sim == pytest.approx(pred, rel=0.08)
+
+    def test_fraction_decays_like_one_over_logn(self):
+        """The recursion itself exhibits the Theta(n / log n) decay."""
+        products = [
+            kruskal_snir_b1_probability(1 << k) * 2 * k for k in (6, 10, 14, 18)
+        ]
+        # p * 2 log n per message... fraction = 2p; fraction * log n stable.
+        assert max(products) / min(products) < 1.6

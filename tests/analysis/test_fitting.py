@@ -1,0 +1,52 @@
+"""Unit tests for power-law fitting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import PowerLawFit, fit_power_law, loglog_slope
+
+
+class TestFitPowerLaw:
+    def test_exact_power_law_recovered(self):
+        x = np.array([1.0, 2.0, 4.0, 8.0])
+        y = 3.0 * x**1.5
+        fit = fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(1.5)
+        assert fit.coefficient == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_negative_exponent(self):
+        x = np.array([1.0, 10.0, 100.0])
+        y = 5.0 / x
+        fit = fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(-1.0)
+
+    def test_noisy_fit_reasonable(self, rng):
+        x = np.geomspace(1, 100, 20)
+        y = 2.0 * x**0.5 * np.exp(rng.normal(0, 0.05, 20))
+        fit = fit_power_law(x, y)
+        assert 0.4 < fit.exponent < 0.6
+        assert fit.r_squared > 0.9
+
+    def test_predict(self):
+        fit = PowerLawFit(exponent=2.0, coefficient=1.5, r_squared=1.0)
+        assert fit.predict(np.array([2.0]))[0] == pytest.approx(6.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0, -1.0]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([2.0, 2.0]), np.array([1.0, 3.0]))
+
+    def test_loglog_slope(self):
+        x = np.array([1.0, 2.0, 4.0])
+        assert loglog_slope(x, x**3) == pytest.approx(3.0)
+
+    def test_measured_superlinearity_example(self):
+        """The E2b speedups grow with a positive exponent in B."""
+        B = np.array([1.0, 2.0, 3.0, 4.0])
+        speedup = np.array([1.0, 3.06, 4.68, 5.39])  # from EXPERIMENTS.md
+        fit = fit_power_law(B, speedup)
+        assert fit.exponent > 1.0  # superlinear in B

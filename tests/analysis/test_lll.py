@@ -1,0 +1,116 @@
+"""Unit tests for the LLL / Chernoff toolbox, including the paper's
+verification that each case of Lemma 2.1.5 satisfies 4qb < 1."""
+
+import math
+
+import pytest
+
+from repro.analysis.lll import (
+    bad_event_probability_case12,
+    bad_event_probability_case3,
+    binomial,
+    chernoff_upper_tail,
+    lll_condition,
+    log_binomial,
+)
+
+
+class TestLllCondition:
+    def test_threshold(self):
+        assert lll_condition(q=0.01, b=10)
+        assert not lll_condition(q=0.1, b=10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lll_condition(-0.1, 1)
+
+
+class TestChernoff:
+    def test_decreasing_in_mu(self):
+        assert chernoff_upper_tail(10, 0.5) < chernoff_upper_tail(1, 0.5)
+
+    def test_decreasing_in_delta(self):
+        assert chernoff_upper_tail(10, 1.0) < chernoff_upper_tail(10, 0.1)
+
+    def test_clamps_delta(self):
+        assert chernoff_upper_tail(10, 5.0) == chernoff_upper_tail(10, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(-1, 0.5)
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(1, 0)
+
+    def test_monte_carlo_agreement(self, rng):
+        """The bound actually bounds the empirical tail."""
+        n, p, delta = 200, 0.3, 0.5
+        mu = n * p
+        samples = rng.binomial(n, p, size=4000)
+        empirical = (samples > (1 + delta) * mu).mean()
+        assert empirical <= chernoff_upper_tail(mu, delta)
+
+
+class TestBinomials:
+    def test_exact(self):
+        assert binomial(10, 3) == 120
+
+    def test_log_matches_exact(self):
+        assert log_binomial(20, 7) == pytest.approx(math.log(binomial(20, 7)))
+
+    def test_out_of_range(self):
+        assert log_binomial(5, 7) == float("-inf")
+
+
+class TestBadEventBounds:
+    def test_case12_monotone_in_r(self):
+        assert bad_event_probability_case12(
+            20, 4, 100
+        ) < bad_event_probability_case12(20, 4, 10)
+
+    def test_case12_zero_when_mf_exceeds_ms(self):
+        assert bad_event_probability_case12(3, 5, 10) == 0.0
+
+    def test_case3_trivial_when_mean_exceeds_mf(self):
+        assert bad_event_probability_case3(100, 5, 10) == 1.0
+
+    def test_case3_small_for_big_gap(self):
+        assert bad_event_probability_case3(1000, 500, 10) < 1e-5
+
+    def test_lemma_case1_satisfies_lll(self):
+        """The proof's case-1 computation: 4qb = 4/3^B < 1 for B > 1."""
+        import math as m
+
+        for B in (2, 3, 4):
+            for D in (1 << 12, 1 << 16):
+                log_d = m.log2(D)
+                ms = int(log_d)  # largest ms allowed in case 1
+                mf = B
+                r = m.ceil(3 * m.e * ((D * ms) ** (1 / B)) * ms / B)
+                q = bad_event_probability_case12(ms, mf, r)
+                b = ms * D
+                assert lll_condition(q, b)
+
+    def test_lemma_case2_satisfies_lll(self):
+        """Case 2: ms in (log D, D], mf = log D, r = 32 e ms / log D."""
+        import math as m
+
+        D = 1 << 16
+        log_d = m.log2(D)
+        for ms in (32, 256, D):
+            mf = int(log_d)
+            r = m.ceil(32 * m.e * ms / log_d)
+            q = bad_event_probability_case12(ms, mf, r)
+            assert lll_condition(q, ms * D)
+
+    def test_lemma_case3_satisfies_lll(self):
+        """Case 3: ms > D, mf = max(D, 15 ln^3 ms), Chernoff-based."""
+        import math as m
+
+        D = 64
+        ms = 10**7  # large enough that 15 ln^3 ms < ms
+        ln_ms = m.log(ms)
+        mf = max(D, m.ceil(15 * ln_ms**3))
+        assert mf < ms
+        r = max(2, m.floor(ms / ((1 - 1 / ln_ms) * mf)))
+        q = bad_event_probability_case3(ms, mf, r)
+        assert lll_condition(q, ms * D)

@@ -1,0 +1,51 @@
+"""Unit tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.analysis.tables import Table, format_value
+
+
+class TestFormatValue:
+    def test_int(self):
+        assert format_value(42) == "42"
+
+    def test_bool(self):
+        assert format_value(True) == "True"
+
+    def test_float(self):
+        assert format_value(2.5) == "2.5"
+        assert format_value(0.000123) == "0.000123"
+
+    def test_tiny_float_scientific(self):
+        assert "e" in format_value(1.23e-9)
+
+    def test_zero_and_nan(self):
+        assert format_value(0.0) == "0"
+        assert format_value(float("nan")) == "nan"
+
+    def test_string_passthrough(self):
+        assert format_value("x") == "x"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("demo", ["name", "v"])
+        t.add_row(["a", 1])
+        t.add_row(["longer", 22])
+        out = t.render()
+        lines = out.split("\n")
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "v" in lines[1]
+        assert len(lines) == 5
+        # Columns align: all rows same width.
+        assert len(lines[3].split("|")[0]) == len(lines[4].split("|")[0])
+
+    def test_row_width_checked(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_title(self):
+        t = Table("", ["a"])
+        t.add_row([1])
+        assert t.render().startswith("a")

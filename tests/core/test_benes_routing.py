@@ -1,0 +1,59 @@
+"""Unit tests for the Benes routing facade (Waksman [48])."""
+
+import numpy as np
+import pytest
+
+from repro.core.benes_routing import (
+    route_permutation_benes,
+    route_q_relation_benes,
+)
+from repro.network.graph import NetworkError
+
+
+class TestPermutation:
+    @pytest.mark.parametrize("n", [4, 16, 32])
+    def test_exact_unobstructed_time(self, n, rng):
+        perm = rng.permutation(n)
+        L = 7
+        res = route_permutation_benes(perm, message_length=L)
+        log_n = n.bit_length() - 1
+        assert res.makespan == L + 2 * log_n - 1
+        assert res.total_blocked_steps == 0
+
+    def test_identity(self):
+        res = route_permutation_benes(np.arange(8), message_length=3)
+        assert res.all_delivered
+
+    def test_works_with_extra_channels(self, rng):
+        perm = rng.permutation(16)
+        res = route_permutation_benes(perm, message_length=5, B=3)
+        assert res.all_delivered
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            route_permutation_benes(np.arange(8), message_length=0)
+
+
+class TestQRelation:
+    def test_batches_pipeline(self, rng):
+        n, q, L = 8, 3, 5
+        perms = [rng.permutation(n) for _ in range(q)]
+        res = route_q_relation_benes(perms, message_length=L)
+        assert res.num_messages == q * n
+        assert res.all_delivered
+        # Pipelined batches: last batch starts (q-1)(L+1) late.
+        log_n = n.bit_length() - 1
+        assert res.makespan == (q - 1) * (L + 1) + L + 2 * log_n - 1
+
+    def test_pipelined_batches_never_block(self, rng):
+        perms = [rng.permutation(16) for _ in range(4)]
+        res = route_q_relation_benes(perms, message_length=6)
+        assert res.total_blocked_steps == 0
+
+    def test_validation(self, rng):
+        with pytest.raises(NetworkError):
+            route_q_relation_benes([], message_length=3)
+        with pytest.raises(NetworkError):
+            route_q_relation_benes(
+                [rng.permutation(8), rng.permutation(4)], message_length=3
+            )

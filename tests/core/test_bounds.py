@@ -1,0 +1,204 @@
+"""Unit tests for the closed-form theorem bounds."""
+
+import math
+
+import pytest
+
+from repro.core import bounds
+
+
+class TestHelpers:
+    def test_log2c_clamps(self):
+        assert bounds.log2c(0.5) == 1.0
+        assert bounds.log2c(2.0) == 1.0
+        assert bounds.log2c(8.0) == 3.0
+
+    def test_unobstructed(self):
+        assert bounds.unobstructed_time(L=5, D=3) == 7
+
+
+class TestGeneralBounds:
+    def test_upper_bound_b1_is_lcd_logd(self):
+        """At B = 1 the bound collapses to (L+D) C D log D."""
+        v = bounds.general_upper_bound(L=32, C=16, D=32, B=1)
+        assert v == pytest.approx((32 + 32) * 16 * 32 * 5)
+
+    def test_upper_bound_small_c_case(self):
+        """C <= log D uses (D C)^(1/B)."""
+        v = bounds.general_upper_bound(L=8, C=2, D=256, B=2)
+        assert v == pytest.approx((8 + 256) * 2 * math.sqrt(256 * 2) / 2)
+
+    def test_lower_bound_formula(self):
+        assert bounds.general_lower_bound(L=10, C=6, D=16, B=2) == pytest.approx(
+            10 * 6 * 4 / 2
+        )
+
+    def test_upper_dominates_lower(self):
+        """Theorem 2.1.6's bound always covers Theorem 2.2.1's."""
+        for B in (1, 2, 3, 4):
+            for D in (8, 64, 512):
+                for C in (4, 32, 128):
+                    up = bounds.general_upper_bound(2 * D, C, D, B)
+                    lo = bounds.general_lower_bound(2 * D, C, D, B)
+                    assert up >= lo
+
+    def test_bounds_decrease_in_b(self):
+        for fn in (bounds.general_upper_bound, bounds.general_lower_bound):
+            vals = [fn(64, 32, 32, B) for B in (1, 2, 3, 4)]
+            assert vals == sorted(vals, reverse=True)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            bounds.general_upper_bound(0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            bounds.general_lower_bound(1, 1, 0, 1)
+
+
+class TestSpeedup:
+    def test_superlinear(self):
+        """Section 1.4: speedup B D^(1-1/B) exceeds B for D > 1, B > 1."""
+        for B in (2, 3, 4):
+            for D in (16, 256):
+                assert bounds.virtual_channel_speedup(D, B) > B
+
+    def test_b1_is_unity(self):
+        assert bounds.virtual_channel_speedup(100, 1) == pytest.approx(1.0)
+
+    def test_grows_with_d(self):
+        assert bounds.virtual_channel_speedup(256, 2) > bounds.virtual_channel_speedup(16, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bounds.virtual_channel_speedup(0, 1)
+
+
+class TestBaselines:
+    def test_naive(self):
+        assert bounds.naive_coloring_bound(4, 3, 5) == 9 * 3 * 5
+
+    def test_store_forward(self):
+        assert bounds.store_forward_bound(4, 3, 5) == 4 * 8
+
+    def test_ordering_when_c_large(self):
+        """For C >> D and B = 1, store-and-forward beats wormhole (Sec 1.3.2)."""
+        L, C, D = 64, 64, 8
+        assert bounds.store_forward_bound(L, C, D) < bounds.general_lower_bound(
+            L, C, D, 1
+        )
+
+
+class TestButterflyBounds:
+    def test_upper_decreases_in_b(self):
+        vals = [bounds.butterfly_upper_bound(16, 16, 1024, B) for B in (1, 2, 3)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_lower_below_upper(self):
+        for B in (1, 2, 3):
+            for n in (64, 1024):
+                q = int(bounds.log2c(n))
+                L = q
+                assert bounds.butterfly_lower_bound(
+                    L, q, n, B
+                ) <= bounds.butterfly_upper_bound(L, q, n, B)
+
+    def test_subset_size_ratio_shrinks_asymptotically(self):
+        """s / (n q) must fall with n for the lower bound to bite; the
+        paper's constants put the crossover beyond simulator scales, so
+        we check the trend."""
+        ratios = []
+        for exp in (8, 16, 32, 64):
+            n = 1 << exp
+            q = exp
+            s = bounds.butterfly_subset_size(n, q, L=q, B=1)
+            assert s > 0
+            ratios.append(s / (n * q))
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bounds.butterfly_upper_bound(0, 1, 4, 1)
+        with pytest.raises(ValueError):
+            bounds.butterfly_lower_bound(1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            bounds.butterfly_subset_size(4, 0, 1, 1)
+
+
+class TestContextualLowerBounds:
+    """Section 1.3.2's oblivious-routing bounds (Borodin-Hopcroft,
+    Kaklamanis et al., Aiello et al.) and the Ranade B=1 butterfly form."""
+
+    def test_borodin_hopcroft_grows_with_n(self):
+        vals = [bounds.borodin_hopcroft_oblivious(n, 4) for n in (64, 1024, 1 << 16)]
+        assert vals == sorted(vals)
+
+    def test_oblivious_wormhole_translation(self):
+        """Flit-step form = L / B times the message-step form."""
+        assert bounds.oblivious_wormhole_lower_bound(
+            1024, 4, 16, 2
+        ) == pytest.approx(16 * bounds.borodin_hopcroft_oblivious(1024, 4) / 2)
+
+    def test_aiello_decreases_in_b(self):
+        vals = [bounds.aiello_randomized_oblivious(1 << 16, 4, 16, B) for B in (1, 2, 4)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_ranade_b1_nearly_cubic(self):
+        """The form sits between log^2 n and log^3 n."""
+        n = 1 << 32
+        v = bounds.ranade_b1_butterfly_lower(n)
+        assert bounds.log2c(n) ** 2 < v < bounds.log2c(n) ** 3
+
+    def test_butterfly_transpose_congestion_matches_oblivious_bound(self):
+        """A concrete witness: the transpose permutation's congestion on
+        the butterfly's unique paths is Theta(sqrt(n)), the mechanism
+        behind the oblivious lower bounds."""
+        from repro import Butterfly, transpose_permutation
+        from repro.routing.paths import congestion, paths_from_node_walks
+
+        import numpy as np
+
+        for n in (16, 64, 256):
+            bf = Butterfly(n)
+            inst = transpose_permutation(n)
+            edges = bf.path_edges_batch(inst.sources, inst.dests)
+            flat = edges.ravel()
+            load = np.bincount(flat).max()
+            # With our LSB-first bit order the peak load is sqrt(n)/2 —
+            # Theta(sqrt(n)), the oblivious-bound mechanism.
+            assert load == int(np.sqrt(n)) // 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bounds.borodin_hopcroft_oblivious(0, 1)
+        with pytest.raises(ValueError):
+            bounds.oblivious_wormhole_lower_bound(4, 1, 0, 1)
+        with pytest.raises(ValueError):
+            bounds.aiello_randomized_oblivious(1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            bounds.ranade_b1_butterfly_lower(1)
+
+
+class TestKochAndAlgorithmParams:
+    def test_koch_monotone_in_b(self):
+        vals = [bounds.koch_circuit_throughput(1024, B) for B in (1, 2, 3)]
+        assert vals == sorted(vals)
+
+    def test_koch_b1(self):
+        assert bounds.koch_circuit_throughput(1024, 1) == pytest.approx(102.4)
+
+    def test_num_rounds(self):
+        # 2 log log(nq) + 1 with n=256, q=8: log(2048)=11, loglog ~ 3.46 -> 4.
+        assert bounds.num_rounds(256, 8) == 9
+
+    def test_num_colors_positive(self):
+        for B in (1, 2, 3):
+            assert bounds.num_colors(256, 8, B) >= 1
+
+    def test_num_colors_decreases_in_b(self):
+        vals = [bounds.num_colors(4096, 12, B) for B in (1, 2, 3, 4)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bounds.koch_circuit_throughput(1, 1)
+        with pytest.raises(ValueError):
+            bounds.num_colors(4, 1, 0)

@@ -1,0 +1,229 @@
+"""Unit tests for LLL color refinement (Lemma 2.1.5, Section 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coloring import (
+    MessageEdgeIncidence,
+    lemma_2_1_5_parameters,
+    merge_color_classes,
+    multiplex_size,
+    reduce_multiplex_size,
+    refine_colors,
+)
+from repro.network.graph import NetworkError
+from repro.network.random_networks import chain_bundle
+from repro.routing.paths import paths_from_node_walks
+
+
+def chain_paths(chains, depth, per_chain):
+    net, walks = chain_bundle(chains, depth, per_chain)
+    return paths_from_node_walks(net, walks)
+
+
+class TestIncidence:
+    def test_from_paths(self):
+        paths = chain_paths(2, 3, 2)
+        inc = MessageEdgeIncidence.from_paths(paths)
+        assert inc.num_messages == 4
+        assert inc.message_ids.size == 4 * 3
+
+    def test_raw_edge_lists(self):
+        inc = MessageEdgeIncidence.from_paths([[0, 1], [1, 2]])
+        assert inc.num_edges == 3
+
+    def test_rejects_non_edge_simple(self):
+        with pytest.raises(NetworkError, match="edge-simple"):
+            MessageEdgeIncidence.from_paths([[0, 0]])
+
+    def test_empty_paths_allowed(self):
+        inc = MessageEdgeIncidence.from_paths([[], []])
+        assert inc.num_messages == 2
+        assert inc.num_edges == 0
+
+
+class TestMultiplexSize:
+    def test_single_color_is_congestion(self):
+        """Definition 2.1.4: one color class -> multiplex size = C."""
+        paths = chain_paths(1, 4, 5)
+        inc = MessageEdgeIncidence.from_paths(paths)
+        assert multiplex_size(inc, np.zeros(5, dtype=np.int64)) == 5
+
+    def test_distinct_colors_reduce(self):
+        paths = chain_paths(1, 4, 4)
+        inc = MessageEdgeIncidence.from_paths(paths)
+        assert multiplex_size(inc, np.arange(4)) == 1
+        assert multiplex_size(inc, np.array([0, 0, 1, 1])) == 2
+
+    def test_empty(self):
+        inc = MessageEdgeIncidence.from_paths([])
+        assert multiplex_size(inc, np.zeros(0, dtype=np.int64)) == 0
+
+
+class TestLemmaParameters:
+    def test_case1_selected(self):
+        """log D >= ms > B picks case 1 with mf = B."""
+        case, mf, r = lemma_2_1_5_parameters(ms=4, D=1 << 10, B=2)
+        assert case == 1
+        assert mf == 2
+        assert r >= 2
+
+    def test_case2_selected(self):
+        """D >= ms > log D picks case 2 with mf = log D."""
+        case, mf, r = lemma_2_1_5_parameters(ms=100, D=256, B=1)
+        assert case == 2
+        assert mf == 8
+
+    def test_case3_selected(self):
+        case, mf, r = lemma_2_1_5_parameters(ms=1000, D=16, B=1)
+        assert case == 3
+        assert mf >= 16
+
+    def test_rejects_ms_below_b(self):
+        with pytest.raises(ValueError):
+            lemma_2_1_5_parameters(ms=2, D=8, B=2)
+
+    def test_case1_r_matches_paper(self):
+        """r = 3e (D ms)^(1/B) ms / B, rounded up."""
+        import math
+
+        _, _, r = lemma_2_1_5_parameters(ms=3, D=1 << 20, B=1)
+        expected = 3 * math.e * ((1 << 20) * 3) * 3
+        assert r == math.ceil(expected)
+
+
+class TestRefineColors:
+    def test_refinement_respects_parent_classes(self, rng):
+        paths = chain_paths(2, 3, 4)
+        inc = MessageEdgeIncidence.from_paths(paths)
+        colors = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        new = refine_colors(inc, colors, r=4, mf=1, rng=rng)
+        assert new is not None
+        assert np.array_equal(new // 4, colors)
+
+    def test_refinement_achieves_target(self, rng):
+        paths = chain_paths(1, 4, 8)
+        inc = MessageEdgeIncidence.from_paths(paths)
+        colors = np.zeros(8, dtype=np.int64)
+        new = refine_colors(inc, colors, r=8, mf=2, rng=rng)
+        assert new is not None
+        assert multiplex_size(inc, new) <= 2
+
+    def test_infeasible_budget_returns_none(self, rng):
+        """r = 1 cannot reduce multiplex size below C."""
+        paths = chain_paths(1, 3, 4)
+        inc = MessageEdgeIncidence.from_paths(paths)
+        new = refine_colors(
+            inc, np.zeros(4, dtype=np.int64), r=1, mf=2, rng=rng, max_rounds=50
+        )
+        assert new is None
+
+    def test_validation(self, rng):
+        inc = MessageEdgeIncidence.from_paths([[0]])
+        with pytest.raises(ValueError):
+            refine_colors(inc, np.zeros(1, dtype=np.int64), r=0, mf=1, rng=rng)
+
+    def test_no_edges_trivial(self, rng):
+        inc = MessageEdgeIncidence.from_paths([[], []])
+        new = refine_colors(inc, np.zeros(2, dtype=np.int64), r=3, mf=1, rng=rng)
+        assert new is not None
+
+
+class TestReduceMultiplexSize:
+    @pytest.mark.parametrize("mode", ["adaptive", "direct"])
+    @pytest.mark.parametrize("B", [1, 2, 3])
+    def test_reaches_b(self, mode, B, rng):
+        paths = chain_paths(2, 5, 9)
+        trace = reduce_multiplex_size(paths, B=B, rng=rng, mode=mode)
+        inc = MessageEdgeIncidence.from_paths(paths)
+        assert multiplex_size(inc, trace.colors) <= B
+        assert trace.final_multiplex <= B
+
+    def test_theory_mode_small_instance(self, rng):
+        paths = chain_paths(1, 4, 3)
+        trace = reduce_multiplex_size(paths, B=1, rng=rng, mode="theory")
+        inc = MessageEdgeIncidence.from_paths(paths)
+        assert multiplex_size(inc, trace.colors) <= 1
+
+    def test_direct_mode_uses_single_stage(self, rng):
+        paths = chain_paths(1, 4, 10)
+        trace = reduce_multiplex_size(paths, B=2, rng=rng, mode="direct")
+        assert len(trace.stages) == 1
+        assert trace.stages[0].mf_target == 2
+
+    def test_c_below_b_no_stages(self, rng):
+        paths = chain_paths(2, 3, 2)
+        trace = reduce_multiplex_size(paths, B=5, rng=rng)
+        assert trace.stages == ()
+        assert trace.num_color_classes == 1
+
+    def test_stage_bookkeeping_monotone(self, rng):
+        paths = chain_paths(1, 6, 30)
+        trace = reduce_multiplex_size(paths, B=1, rng=rng, mode="adaptive")
+        ms_values = [s.ms_before for s in trace.stages] + [
+            trace.stages[-1].ms_after
+        ]
+        assert ms_values == sorted(ms_values, reverse=True)
+        assert ms_values[0] == 30
+
+    def test_colors_dense(self, rng):
+        paths = chain_paths(2, 4, 6)
+        trace = reduce_multiplex_size(paths, B=2, rng=rng)
+        assert set(np.unique(trace.colors)) == set(range(trace.num_color_classes))
+
+    def test_num_classes_grows_as_b_shrinks(self, rng):
+        paths = chain_paths(1, 6, 12)
+        classes = {}
+        for B in (1, 2, 3):
+            trace = reduce_multiplex_size(
+                paths, B=B, rng=np.random.default_rng(0), mode="direct"
+            )
+            classes[B] = trace.num_color_classes
+        assert classes[1] >= classes[2] >= classes[3]
+        assert classes[1] >= 12  # B=1 on a shared chain needs >= C classes
+
+    def test_mode_validation(self, rng):
+        with pytest.raises(ValueError):
+            reduce_multiplex_size([[0]], B=1, rng=rng, mode="bogus")
+        with pytest.raises(ValueError):
+            reduce_multiplex_size([[0]], B=0, rng=rng)
+
+
+class TestMergeColorClasses:
+    def test_merges_disjoint_classes(self):
+        """Messages on disjoint edges can all share one class."""
+        paths = chain_paths(4, 3, 1)
+        inc = MessageEdgeIncidence.from_paths(paths)
+        merged = merge_color_classes(inc, np.arange(4), B=1)
+        assert set(merged) == {0}
+
+    def test_never_violates_b(self, rng):
+        paths = chain_paths(2, 4, 6)
+        inc = MessageEdgeIncidence.from_paths(paths)
+        for B in (1, 2, 3):
+            trace = reduce_multiplex_size(paths, B=B, rng=rng, merge=False)
+            merged = merge_color_classes(inc, trace.colors, B)
+            assert multiplex_size(inc, merged) <= B
+            assert merged.max() <= trace.colors.max()
+
+    def test_shared_chain_cannot_merge_below_c_over_b(self):
+        paths = chain_paths(1, 3, 6)
+        inc = MessageEdgeIncidence.from_paths(paths)
+        merged = merge_color_classes(inc, np.arange(6), B=2)
+        assert merged.max() + 1 == 3  # exactly C / B classes
+
+    def test_single_class_untouched(self):
+        paths = chain_paths(1, 2, 1)
+        inc = MessageEdgeIncidence.from_paths(paths)
+        merged = merge_color_classes(inc, np.zeros(1, dtype=np.int64), B=1)
+        assert list(merged) == [0]
+
+    def test_merge_flag_in_reduce(self, rng):
+        paths = chain_paths(2, 4, 8)
+        merged = reduce_multiplex_size(
+            paths, B=2, rng=np.random.default_rng(0), merge=True
+        )
+        raw = reduce_multiplex_size(
+            paths, B=2, rng=np.random.default_rng(0), merge=False
+        )
+        assert merged.num_color_classes <= raw.num_color_classes

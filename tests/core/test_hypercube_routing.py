@@ -1,0 +1,82 @@
+"""Unit tests for randomized two-phase hypercube routing ([1]-style)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypercube_routing import route_hypercube_permutation
+from repro.network.graph import NetworkError
+from repro.network.hypercube import Hypercube
+from repro.routing.problems import random_permutation, transpose_permutation
+
+
+class TestRouting:
+    def test_permutation_delivered(self):
+        cube = Hypercube(32)
+        inst = random_permutation(32, np.random.default_rng(0))
+        out = route_hypercube_permutation(cube, inst, message_length=6, B=2)
+        assert out.all_delivered
+
+    def test_identity_is_fast(self):
+        """Identity permutation: phase 2 retraces phase 1; both phases
+        behave like random one-phase problems."""
+        cube = Hypercube(16)
+        inst = random_permutation(16, np.random.default_rng(1))
+        # Replace with identity.
+        inst = type(inst)(16, inst.sources, inst.sources.copy())
+        out = route_hypercube_permutation(cube, inst, message_length=4, B=2)
+        assert out.all_delivered
+
+    def test_time_scales_like_l_plus_logn(self):
+        """Total time stays within a constant of L + 2 log n across n."""
+        L = 8
+        ratios = []
+        for n in (16, 64, 256):
+            cube = Hypercube(n)
+            inst = random_permutation(n, np.random.default_rng(n))
+            out = route_hypercube_permutation(cube, inst, L, B=2, seed=3)
+            assert out.all_delivered
+            ratios.append(out.total_flit_steps / (L + 2 * cube.dimension))
+        assert max(ratios) / min(ratios) < 3.0
+        assert max(ratios) < 8.0
+
+    def test_adversarial_transpose_tamed(self):
+        """Transpose is adversarial for one-phase bit-fixing (congestion
+        sqrt(n)); random intermediates bring congestion down."""
+        n = 256
+        cube = Hypercube(n)
+        inst = transpose_permutation(n)
+        out = route_hypercube_permutation(
+            cube, inst, message_length=4, B=2, rng=np.random.default_rng(5)
+        )
+        assert out.all_delivered
+        # One-phase transpose congestion is sqrt(n) = 16 on some edge;
+        # each random phase stays well below that.
+        assert out.congestion_phase1 < 12
+        assert out.congestion_phase2 < 12
+
+    def test_more_channels_never_slower(self):
+        cube = Hypercube(64)
+        inst = random_permutation(64, np.random.default_rng(7))
+        t2 = route_hypercube_permutation(cube, inst, 8, B=2, seed=0).total_flit_steps
+        t4 = route_hypercube_permutation(cube, inst, 8, B=4, seed=0).total_flit_steps
+        assert t4 <= t2
+
+    def test_validation(self):
+        cube = Hypercube(16)
+        inst = random_permutation(8, np.random.default_rng(0))
+        with pytest.raises(NetworkError):
+            route_hypercube_permutation(cube, inst, 4)
+        inst16 = random_permutation(16, np.random.default_rng(0))
+        with pytest.raises(NetworkError):
+            route_hypercube_permutation(cube, inst16, 0)
+
+    def test_reproducible(self):
+        cube = Hypercube(32)
+        inst = random_permutation(32, np.random.default_rng(2))
+        a = route_hypercube_permutation(
+            cube, inst, 6, B=2, rng=np.random.default_rng(9), seed=1
+        )
+        b = route_hypercube_permutation(
+            cube, inst, 6, B=2, rng=np.random.default_rng(9), seed=1
+        )
+        assert a.total_flit_steps == b.total_flit_steps

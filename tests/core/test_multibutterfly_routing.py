@@ -1,0 +1,80 @@
+"""Unit tests for multibutterfly wormhole routing ([3])."""
+
+import numpy as np
+import pytest
+
+from repro.core.multibutterfly_routing import MultibutterflyRouter
+from repro.network.graph import NetworkError
+from repro.network.multibutterfly import Multibutterfly
+from repro.routing.problems import random_permutation, transpose_permutation
+
+
+@pytest.fixture
+def mbf16():
+    return Multibutterfly(16, d=2, rng=np.random.default_rng(0))
+
+
+class TestRouting:
+    def test_permutation_delivered(self, mbf16):
+        inst = random_permutation(16, np.random.default_rng(1))
+        router = MultibutterflyRouter(mbf16, 1, seed=0)
+        res = router.run(inst, message_length=5)
+        assert res.all_delivered
+
+    def test_single_message_unobstructed(self, mbf16):
+        from repro.routing.problems import RoutingInstance
+
+        inst = RoutingInstance(
+            16, np.array([3], dtype=np.int64), np.array([11], dtype=np.int64)
+        )
+        res = MultibutterflyRouter(mbf16, 1).run(inst, message_length=6)
+        assert res.makespan == 6 + 4 - 1  # L + log n - 1
+
+    def test_time_near_l_plus_logn(self):
+        """[3]'s O(L + log n) shape across n at d = 2, B = 1."""
+        L = 8
+        ratios = []
+        for n in (16, 64, 256):
+            mbf = Multibutterfly(n, d=2, rng=np.random.default_rng(n))
+            inst = random_permutation(n, np.random.default_rng(n + 1))
+            res = MultibutterflyRouter(mbf, 1, seed=0).run(inst, L)
+            assert res.all_delivered
+            ratios.append(res.makespan / (L + mbf.log_n))
+        assert max(ratios) < 6.0
+        assert max(ratios) / min(ratios) < 3.0
+
+    def test_diversity_beats_d1(self):
+        """d = 2 path diversity lowers blocking vs a randomly-wired
+        d = 1 'butterfly' on the same traffic."""
+        n, L = 64, 8
+        inst = transpose_permutation(n)
+        spans = {}
+        for d in (1, 2, 3):
+            mbf = Multibutterfly(n, d=d, rng=np.random.default_rng(4))
+            res = MultibutterflyRouter(mbf, 1, seed=0).run(inst, L)
+            assert res.all_delivered
+            spans[d] = res.makespan
+        assert spans[2] <= spans[1]
+        assert spans[3] <= spans[1]
+
+    def test_more_channels_help(self, mbf16):
+        inst = random_permutation(16, np.random.default_rng(3))
+        t1 = MultibutterflyRouter(mbf16, 1, seed=0).run(inst, 8).makespan
+        t2 = MultibutterflyRouter(mbf16, 2, seed=0).run(inst, 8).makespan
+        assert t2 <= t1
+
+    def test_validation(self, mbf16):
+        inst = random_permutation(8, np.random.default_rng(0))
+        with pytest.raises(NetworkError):
+            MultibutterflyRouter(mbf16).run(inst, 4)
+        inst16 = random_permutation(16, np.random.default_rng(0))
+        with pytest.raises(NetworkError):
+            MultibutterflyRouter(mbf16).run(inst16, 0)
+        with pytest.raises(NetworkError):
+            MultibutterflyRouter(mbf16, 0)
+
+    def test_reproducible(self, mbf16):
+        inst = random_permutation(16, np.random.default_rng(5))
+        a = MultibutterflyRouter(mbf16, 1, seed=9).run(inst, 4)
+        b = MultibutterflyRouter(mbf16, 1, seed=9).run(inst, 4)
+        assert np.array_equal(a.completion_times, b.completion_times)

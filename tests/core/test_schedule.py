@@ -1,0 +1,68 @@
+"""Unit tests for the schedule object and its simulator validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import ColorClassSchedule, execute_schedule
+from repro.network.graph import NetworkError
+from repro.network.random_networks import chain_bundle
+from repro.routing.paths import paths_from_node_walks
+
+
+def chain_setup(per_chain, depth=4):
+    net, walks = chain_bundle(1, depth, per_chain)
+    return net, paths_from_node_walks(net, walks)
+
+
+class TestColorClassSchedule:
+    def test_canonical_phase(self):
+        s = ColorClassSchedule.from_colors(np.array([0, 1, 2]), 5, 4)
+        assert s.phase_length == 5 + 4 - 1
+        assert s.num_classes == 3
+        assert s.length_bound == 24
+        assert list(s.release_times()) == [0, 8, 16]
+
+    def test_zero_dilation(self):
+        s = ColorClassSchedule.from_colors(np.array([0]), 5, 0)
+        assert s.phase_length == 5
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            ColorClassSchedule(np.array([-1]), 3, 2, 4)
+        with pytest.raises(NetworkError):
+            ColorClassSchedule(np.array([0]), 3, 2, 0)
+
+    def test_empty(self):
+        s = ColorClassSchedule.from_colors(np.zeros(0, np.int64), 3, 2)
+        assert s.num_classes == 0
+        assert s.length_bound == 0
+
+
+class TestExecuteSchedule:
+    def test_valid_schedule_runs_unblocked(self):
+        net, paths = chain_setup(per_chain=3)
+        s = ColorClassSchedule.from_colors(np.array([0, 1, 2]), 6, 4)
+        res = execute_schedule(net, paths, s, B=1)
+        assert res.all_delivered
+        assert res.total_blocked_steps == 0
+        assert res.makespan <= s.length_bound
+
+    def test_b2_packs_two_per_class(self):
+        net, paths = chain_setup(per_chain=4)
+        s = ColorClassSchedule.from_colors(np.array([0, 0, 1, 1]), 6, 4)
+        res = execute_schedule(net, paths, s, B=2)
+        assert res.makespan == 2 * (6 + 4 - 1)
+
+    def test_invalid_schedule_rejected(self):
+        """Two same-class worms on one edge at B = 1 must block."""
+        net, paths = chain_setup(per_chain=2)
+        s = ColorClassSchedule.from_colors(np.array([0, 0]), 6, 4)
+        with pytest.raises(NetworkError, match="blocked"):
+            execute_schedule(net, paths, s, B=1)
+
+    def test_unblocked_check_optional(self):
+        net, paths = chain_setup(per_chain=2)
+        s = ColorClassSchedule.from_colors(np.array([0, 0]), 6, 4)
+        res = execute_schedule(net, paths, s, B=1, require_unblocked=False)
+        assert res.all_delivered  # blocked but eventually done
+        assert res.total_blocked_steps > 0

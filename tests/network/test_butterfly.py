@@ -1,0 +1,198 @@
+"""Unit tests for the butterfly networks (Section 1.2, Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.network.butterfly import Butterfly, is_power_of_two, wrapped_butterfly
+from repro.network.graph import NetworkError
+
+
+class TestSizes:
+    def test_paper_node_count(self):
+        """An n-input butterfly has n(log n + 1) nodes (Section 1.2)."""
+        for n in (2, 4, 8, 16):
+            bf = Butterfly(n)
+            assert bf.num_nodes == n * (bf.log_n + 1)
+
+    def test_fig1_eight_input(self):
+        """Fig. 1: 8 inputs, 4 levels of 8 nodes, 2 out-edges per non-output."""
+        bf = Butterfly(8)
+        assert bf.log_n == 3
+        assert bf.num_levels == 4
+        assert bf.num_nodes == 32
+        assert bf.num_edges == 2 * 8 * 3
+
+    def test_invalid_n(self):
+        for n in (0, 1, 3, 6):
+            with pytest.raises(NetworkError):
+                Butterfly(n)
+
+    def test_invalid_depth(self):
+        with pytest.raises(NetworkError):
+            Butterfly(4, depth=0)
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+        assert not is_power_of_two(-4)
+
+
+class TestStructure:
+    def test_edge_endpoints_straight(self, butterfly8):
+        e = butterfly8.edge(column=5, level=1, cross=False)
+        tail, head = butterfly8.edge_endpoints(e)
+        assert tail == butterfly8.node(5, 1)
+        assert head == butterfly8.node(5, 2)
+
+    def test_edge_endpoints_cross_flips_level_bit(self, butterfly8):
+        """Cross edges from level i flip the bit of weight 2**i."""
+        e = butterfly8.edge(column=5, level=1, cross=True)
+        _, head = butterfly8.edge_endpoints(e)
+        assert butterfly8.column_of(head) == 5 ^ 2
+        assert butterfly8.level_of(head) == 2
+
+    def test_paper_adjacency_rule(self, butterfly8):
+        """(w, i) links to (w', i+1) iff w == w' or they differ in bit i+1."""
+        net = butterfly8.to_network()
+        for e in net.iter_edges():
+            w, i = net.label(e.tail)
+            w2, i2 = net.label(e.head)
+            assert i2 == i + 1
+            assert w == w2 or (w ^ w2) == 1 << i
+
+    def test_to_network_ids_match_arithmetic(self, butterfly8):
+        net = butterfly8.to_network()
+        assert net.num_nodes == butterfly8.num_nodes
+        assert net.num_edges == butterfly8.num_edges
+        for col in range(8):
+            for level in range(3):
+                for cross in (False, True):
+                    e = butterfly8.edge(col, level, cross)
+                    tail, head = butterfly8.edge_endpoints(e)
+                    assert net.tail(e) == tail
+                    assert net.head(e) == head
+
+    def test_network_is_leveled(self, butterfly8):
+        assert butterfly8.to_network().is_leveled()
+
+    def test_inputs_outputs(self, butterfly8):
+        assert list(butterfly8.inputs()) == list(range(8))
+        assert list(butterfly8.outputs()) == list(range(24, 32))
+
+    def test_node_bounds(self, butterfly8):
+        with pytest.raises(NetworkError):
+            butterfly8.node(8, 0)
+        with pytest.raises(NetworkError):
+            butterfly8.node(0, 4)
+        with pytest.raises(NetworkError):
+            butterfly8.edge(0, 3, False)  # no edges out of the last level
+        with pytest.raises(NetworkError):
+            butterfly8.edge_endpoints(butterfly8.num_edges)
+
+
+class TestPaths:
+    def test_unique_path_fixes_bits(self, butterfly8):
+        cols = butterfly8.path_columns(src_col=0b101, dst_col=0b010)
+        assert cols[0] == 0b101
+        assert cols[-1] == 0b010
+        # Bit i is fixed when crossing level i.
+        assert cols[1] == 0b100  # bit 0 set to dst
+        assert cols[2] == 0b110  # bit 1 set to dst
+        assert cols[3] == 0b010  # bit 2 set to dst
+
+    def test_path_edges_consistent_with_columns(self, butterfly8):
+        src, dst = 3, 6
+        cols = butterfly8.path_columns(src, dst)
+        edges = butterfly8.path_edges(src, dst)
+        for lvl, e in enumerate(edges):
+            tail, head = butterfly8.edge_endpoints(int(e))
+            assert butterfly8.column_of(tail) == cols[lvl]
+            assert butterfly8.column_of(head) == cols[lvl + 1]
+
+    def test_all_pairs_reach_destination(self):
+        bf = Butterfly(16)
+        src = np.repeat(np.arange(16), 16)
+        dst = np.tile(np.arange(16), 16)
+        cols = bf.path_columns_batch(src, dst)
+        assert np.array_equal(cols[:, 0], src)
+        assert np.array_equal(cols[:, -1], dst)
+
+    def test_batch_shape_validation(self, butterfly8):
+        with pytest.raises(NetworkError):
+            butterfly8.path_columns_batch(np.zeros(3), np.zeros(4))
+        with pytest.raises(NetworkError):
+            butterfly8.path_columns_batch(np.array([9]), np.array([0]))
+
+    def test_straight_path_all_straight_edges(self, butterfly8):
+        edges = butterfly8.path_edges(5, 5)
+        for e in edges:
+            assert int(e) % 2 == 0  # straight edges have even ids
+
+
+class TestCascade:
+    def test_two_pass_depth(self):
+        bf = Butterfly(8, passes=2)
+        assert bf.depth == 6
+        assert bf.cross_bit(3) == 0  # second pass restarts bit order
+
+    def test_two_pass_paths_via_intermediate(self):
+        bf = Butterfly(8, passes=2)
+        src = np.array([0, 1, 2])
+        mid = np.array([7, 0, 5])
+        dst = np.array([3, 3, 3])
+        edges = bf.two_pass_path_edges_batch(src, mid, dst)
+        assert edges.shape == (3, 6)
+        # Verify endpoint continuity and the intermediate visit.
+        for row, (s, m, d) in zip(edges, zip(src, mid, dst)):
+            tail0, _ = bf.edge_endpoints(int(row[0]))
+            assert bf.column_of(tail0) == s and bf.level_of(tail0) == 0
+            _, mid_node = bf.edge_endpoints(int(row[2]))
+            assert bf.column_of(mid_node) == m and bf.level_of(mid_node) == 3
+            _, final = bf.edge_endpoints(int(row[-1]))
+            assert bf.column_of(final) == d and bf.level_of(final) == 6
+            for a, b in zip(row[:-1], row[1:]):
+                _, head = bf.edge_endpoints(int(a))
+                tail, _ = bf.edge_endpoints(int(b))
+                assert head == tail
+
+    def test_two_pass_requires_cascade(self, butterfly8):
+        with pytest.raises(NetworkError, match="two-pass"):
+            butterfly8.two_pass_path_edges_batch(
+                np.array([0]), np.array([0]), np.array([0])
+            )
+
+    def test_truncated_butterfly(self):
+        bf = Butterfly(16, depth=2)
+        assert bf.num_levels == 3
+        assert bf.num_edges == 2 * 16 * 2
+        cols = bf.path_columns(0b1111, 0b0000)
+        # Only bits 0 and 1 are fixed in two levels.
+        assert cols[-1] == 0b1100
+
+
+class TestWrapped:
+    def test_wrap_around_sizes(self):
+        """Wrapped butterfly identifies level log n with level 0."""
+        net = wrapped_butterfly(8)
+        assert net.num_nodes == 8 * 3
+        assert net.num_edges == 2 * 8 * 3
+
+    def test_wrap_edges_reenter_level_zero(self):
+        net = wrapped_butterfly(4)
+        # Edges out of level 1 (the last) land on level 0.
+        for e in net.iter_edges():
+            w, lvl = net.label(e.tail)
+            w2, lvl2 = net.label(e.head)
+            assert lvl2 == (lvl + 1) % 2
+
+    def test_wrap_invalid_n(self):
+        with pytest.raises(NetworkError):
+            wrapped_butterfly(3)
+
+    def test_wrapped_uniform_degree(self):
+        net = wrapped_butterfly(8)
+        for v in net.nodes():
+            assert net.out_degree(v) == 2
+            assert net.in_degree(v) == 2

@@ -1,0 +1,71 @@
+"""Unit tests for de Bruijn / shuffle-exchange (Section 1.3.4)."""
+
+import pytest
+
+from repro.network.debruijn import DeBruijn, ShuffleExchange, debruijn_path
+from repro.network.graph import NetworkError
+
+
+class TestDeBruijn:
+    def test_sizes(self):
+        g = DeBruijn(8)
+        assert g.dimension == 3
+        # 2 out-edges per node minus the two self-loops skipped.
+        assert g.network.num_edges == 2 * 8 - 2
+
+    def test_shift_structure(self):
+        g = DeBruijn(8)
+        for e in g.network.iter_edges():
+            assert e.head in ((2 * e.tail) % 8, (2 * e.tail + 1) % 8)
+
+    def test_invalid_n(self):
+        with pytest.raises(NetworkError):
+            DeBruijn(2)
+        with pytest.raises(NetworkError):
+            DeBruijn(10)
+
+    def test_path_endpoints(self):
+        for src in range(8):
+            for dst in range(8):
+                nodes = debruijn_path(src, dst, 3)
+                assert nodes[0] == src and nodes[-1] == dst
+
+    def test_path_length_at_most_dimension(self):
+        for src in range(16):
+            for dst in range(16):
+                nodes = debruijn_path(src, dst, 4)
+                assert len(nodes) - 1 <= 4
+
+    def test_path_hops_are_edges(self):
+        g = DeBruijn(16)
+        for src, dst in [(0, 15), (5, 10), (7, 7), (1, 8)]:
+            nodes = debruijn_path(src, dst, 4)
+            for u, v in zip(nodes[:-1], nodes[1:]):
+                assert g.network.edge_between(u, v) is not None
+
+    def test_path_out_of_range(self):
+        with pytest.raises(NetworkError):
+            debruijn_path(0, 8, 3)
+
+
+class TestShuffleExchange:
+    def test_sizes(self):
+        g = ShuffleExchange(8)
+        # shuffle edges (minus fixed points 0 and 7) + exchange edges.
+        assert g.network.num_nodes == 8
+
+    def test_exchange_edges_flip_low_bit(self):
+        g = ShuffleExchange(8)
+        for u in range(8):
+            assert g.network.edge_between(u, u ^ 1) is not None
+
+    def test_shuffle_edges_rotate(self):
+        g = ShuffleExchange(8)
+        # 0b011 -> 0b110
+        assert g.network.edge_between(0b011, 0b110) is not None
+        # 0b110 -> 0b101
+        assert g.network.edge_between(0b110, 0b101) is not None
+
+    def test_invalid_n(self):
+        with pytest.raises(NetworkError):
+            ShuffleExchange(6)

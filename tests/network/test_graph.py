@@ -1,0 +1,178 @@
+"""Unit tests for the Network container."""
+
+import numpy as np
+import pytest
+
+from repro.network.graph import EdgeView, Network, NetworkError
+
+
+class TestConstruction:
+    def test_add_node_returns_dense_ids(self):
+        net = Network()
+        assert net.add_node("x") == 0
+        assert net.add_node("y") == 1
+        assert net.num_nodes == 2
+
+    def test_default_labels_are_ids(self):
+        net = Network()
+        a = net.add_node()
+        assert net.label(a) == a
+
+    def test_duplicate_label_rejected(self):
+        net = Network()
+        net.add_node("x")
+        with pytest.raises(NetworkError, match="duplicate"):
+            net.add_node("x")
+
+    def test_add_nodes_bulk(self):
+        net = Network()
+        ids = net.add_nodes("abc")
+        assert ids == [0, 1, 2]
+        assert net.node_id("b") == 1
+
+    def test_add_edge(self):
+        net = Network()
+        a, b = net.add_nodes("ab")
+        e = net.add_edge(a, b)
+        assert e == 0
+        assert net.tail(e) == a
+        assert net.head(e) == b
+
+    def test_self_loop_rejected(self):
+        net = Network()
+        a = net.add_node()
+        with pytest.raises(NetworkError, match="self-loop"):
+            net.add_edge(a, a)
+
+    def test_edge_to_unknown_node_rejected(self):
+        net = Network()
+        a = net.add_node()
+        with pytest.raises(NetworkError, match="unknown node"):
+            net.add_edge(a, 5)
+
+    def test_parallel_edges_allowed(self):
+        net = Network()
+        a, b = net.add_nodes("ab")
+        e1 = net.add_edge(a, b)
+        e2 = net.add_edge(a, b)
+        assert e1 != e2
+        assert net.num_edges == 2
+        # edge_between returns the first one.
+        assert net.edge_between(a, b) == e1
+
+    def test_bidirectional_edge(self):
+        net = Network()
+        a, b = net.add_nodes("ab")
+        fwd, bwd = net.add_bidirectional_edge(a, b)
+        assert net.tail(fwd) == a and net.head(fwd) == b
+        assert net.tail(bwd) == b and net.head(bwd) == a
+
+
+class TestQueries:
+    @pytest.fixture
+    def diamond(self):
+        """a -> b, a -> c, b -> d, c -> d."""
+        net = Network()
+        a, b, c, d = net.add_nodes("abcd")
+        net.add_edge(a, b)
+        net.add_edge(a, c)
+        net.add_edge(b, d)
+        net.add_edge(c, d)
+        return net
+
+    def test_degrees(self, diamond):
+        assert diamond.out_degree(0) == 2
+        assert diamond.in_degree(3) == 2
+        assert diamond.in_degree(0) == 0
+
+    def test_successors_predecessors(self, diamond):
+        assert sorted(diamond.successors(0)) == [1, 2]
+        assert sorted(diamond.predecessors(3)) == [1, 2]
+
+    def test_out_edges_in_edges(self, diamond):
+        assert set(diamond.out_edges(0)) == {0, 1}
+        assert set(diamond.in_edges(3)) == {2, 3}
+
+    def test_edge_view(self, diamond):
+        view = diamond.edge(0)
+        assert view == EdgeView(0, 0, 1)
+
+    def test_edge_between_absent(self, diamond):
+        assert diamond.edge_between(1, 2) is None
+
+    def test_node_id_unknown_label(self, diamond):
+        with pytest.raises(NetworkError, match="no node"):
+            diamond.node_id("zzz")
+
+    def test_out_of_range_checks(self, diamond):
+        with pytest.raises(NetworkError):
+            diamond.tail(99)
+        with pytest.raises(NetworkError):
+            diamond.out_edges(99)
+
+    def test_iter_edges(self, diamond):
+        views = list(diamond.iter_edges())
+        assert len(views) == 4
+        assert views[0].index == 0
+
+    def test_arrays(self, diamond):
+        assert np.array_equal(diamond.tails_array(), [0, 0, 1, 2])
+        assert np.array_equal(diamond.heads_array(), [1, 2, 3, 3])
+
+
+class TestStructure:
+    def test_bfs_distances(self, small_line):
+        dist = small_line.bfs_distances(0)
+        assert list(dist) == [0, 1, 2, 3, 4]
+
+    def test_bfs_unreachable(self):
+        net = Network()
+        net.add_nodes("ab")
+        dist = net.bfs_distances(0)
+        assert dist[1] == -1
+
+    def test_line_is_leveled(self, small_line):
+        assert small_line.is_leveled()
+        levels = small_line.level_assignment()
+        assert list(levels) == [0, 1, 2, 3, 4]
+
+    def test_cycle_is_not_leveled(self):
+        net = Network()
+        a, b, c = net.add_nodes("abc")
+        net.add_edge(a, b)
+        net.add_edge(b, c)
+        net.add_edge(c, a)
+        assert not net.is_leveled()
+
+    def test_skip_edge_breaks_leveling(self):
+        net = Network()
+        a, b, c = net.add_nodes("abc")
+        net.add_edge(a, b)
+        net.add_edge(b, c)
+        net.add_edge(a, c)  # spans two levels
+        assert net.level_assignment() is None
+
+    def test_level_assignment_normalizes_components(self):
+        net = Network()
+        a, b, c, d = net.add_nodes("abcd")
+        net.add_edge(a, b)
+        net.add_edge(c, d)
+        levels = net.level_assignment()
+        assert levels[a] == 0 and levels[b] == 1
+        assert levels[c] == 0 and levels[d] == 1
+
+    def test_acyclic(self, small_line):
+        assert small_line.is_acyclic()
+
+    def test_cyclic_detected(self):
+        net = Network()
+        a, b = net.add_nodes("ab")
+        net.add_edge(a, b)
+        net.add_edge(b, a)
+        assert not net.is_acyclic()
+
+    def test_to_networkx_roundtrip(self, small_line):
+        g = small_line.to_networkx()
+        assert g.number_of_nodes() == 5
+        assert g.number_of_edges() == 4
+        assert g.nodes[0]["label"] == "a"

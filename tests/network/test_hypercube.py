@@ -1,0 +1,53 @@
+"""Unit tests for the hypercube (Section 1.3.4)."""
+
+import pytest
+
+from repro.network.graph import NetworkError
+from repro.network.hypercube import Hypercube, bit_fixing_path
+
+
+class TestHypercube:
+    def test_sizes(self):
+        h = Hypercube(16)
+        assert h.dimension == 4
+        assert h.network.num_nodes == 16
+        assert h.network.num_edges == 16 * 4  # directed
+
+    def test_neighbors_differ_in_one_bit(self):
+        h = Hypercube(8)
+        for e in h.network.iter_edges():
+            diff = e.tail ^ e.head
+            assert diff != 0 and (diff & (diff - 1)) == 0
+
+    def test_uniform_degree(self):
+        h = Hypercube(32)
+        for v in h.network.nodes():
+            assert h.network.out_degree(v) == 5
+
+    def test_invalid_n(self):
+        with pytest.raises(NetworkError):
+            Hypercube(12)
+
+
+class TestBitFixing:
+    def test_endpoints(self):
+        nodes = bit_fixing_path(0b0000, 0b1011, 4)
+        assert nodes[0] == 0 and nodes[-1] == 0b1011
+
+    def test_length_is_hamming_distance(self):
+        assert len(bit_fixing_path(0b0101, 0b1010, 4)) - 1 == 4
+        assert len(bit_fixing_path(3, 3, 4)) - 1 == 0
+
+    def test_fixes_low_bits_first(self):
+        nodes = bit_fixing_path(0b00, 0b11, 2)
+        assert nodes == [0b00, 0b01, 0b11]
+
+    def test_each_hop_is_an_edge(self):
+        h = Hypercube(16)
+        nodes = bit_fixing_path(5, 10, 4)
+        for u, v in zip(nodes[:-1], nodes[1:]):
+            assert h.network.edge_between(u, v) is not None
+
+    def test_out_of_range(self):
+        with pytest.raises(NetworkError):
+            bit_fixing_path(0, 16, 4)

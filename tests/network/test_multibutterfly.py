@@ -1,0 +1,77 @@
+"""Unit tests for multibutterfly networks ([3])."""
+
+import numpy as np
+import pytest
+
+from repro.network.graph import NetworkError
+from repro.network.multibutterfly import Multibutterfly
+
+
+class TestConstruction:
+    def test_sizes(self):
+        mbf = Multibutterfly(16, d=2, rng=np.random.default_rng(0))
+        assert mbf.log_n == 4
+        assert mbf.network.num_nodes == 16 * 5
+        # Every non-output node has d up + d down edges.
+        assert mbf.network.num_edges == 16 * 4 * 2 * 2
+
+    def test_out_degrees(self):
+        mbf = Multibutterfly(8, d=3, rng=np.random.default_rng(1))
+        for level in range(3):
+            for w in range(8):
+                v = level * 8 + w
+                assert mbf.network.out_degree(v) == 6
+
+    def test_in_degrees_balanced(self):
+        mbf = Multibutterfly(16, d=2, rng=np.random.default_rng(2))
+        for level in range(1, 5):
+            for w in range(16):
+                v = level * 16 + w
+                assert mbf.network.in_degree(v) == 4
+
+    def test_network_is_leveled(self):
+        mbf = Multibutterfly(8, d=2, rng=np.random.default_rng(3))
+        assert mbf.network.is_leveled()
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            Multibutterfly(6)
+        with pytest.raises(NetworkError):
+            Multibutterfly(2)
+        with pytest.raises(NetworkError):
+            Multibutterfly(8, d=0)
+
+
+class TestCandidateEdges:
+    def test_count_is_d(self):
+        mbf = Multibutterfly(16, d=2, rng=np.random.default_rng(4))
+        for node in range(16 * 4):  # all non-output nodes
+            edges = mbf.candidate_edges(node, dest_column=5)
+            assert len(edges) == 2
+
+    def test_candidates_lead_to_correct_block(self):
+        """Following any candidate at every level reaches the dest."""
+        mbf = Multibutterfly(16, d=2, rng=np.random.default_rng(5))
+        rng = np.random.default_rng(6)
+        for src in range(16):
+            dst = int(rng.integers(16))
+            node = src
+            for _level in range(4):
+                edges = mbf.candidate_edges(node, dst)
+                node = mbf.network.head(edges[int(rng.integers(len(edges)))])
+            assert node == mbf.output_of(dst)
+
+    def test_output_has_no_candidates(self):
+        mbf = Multibutterfly(8, d=1, rng=np.random.default_rng(7))
+        with pytest.raises(NetworkError):
+            mbf.candidate_edges(mbf.output_of(0), 0)
+
+    def test_output_of_validation(self):
+        mbf = Multibutterfly(8, d=1, rng=np.random.default_rng(8))
+        with pytest.raises(NetworkError):
+            mbf.output_of(8)
+
+    def test_inputs_outputs(self):
+        mbf = Multibutterfly(8, d=1, rng=np.random.default_rng(9))
+        assert list(mbf.inputs()) == list(range(8))
+        assert list(mbf.outputs()) == list(range(24, 32))

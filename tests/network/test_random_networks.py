@@ -1,0 +1,77 @@
+"""Unit tests for the synthetic benchmark networks."""
+
+import numpy as np
+import pytest
+
+from repro.network.graph import NetworkError
+from repro.network.random_networks import (
+    chain_bundle,
+    layered_network,
+    random_walk_paths,
+)
+from repro.routing.paths import congestion, dilation, paths_from_node_walks
+
+
+class TestLayeredNetwork:
+    def test_sizes(self, rng):
+        net = layered_network(width=6, depth=4, out_degree=2, rng=rng)
+        assert net.num_nodes == 6 * 5
+        assert net.num_edges == 6 * 4 * 2
+
+    def test_is_leveled(self, rng):
+        net = layered_network(width=5, depth=3, out_degree=3, rng=rng)
+        assert net.is_leveled()
+
+    def test_out_degree_exact_and_distinct(self, rng):
+        net = layered_network(width=6, depth=3, out_degree=3, rng=rng)
+        for level in range(3):
+            for w in range(6):
+                v = level * 6 + w
+                succ = net.successors(v)
+                assert len(succ) == 3
+                assert len(set(succ)) == 3
+
+    def test_reproducible(self):
+        a = layered_network(4, 3, 2, np.random.default_rng(9))
+        b = layered_network(4, 3, 2, np.random.default_rng(9))
+        assert list(a.heads_array()) == list(b.heads_array())
+
+    def test_bad_params(self, rng):
+        with pytest.raises(NetworkError):
+            layered_network(0, 3, 1, rng)
+        with pytest.raises(NetworkError):
+            layered_network(4, 3, 5, rng)
+
+
+class TestRandomWalkPaths:
+    def test_walk_shape(self, rng):
+        net = layered_network(5, 4, 2, rng)
+        walks = random_walk_paths(net, 5, 4, 10, rng)
+        assert len(walks) == 10
+        for w in walks:
+            assert len(w) == 5
+            assert 0 <= w[0] < 5  # starts at level 0
+
+    def test_walks_follow_edges(self, rng):
+        net = layered_network(5, 4, 2, rng)
+        walks = random_walk_paths(net, 5, 4, 10, rng)
+        paths = paths_from_node_walks(net, walks)  # raises if invalid
+        assert dilation(paths) == 4
+
+
+class TestChainBundle:
+    def test_exact_c_and_d(self):
+        net, walks = chain_bundle(num_chains=3, depth=5, messages_per_chain=4)
+        paths = paths_from_node_walks(net, walks)
+        assert congestion(paths) == 4
+        assert dilation(paths) == 5
+        assert len(paths) == 12
+
+    def test_chains_are_disjoint(self):
+        net, walks = chain_bundle(2, 3, 1)
+        paths = paths_from_node_walks(net, walks)
+        assert set(paths[0].edges).isdisjoint(paths[1].edges)
+
+    def test_bad_params(self):
+        with pytest.raises(NetworkError):
+            chain_bundle(0, 3, 1)

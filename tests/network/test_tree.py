@@ -1,0 +1,77 @@
+"""Unit tests for complete trees (Section 1.3.4)."""
+
+import pytest
+
+from repro.network.graph import NetworkError
+from repro.network.tree import CompleteTree, tree_path
+
+
+class TestCompleteTree:
+    def test_binary_sizes(self):
+        t = CompleteTree(arity=2, height=3)
+        assert t.num_nodes == 15
+        assert t.network.num_edges == 2 * 14
+
+    def test_ternary_sizes(self):
+        t = CompleteTree(arity=3, height=2)
+        assert t.num_nodes == 13
+
+    def test_parent_child(self):
+        t = CompleteTree(arity=2, height=3)
+        assert t.parent(1) == 0
+        assert t.parent(2) == 0
+        assert t.parent(6) == 2
+        with pytest.raises(NetworkError):
+            t.parent(0)
+
+    def test_depth(self):
+        t = CompleteTree(arity=2, height=3)
+        assert t.depth(0) == 0
+        assert t.depth(1) == 1
+        assert t.depth(7) == 3
+
+    def test_leaves(self):
+        t = CompleteTree(arity=2, height=2)
+        assert list(t.leaves()) == [3, 4, 5, 6]
+
+    def test_bad_params(self):
+        with pytest.raises(NetworkError):
+            CompleteTree(arity=1, height=2)
+        with pytest.raises(NetworkError):
+            CompleteTree(arity=2, height=0)
+
+
+class TestTreePath:
+    @pytest.fixture
+    def t(self):
+        return CompleteTree(arity=2, height=3)
+
+    def test_leaf_to_leaf_through_root(self, t):
+        nodes = tree_path(t, 7, 14)
+        assert nodes[0] == 7 and nodes[-1] == 14
+        assert 0 in nodes  # opposite subtrees meet at the root
+
+    def test_same_subtree_avoids_root(self, t):
+        nodes = tree_path(t, 7, 8)  # siblings under node 3
+        assert nodes == [7, 3, 8]
+
+    def test_ancestor_descendant(self, t):
+        nodes = tree_path(t, 1, 9)
+        assert nodes == [1, 4, 9]
+        nodes = tree_path(t, 9, 1)
+        assert nodes == [9, 4, 1]
+
+    def test_trivial(self, t):
+        assert tree_path(t, 5, 5) == [5]
+
+    def test_every_hop_is_an_edge(self, t):
+        for src in range(t.num_nodes):
+            for dst in range(t.num_nodes):
+                nodes = tree_path(t, src, dst)
+                for u, v in zip(nodes[:-1], nodes[1:]):
+                    assert t.network.edge_between(u, v) is not None
+
+    def test_path_is_node_simple(self, t):
+        for src, dst in [(7, 14), (7, 8), (0, 14), (12, 3)]:
+            nodes = tree_path(t, src, dst)
+            assert len(set(nodes)) == len(nodes)

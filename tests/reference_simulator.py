@@ -1,0 +1,119 @@
+"""A deliberately naive per-flit wormhole reference simulator.
+
+This implements the Section 1.1 model with *explicit flit state* — one
+position per flit, edge occupancy computed by inspecting where flits
+actually are — and none of the optimized simulator's derived arithmetic
+(move counters, release windows).  It is slow and first-principles; the
+test suite checks the optimized :class:`repro.sim.wormhole
+.WormholeSimulator` produces *identical* completion times under the same
+deterministic arbitration, pinning the lock-step reduction and the
+buffer-holding windows documented in MODEL.md.
+
+Per-flit state: ``-1`` waiting at the source; ``i`` in ``[0, D-1)`` = in
+the buffer at the head of path edge ``i``; ``DONE`` delivered.  Crossing
+the final edge delivers immediately (the buffer at its head is the
+destination's delivery buffer).
+
+Rules applied each step — worm lock-step *emerges*, it is not assumed:
+
+* a message occupies edge ``e_i`` iff some flit has crossed ``e_i`` and
+  some flit has not yet crossed ``e_{i+1}`` (crossing ``e_D`` meaning
+  delivered) — its virtual channel/buffer on ``e_i`` is still in use;
+* the header (leading undelivered flit) may cross its next edge iff
+  fewer than ``B`` messages occupy that edge at the start of the step
+  (same-step grants count; lowest message index wins — matching the
+  optimized simulator's ``priority="index"``);
+* a trailing flit may advance into exactly the buffer slot its
+  predecessor vacates in the same step (intra-message same-step
+  handover; cross-message handover needs a fresh grant next step);
+* only the header may cross the final edge (one flit per virtual
+  channel per step; trailing flits become the header as their
+  predecessors deliver).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["reference_run", "DONE"]
+
+DONE = 1 << 30
+
+
+def _advance(p: int, d: int) -> int:
+    """Next position of a flit at ``p`` on a ``d``-edge path."""
+    nxt = p + 1
+    return nxt if nxt <= d - 2 else DONE
+
+
+def reference_run(paths, L, B, release_times=None, max_steps=100_000):
+    """Simulate; returns per-message completion times (-1 undelivered).
+
+    ``paths``: per-message edge-id lists.  Arbitration: lowest message
+    index first (the optimized simulator's ``priority="index"``).
+    """
+    M = len(paths)
+    D = [len(p) for p in paths]
+    release = (
+        [0] * M if release_times is None else [int(r) for r in release_times]
+    )
+    pos = [[-1] * L for _ in range(M)]
+    completion = [-1] * M
+    for m in range(M):
+        if D[m] == 0:
+            completion[m] = release[m]
+            pos[m] = [DONE] * L
+
+    def crossed(p: int, i: int) -> bool:
+        return p == DONE or p >= i
+
+    def occupies(snapshot, m: int, e: int) -> bool:
+        for i, edge in enumerate(paths[m]):
+            if edge != e:
+                continue
+            some_crossed = any(crossed(p, i) for p in snapshot[m])
+            if i + 1 >= D[m]:
+                some_not_past = any(p != DONE for p in snapshot[m])
+            else:
+                some_not_past = any(not crossed(p, i + 1) for p in snapshot[m])
+            return some_crossed and some_not_past
+        return False
+
+    all_edges = sorted({e for p in paths for e in p})
+
+    for t in range(1, max_steps + 1):
+        if all(c >= 0 for c in completion):
+            break
+        snapshot = [row[:] for row in pos]
+        occupants = {
+            e: {m for m in range(M) if occupies(snapshot, m, e)}
+            for e in all_edges
+        }
+        granted = []
+        for m in range(M):
+            if completion[m] >= 0 or release[m] >= t:
+                continue
+            h = next(j for j in range(L) if snapshot[m][j] != DONE)
+            crossing_edge = paths[m][snapshot[m][h] + 1]
+            # A message already holding a virtual channel on the edge
+            # (its earlier flits crossed it — the final-edge case) needs
+            # no new grant; otherwise it contends for a free slot.
+            if m in occupants[crossing_edge] or len(occupants[crossing_edge]) < B:
+                occupants[crossing_edge].add(m)
+                granted.append(m)
+
+        for m in granted:
+            h = next(j for j in range(L) if snapshot[m][j] != DONE)
+            prev_vacated = snapshot[m][h]
+            pos[m][h] = _advance(snapshot[m][h], D[m])
+            for j in range(h + 1, L):
+                target = _advance(snapshot[m][j], D[m])
+                if target == DONE:  # only the header crosses the final edge
+                    break
+                if prev_vacated != target:  # not chained to a vacated slot
+                    break
+                prev_vacated = snapshot[m][j]
+                pos[m][j] = target
+            if all(p == DONE for p in pos[m]):
+                completion[m] = t
+    return np.asarray(completion, dtype=np.int64)

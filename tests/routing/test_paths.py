@@ -1,0 +1,117 @@
+"""Unit tests for paths, congestion, and dilation (Section 1.1)."""
+
+import pytest
+
+from repro.network.graph import Network, NetworkError
+from repro.routing.paths import (
+    Path,
+    check_edge_simple,
+    congestion,
+    dilation,
+    edge_loads,
+    path_set_stats,
+    paths_from_node_walks,
+)
+
+
+@pytest.fixture
+def net():
+    """a -> b -> c -> d with a parallel shortcut a -> c."""
+    net = Network()
+    a, b, c, d = net.add_nodes("abcd")
+    net.add_edge(a, b)  # 0
+    net.add_edge(b, c)  # 1
+    net.add_edge(c, d)  # 2
+    net.add_edge(a, c)  # 3
+    return net
+
+
+class TestPath:
+    def test_from_nodes(self, net):
+        p = Path.from_nodes(net, [0, 1, 2, 3])
+        assert p.edges == (0, 1, 2)
+        assert p.source == 0 and p.destination == 3
+        assert p.length == 3
+
+    def test_from_nodes_missing_edge(self, net):
+        with pytest.raises(NetworkError, match="no edge"):
+            Path.from_nodes(net, [1, 0])
+
+    def test_from_edges(self, net):
+        p = Path.from_edges(net, [3, 2])
+        assert p.nodes == (0, 2, 3)
+
+    def test_from_edges_discontinuous(self, net):
+        with pytest.raises(NetworkError, match="continue"):
+            Path.from_edges(net, [0, 2])
+
+    def test_from_edges_empty(self, net):
+        with pytest.raises(NetworkError):
+            Path.from_edges(net, [])
+
+    def test_single_node_path(self):
+        p = Path((7,), ())
+        assert p.length == 0
+        assert p.source == p.destination == 7
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(NetworkError):
+            Path((0, 1), ())
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(NetworkError):
+            Path((), ())
+
+    def test_edge_simple(self, net):
+        p = Path.from_nodes(net, [0, 1, 2])
+        assert p.is_edge_simple()
+        loop = Path((0, 1, 0, 1), (0, 99, 0))
+        assert not loop.is_edge_simple()
+
+
+class TestMeasures:
+    def test_congestion_counts_max_edge_load(self, net):
+        p1 = Path.from_nodes(net, [0, 1, 2, 3])
+        p2 = Path.from_nodes(net, [0, 2, 3])
+        p3 = Path.from_nodes(net, [2, 3])
+        assert congestion([p1, p2, p3]) == 3  # edge c->d used by all
+
+    def test_dilation_is_longest_path(self, net):
+        p1 = Path.from_nodes(net, [0, 1, 2, 3])
+        p2 = Path.from_nodes(net, [0, 2])
+        assert dilation([p1, p2]) == 3
+
+    def test_empty_set(self):
+        assert congestion([]) == 0
+        assert dilation([]) == 0
+
+    def test_edge_loads_sized(self, net):
+        p = Path.from_nodes(net, [0, 1, 2])
+        loads = edge_loads([p], num_edges=net.num_edges)
+        assert list(loads) == [1, 1, 0, 0]
+
+    def test_check_edge_simple_raises(self):
+        bad = Path((0, 1, 0, 1), (5, 6, 5))
+        with pytest.raises(NetworkError, match="twice"):
+            check_edge_simple([bad])
+
+    def test_path_set_stats(self, net):
+        p1 = Path.from_nodes(net, [0, 1, 2, 3])
+        p2 = Path.from_nodes(net, [0, 2])
+        stats = path_set_stats([p1, p2])
+        assert stats.num_messages == 2
+        assert stats.dilation == 3
+        assert stats.congestion == 1
+        assert stats.total_path_length == 4
+        assert stats.mean_path_length == 2.0
+
+    def test_stats_empty(self):
+        stats = path_set_stats([])
+        assert stats.mean_path_length == 0.0
+
+
+class TestBulk:
+    def test_paths_from_node_walks(self, net):
+        paths = paths_from_node_walks(net, [[0, 1, 2], [0, 2, 3]])
+        assert len(paths) == 2
+        assert paths[1].edges == (3, 2)

@@ -1,0 +1,90 @@
+"""Unit tests for routing-problem generators (Section 1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.routing.problems import (
+    RoutingInstance,
+    bit_reversal_permutation,
+    is_q_relation,
+    random_destinations,
+    random_permutation,
+    random_q_relation,
+    transpose_permutation,
+)
+
+
+class TestRoutingInstance:
+    def test_basic(self):
+        inst = RoutingInstance(
+            4, np.array([0, 1, 2]), np.array([3, 3, 0])
+        )
+        assert inst.num_messages == 3
+        assert inst.max_per_source() == 1
+        assert inst.max_per_dest() == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoutingInstance(4, np.array([0, 4]), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            RoutingInstance(4, np.array([0]), np.array([0, 1]))
+
+    def test_empty(self):
+        inst = RoutingInstance(4, np.empty(0, np.int64), np.empty(0, np.int64))
+        assert inst.max_per_source() == 0
+
+
+class TestGenerators:
+    def test_random_permutation_is_1_relation(self, rng):
+        inst = random_permutation(16, rng)
+        assert is_q_relation(inst, 1)
+        assert sorted(inst.dests) == list(range(16))
+
+    def test_random_q_relation_exact(self, rng):
+        inst = random_q_relation(8, 3, rng)
+        assert inst.num_messages == 24
+        assert inst.max_per_source() == 3
+        assert inst.max_per_dest() == 3
+        assert is_q_relation(inst, 3)
+
+    def test_random_q_relation_rejects_bad_q(self, rng):
+        with pytest.raises(ValueError):
+            random_q_relation(8, 0, rng)
+
+    def test_random_destinations_sources_balanced(self, rng):
+        inst = random_destinations(8, 2, rng)
+        assert inst.num_messages == 16
+        assert inst.max_per_source() == 2
+        # Destinations are unconstrained balls-in-bins.
+        assert inst.max_per_dest() >= 2
+
+    def test_transpose(self):
+        inst = transpose_permutation(16)
+        assert is_q_relation(inst, 1)
+        # (row, col) -> (col, row): index 1 = (0,1) goes to (1,0) = 4.
+        assert inst.dests[1] == 4
+        assert inst.dests[4] == 1
+
+    def test_transpose_needs_square(self):
+        with pytest.raises(ValueError):
+            transpose_permutation(8)
+
+    def test_bit_reversal(self):
+        inst = bit_reversal_permutation(8)
+        assert is_q_relation(inst, 1)
+        assert inst.dests[0b001] == 0b100
+        assert inst.dests[0b110] == 0b011
+
+    def test_bit_reversal_involution(self):
+        inst = bit_reversal_permutation(32)
+        d = inst.dests
+        assert np.array_equal(d[d], np.arange(32))
+
+    def test_bit_reversal_needs_power_of_two(self):
+        with pytest.raises(ValueError):
+            bit_reversal_permutation(12)
+
+    def test_reproducibility(self):
+        a = random_q_relation(8, 2, np.random.default_rng(5))
+        b = random_q_relation(8, 2, np.random.default_rng(5))
+        assert np.array_equal(a.dests, b.dests)

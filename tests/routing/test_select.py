@@ -1,0 +1,72 @@
+"""Unit tests for congestion-aware path selection (Srinivasan-Teo flavor)."""
+
+import numpy as np
+import pytest
+
+from repro.network.graph import Network, NetworkError
+from repro.network.mesh import KAryNCube
+from repro.routing.paths import congestion
+from repro.routing.select import min_penalty_path, select_paths
+from repro.routing.shortest import shortest_paths
+
+
+@pytest.fixture
+def two_route_net():
+    """Two disjoint 2-hop routes from s to t."""
+    net = Network()
+    s, a, b, t = net.add_nodes("sabt")
+    net.add_edge(s, a)
+    net.add_edge(a, t)
+    net.add_edge(s, b)
+    net.add_edge(b, t)
+    return net, s, t
+
+
+class TestMinPenaltyPath:
+    def test_prefers_empty_route(self, two_route_net):
+        net, s, t = two_route_net
+        loads = np.zeros(net.num_edges, dtype=np.int64)
+        loads[0] = loads[1] = 5  # top route congested
+        p = min_penalty_path(net, s, t, loads, beta=2.0)
+        assert p.edges == (2, 3)
+
+    def test_trivial(self, two_route_net):
+        net, s, _ = two_route_net
+        p = min_penalty_path(net, s, s, np.zeros(4, np.int64), 2.0)
+        assert p.length == 0
+
+    def test_unreachable(self, two_route_net):
+        net, s, t = two_route_net
+        with pytest.raises(NetworkError, match="unreachable"):
+            min_penalty_path(net, t, s, np.zeros(4, np.int64), 2.0)
+
+
+class TestSelectPaths:
+    def test_splits_over_disjoint_routes(self, two_route_net):
+        net, s, t = two_route_net
+        result = select_paths(net, [(s, t)] * 4)
+        assert result.congestion == 2  # 4 messages over 2 routes
+        assert result.dilation == 2
+
+    def test_beats_naive_shortest_on_mesh(self, rng):
+        """Spreading identical demands beats first-found shortest paths."""
+        cube = KAryNCube(k=4, n=2, wrap=False)
+        demands = [(cube.node((0, 0)), cube.node((3, 3)))] * 6
+        naive = shortest_paths(cube.network, demands)  # all on one route
+        assert congestion(naive) == 6
+        result = select_paths(cube.network, demands, rng=rng)
+        # Many corner-to-corner shortest routes exist; selection spreads.
+        assert result.congestion <= 3
+        assert result.dilation == 6
+
+    def test_endpoints_preserved(self, rng):
+        cube = KAryNCube(k=3, n=2, wrap=True)
+        demands = [(0, 8), (1, 7), (2, 6)]
+        result = select_paths(cube.network, demands, rng=rng)
+        for p, (s, d) in zip(result.paths, demands):
+            assert p.source == s and p.destination == d
+
+    def test_sweeps_bounded(self, two_route_net):
+        net, s, t = two_route_net
+        result = select_paths(net, [(s, t)] * 2, max_sweeps=3)
+        assert result.sweeps <= 3

@@ -1,0 +1,61 @@
+"""Unit tests for BFS shortest-path selection."""
+
+import numpy as np
+import pytest
+
+from repro.network.graph import Network, NetworkError
+from repro.network.mesh import KAryNCube
+from repro.routing.shortest import bfs_path, bfs_tree, shortest_paths
+
+
+class TestBfsPath:
+    def test_line(self, small_line):
+        p = bfs_path(small_line, 0, 4)
+        assert p.nodes == (0, 1, 2, 3, 4)
+
+    def test_trivial(self, small_line):
+        p = bfs_path(small_line, 2, 2)
+        assert p.length == 0
+
+    def test_unreachable(self, small_line):
+        with pytest.raises(NetworkError, match="unreachable"):
+            bfs_path(small_line, 4, 0)
+
+    def test_shortest_on_mesh(self):
+        cube = KAryNCube(k=4, n=2, wrap=False)
+        src, dst = cube.node((0, 0)), cube.node((2, 3))
+        p = bfs_path(cube.network, src, dst)
+        assert p.length == 5  # Manhattan distance
+
+    def test_random_tiebreak_varies(self):
+        cube = KAryNCube(k=5, n=2, wrap=False)
+        src, dst = cube.node((0, 0)), cube.node((4, 4))
+        seen = set()
+        for seed in range(20):
+            p = bfs_path(cube.network, src, dst, np.random.default_rng(seed))
+            assert p.length == 8
+            seen.add(p.nodes)
+        assert len(seen) > 1  # spread over the shortest-path DAG
+
+    def test_deterministic_without_rng(self):
+        cube = KAryNCube(k=4, n=2, wrap=False)
+        a = bfs_path(cube.network, 0, 15)
+        b = bfs_path(cube.network, 0, 15)
+        assert a.nodes == b.nodes
+
+
+class TestBfsTree:
+    def test_parent_edges(self, small_line):
+        parents = bfs_tree(small_line, 0)
+        assert parents[0] == -1
+        assert small_line.head(parents[4]) == 4
+
+    def test_unreachable_marked(self, small_line):
+        parents = bfs_tree(small_line, 4)
+        assert all(parents[v] == -1 for v in range(4))
+
+
+class TestShortestPaths:
+    def test_batch(self, small_line):
+        paths = shortest_paths(small_line, [(0, 2), (1, 4)])
+        assert [p.length for p in paths] == [2, 3]

@@ -1,0 +1,73 @@
+"""Unit tests for mesh traffic patterns."""
+
+import numpy as np
+import pytest
+
+from repro.network.graph import NetworkError
+from repro.network.mesh import KAryNCube
+from repro.routing.traffic import (
+    bit_complement_traffic,
+    hotspot_traffic,
+    neighbor_traffic,
+    tornado_traffic,
+    uniform_traffic,
+)
+
+
+@pytest.fixture
+def cube():
+    return KAryNCube(k=4, n=2, wrap=True)
+
+
+class TestUniform:
+    def test_counts(self, cube, rng):
+        demands = uniform_traffic(cube, 3, rng)
+        assert len(demands) == 16 * 3
+        sources = [s for s, _ in demands]
+        assert all(sources.count(v) == 3 for v in range(16))
+
+    def test_validation(self, cube, rng):
+        with pytest.raises(NetworkError):
+            uniform_traffic(cube, 0, rng)
+
+
+class TestHotspot:
+    def test_fraction_one_all_to_hotspot(self, cube, rng):
+        demands = hotspot_traffic(cube, 2, hotspot=5, fraction=1.0, rng=rng)
+        assert all(d == 5 for _, d in demands)
+
+    def test_fraction_shifts_mass(self, cube):
+        rng = np.random.default_rng(1)
+        demands = hotspot_traffic(cube, 4, hotspot=0, fraction=0.5, rng=rng)
+        hits = sum(1 for _, d in demands if d == 0)
+        assert 0.3 * len(demands) < hits < 0.7 * len(demands)
+
+    def test_validation(self, cube, rng):
+        with pytest.raises(NetworkError):
+            hotspot_traffic(cube, 1, hotspot=99, fraction=0.1, rng=rng)
+        with pytest.raises(NetworkError):
+            hotspot_traffic(cube, 1, hotspot=0, fraction=1.5, rng=rng)
+
+
+class TestDeterministicPatterns:
+    def test_tornado_distance(self, cube):
+        for s, d in tornado_traffic(cube):
+            cs, cd = cube.coords(s), cube.coords(d)
+            assert (cs[0] + 2) % 4 == cd[0]
+            assert cs[1] == cd[1]
+
+    def test_neighbor_is_one_hop(self, cube):
+        for s, d in neighbor_traffic(cube):
+            cs, cd = cube.coords(s), cube.coords(d)
+            assert (cs[0] + 1) % 4 == cd[0]
+
+    def test_bit_complement_involution(self, cube):
+        demands = dict(bit_complement_traffic(cube))
+        for s, d in demands.items():
+            assert demands[d] == s
+
+    def test_patterns_are_permutations(self, cube):
+        for pattern in (tornado_traffic, neighbor_traffic, bit_complement_traffic):
+            demands = pattern(cube)
+            dests = [d for _, d in demands]
+            assert sorted(dests) == list(range(16))

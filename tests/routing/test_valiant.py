@@ -1,0 +1,40 @@
+"""Unit tests for Valiant random-intermediate routing [47]."""
+
+import numpy as np
+
+from repro.network.mesh import KAryNCube
+from repro.routing.valiant import valiant_path, valiant_paths
+
+
+class TestValiant:
+    def test_endpoints(self, rng):
+        cube = KAryNCube(k=4, n=2, wrap=True)
+        p = valiant_path(cube.network, 0, 15, rng)
+        assert p.nodes[0] == 0 and p.nodes[-1] == 15
+
+    def test_intermediate_restriction(self, rng):
+        cube = KAryNCube(k=4, n=2, wrap=False)
+        pool = [5, 6]
+        for seed in range(10):
+            p = valiant_path(
+                cube.network, 0, 15, np.random.default_rng(seed), pool
+            )
+            assert p.nodes[0] == 0 and p.nodes[-1] == 15
+            assert 5 in p.nodes or 6 in p.nodes
+
+    def test_spreads_congestion(self):
+        """Valiant paths for a fixed demand differ across seeds."""
+        cube = KAryNCube(k=4, n=2, wrap=False)
+        routes = {
+            valiant_path(cube.network, 0, 15, np.random.default_rng(s)).nodes
+            for s in range(12)
+        }
+        assert len(routes) > 3
+
+    def test_batch(self, rng):
+        cube = KAryNCube(k=3, n=2, wrap=False)
+        demands = [(0, 8), (8, 0), (4, 4)]
+        paths = valiant_paths(cube.network, demands, rng)
+        assert len(paths) == 3
+        for p, (s, d) in zip(paths, demands):
+            assert p.source == s and p.destination == d

@@ -1,0 +1,100 @@
+"""Unit tests for circuit switching on the butterfly (Koch [22])."""
+
+import numpy as np
+import pytest
+
+from repro.network.butterfly import Butterfly
+from repro.network.graph import NetworkError
+from repro.sim.circuit import circuit_switch_butterfly
+
+
+class TestBasics:
+    def test_identity_all_survive(self, butterfly8, rng):
+        """Straight-through circuits never conflict."""
+        res = circuit_switch_butterfly(
+            butterfly8, np.arange(8), capacity=1, rng=rng
+        )
+        assert res.num_survivors == 8
+        assert res.fraction == 1.0
+
+    def test_all_to_one_capacity_limits(self, butterfly8, rng):
+        """All inputs to output 0: the output's two incoming edges each
+        admit `capacity` circuits."""
+        res = circuit_switch_butterfly(
+            butterfly8, np.zeros(8, dtype=np.int64), capacity=1, rng=rng
+        )
+        assert res.num_survivors == 2
+        res2 = circuit_switch_butterfly(
+            butterfly8, np.zeros(8, dtype=np.int64), capacity=2, rng=rng
+        )
+        assert res2.num_survivors == 4
+
+    def test_dropped_per_level_accounts_for_losses(self, butterfly8, rng):
+        res = circuit_switch_butterfly(
+            butterfly8, np.zeros(8, dtype=np.int64), capacity=1, rng=rng
+        )
+        assert res.dropped_per_level.sum() == 8 - res.num_survivors
+
+    def test_explicit_sources(self, butterfly8, rng):
+        # Sources 2 and 3 share every edge from level 1 on toward output 0.
+        res = circuit_switch_butterfly(
+            butterfly8,
+            dests=np.array([0, 0]),
+            capacity=1,
+            rng=rng,
+            sources=np.array([2, 3]),
+        )
+        assert res.num_survivors == 1
+
+    def test_validation(self, butterfly8, rng):
+        with pytest.raises(NetworkError):
+            circuit_switch_butterfly(butterfly8, np.arange(8), 0, rng)
+        with pytest.raises(NetworkError):
+            circuit_switch_butterfly(butterfly8, np.arange(4), 1, rng)
+
+
+class TestKochShape:
+    def test_more_capacity_more_survivors(self):
+        """Koch's monotonicity: capacity B strictly helps on average."""
+        n = 256
+        bf = Butterfly(n)
+        means = []
+        for B in (1, 2, 4):
+            rng = np.random.default_rng(0)
+            survivors = [
+                circuit_switch_butterfly(
+                    bf, rng.integers(0, n, n), B, rng
+                ).num_survivors
+                for _ in range(10)
+            ]
+            means.append(np.mean(survivors))
+        assert means[0] < means[1] < means[2]
+
+    def test_random_problem_loses_messages_at_b1(self):
+        """Kruskal-Snir: only Theta(n / log n) survive at B = 1.
+
+        The constant is around 4, so we check the band loosely and, more
+        tellingly, that the surviving *fraction* falls as n grows — the
+        1 / log n shape.
+        """
+        fractions = []
+        for n in (64, 1024):
+            bf = Butterfly(n)
+            rng = np.random.default_rng(1)
+            survivors = np.mean(
+                [
+                    circuit_switch_butterfly(
+                        bf, rng.integers(0, n, n), 1, rng
+                    ).num_survivors
+                    for _ in range(8)
+                ]
+            )
+            assert n / np.log2(n) < survivors < 0.75 * n
+            fractions.append(survivors / n)
+        assert fractions[1] < fractions[0]
+
+    def test_reproducible(self, butterfly8):
+        d = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        a = circuit_switch_butterfly(butterfly8, d, 1, np.random.default_rng(4))
+        b = circuit_switch_butterfly(butterfly8, d, 1, np.random.default_rng(4))
+        assert np.array_equal(a.survived, b.survived)

@@ -1,0 +1,126 @@
+"""Unit tests for the Dally-Seitz deadlock machinery."""
+
+import numpy as np
+
+from repro.network.graph import Network
+from repro.network.mesh import KAryNCube, dimension_order_path
+from repro.routing.paths import Path, paths_from_node_walks
+from repro.sim.deadlock import (
+    channel_dependency_graph,
+    dateline_vc_assignment,
+    has_cycle,
+    is_deadlock_free,
+    wait_for_graph,
+)
+
+
+def ring_network(k):
+    net = Network()
+    nodes = net.add_nodes(range(k))
+    for i in range(k):
+        net.add_edge(nodes[i], nodes[(i + 1) % k])
+    return net
+
+
+class TestHasCycle:
+    def test_dag(self):
+        assert not has_cycle({1: {2}, 2: {3}, 3: set()})
+
+    def test_cycle(self):
+        assert has_cycle({1: {2}, 2: {3}, 3: {1}})
+
+    def test_self_loop(self):
+        assert has_cycle({1: {1}})
+
+    def test_empty(self):
+        assert not has_cycle({})
+
+
+class TestChannelDependencyGraph:
+    def test_line_paths_are_acyclic(self, small_line):
+        p = Path.from_nodes(small_line, [0, 1, 2, 3])
+        assert is_deadlock_free([p])
+
+    def test_ring_routes_cycle(self):
+        """All-the-way-around ring routes create the classic CDG cycle."""
+        net = ring_network(4)
+        walks = [[i, (i + 1) % 4, (i + 2) % 4, (i + 3) % 4] for i in range(4)]
+        paths = paths_from_node_walks(net, walks)
+        assert not is_deadlock_free(paths)
+
+    def test_partial_ring_routes_fine(self):
+        """Routes that never wrap cannot close the cycle."""
+        net = ring_network(4)
+        paths = paths_from_node_walks(net, [[0, 1, 2], [1, 2, 3]])
+        assert is_deadlock_free(paths)
+
+    def test_cdg_vertices_include_all_used_channels(self):
+        net = ring_network(4)
+        paths = paths_from_node_walks(net, [[0, 1, 2]])
+        adj = channel_dependency_graph(paths)
+        assert len(adj) == 2
+
+    def test_single_edge_path(self):
+        net = ring_network(4)
+        paths = paths_from_node_walks(net, [[0, 1]])
+        adj = channel_dependency_graph(paths)
+        assert len(adj) == 1
+
+
+class TestDateline:
+    def test_dateline_breaks_torus_cycle(self):
+        """Dimension-order torus routes deadlock at one VC but are safe
+        with the dateline assignment — the Dally-Seitz construction."""
+        cube = KAryNCube(k=4, n=1, wrap=True)
+        net = cube.network
+        walks = [
+            dimension_order_path(cube, s, (s + 2) % 4) for s in range(4)
+        ]
+        # Force all clockwise so the ring cycle actually closes.
+        walks = [[s, (s + 1) % 4, (s + 2) % 4] for s in range(4)]
+        paths = paths_from_node_walks(net, walks)
+        assert not is_deadlock_free(paths)  # single VC: cycle
+        vc_of = dateline_vc_assignment(cube)
+        assert is_deadlock_free(paths, vc_of)  # dateline: acyclic
+
+    def test_dateline_vc_values(self):
+        cube = KAryNCube(k=4, n=1, wrap=True)
+        path = paths_from_node_walks(cube.network, [[2, 3, 0, 1]])[0]
+        vc_of = dateline_vc_assignment(cube)
+        assert vc_of(path, 0) == 0  # before the wrap
+        assert vc_of(path, 1) == 1  # the wrap hop itself
+        assert vc_of(path, 2) == 1  # after the wrap
+
+    def test_dateline_2d(self):
+        cube = KAryNCube(k=4, n=2, wrap=True)
+        walks = [
+            dimension_order_path(cube, cube.node((i, 0)), cube.node(((i + 2) % 4, 2)))
+            for i in range(4)
+        ]
+        paths = paths_from_node_walks(cube.network, walks)
+        vc_of = dateline_vc_assignment(cube)
+        assert is_deadlock_free(paths, vc_of)
+
+
+class TestWaitForGraph:
+    def test_mutual_wait_detected(self):
+        net = Network()
+        a, b = net.add_nodes("ab")
+        e_ab = net.add_edge(a, b)
+        e_ba = net.add_edge(b, a)
+        p0 = Path((a, b, a), (e_ab, e_ba))
+        p1 = Path((b, a, b), (e_ba, e_ab))
+        adj = wait_for_graph(
+            [p0, p1],
+            head_edge_index=np.array([1, 1]),  # both want their 2nd edge
+            occupancy_of={e_ab: [0], e_ba: [1]},
+        )
+        assert has_cycle({k: set(v) for k, v in adj.items()})
+
+    def test_draining_messages_excluded(self):
+        net = Network()
+        a, b = net.add_nodes("ab")
+        e = net.add_edge(a, b)
+        p = Path((a, b), (e,))
+        adj = wait_for_graph([p], np.array([-1]), {e: [0]})
+        assert adj == {}

@@ -1,0 +1,123 @@
+"""Equivalence of the optimized wormhole simulator with the naive
+per-flit reference implementation (tests/reference_simulator.py).
+
+Both use lowest-index arbitration and the same synchronous semantics;
+their per-message completion times must be *identical* on every
+workload.  This pins the optimized engine's move-counter arithmetic
+(acquisition at k-1, release at k-L-1, final edge at completion) against
+a first-principles flit-state simulation.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from reference_simulator import reference_run  # noqa: E402
+
+from repro.network.random_networks import chain_bundle, layered_network, random_walk_paths
+from repro.routing.paths import paths_from_node_walks
+from repro.sim.wormhole import WormholeSimulator
+
+
+def optimized_run(net, paths, L, B, release=None):
+    sim = WormholeSimulator(net, B, priority="index")
+    res = sim.run(
+        paths,
+        message_length=L,
+        release_times=None if release is None else np.asarray(release),
+    )
+    return res.completion_times
+
+
+class TestHandPickedCases:
+    def test_single_worm(self):
+        net, walks = chain_bundle(1, 4, 1)
+        paths = paths_from_node_walks(net, walks)
+        edge_lists = [list(p.edges) for p in paths]
+        ref = reference_run(edge_lists, L=5, B=1)
+        opt = optimized_run(net, paths, 5, 1)
+        assert np.array_equal(ref, opt)
+
+    def test_serialized_chain(self):
+        net, walks = chain_bundle(1, 4, 3)
+        paths = paths_from_node_walks(net, walks)
+        edge_lists = [list(p.edges) for p in paths]
+        for B in (1, 2, 3):
+            ref = reference_run(edge_lists, L=6, B=B)
+            opt = optimized_run(net, paths, 6, B)
+            assert np.array_equal(ref, opt), f"B={B}"
+
+    def test_d_greater_than_l(self):
+        """The regression regime: long paths, short worms."""
+        net, walks = chain_bundle(1, 7, 3)
+        paths = paths_from_node_walks(net, walks)
+        edge_lists = [list(p.edges) for p in paths]
+        ref = reference_run(edge_lists, L=2, B=1)
+        opt = optimized_run(net, paths, 2, 1)
+        assert np.array_equal(ref, opt)
+
+    def test_single_edge_paths(self):
+        net, walks = chain_bundle(1, 1, 4)
+        paths = paths_from_node_walks(net, walks)
+        edge_lists = [list(p.edges) for p in paths]
+        for B in (1, 2):
+            ref = reference_run(edge_lists, L=4, B=B)
+            opt = optimized_run(net, paths, 4, B)
+            assert np.array_equal(ref, opt), f"B={B}"
+
+    def test_release_times(self):
+        net, walks = chain_bundle(1, 3, 2)
+        paths = paths_from_node_walks(net, walks)
+        edge_lists = [list(p.edges) for p in paths]
+        release = [3, 0]
+        ref = reference_run(edge_lists, L=4, B=1, release_times=release)
+        opt = optimized_run(net, paths, 4, 1, release)
+        assert np.array_equal(ref, opt)
+
+
+class TestPropertyEquivalence:
+    @given(
+        st.integers(1, 3),  # B
+        st.integers(1, 6),  # L
+        st.integers(2, 5),  # depth
+        st.integers(1, 4),  # per chain
+        st.integers(1, 2),  # chains
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_chain_workloads(self, B, L, depth, per_chain, chains):
+        net, walks = chain_bundle(chains, depth, per_chain)
+        paths = paths_from_node_walks(net, walks)
+        edge_lists = [list(p.edges) for p in paths]
+        ref = reference_run(edge_lists, L=L, B=B)
+        opt = optimized_run(net, paths, L, B)
+        assert np.array_equal(ref, opt)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 2), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_layered_workloads(self, seed, B, L):
+        rng = np.random.default_rng(seed)
+        net = layered_network(4, 3, 2, rng)
+        walks = random_walk_paths(net, 4, 3, 8, rng)
+        paths = paths_from_node_walks(net, walks)
+        edge_lists = [list(p.edges) for p in paths]
+        ref = reference_run(edge_lists, L=L, B=B)
+        opt = optimized_run(net, paths, L, B)
+        assert np.array_equal(ref, opt)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 2), st.integers(2, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_staggered_releases(self, seed, B, L):
+        """Equivalence holds under arbitrary release schedules too."""
+        rng = np.random.default_rng(seed)
+        net, walks = chain_bundle(2, 3, 3)
+        paths = paths_from_node_walks(net, walks)
+        edge_lists = [list(p.edges) for p in paths]
+        release = rng.integers(0, 12, size=len(paths)).tolist()
+        ref = reference_run(edge_lists, L=L, B=B, release_times=release)
+        opt = optimized_run(net, paths, L, B, release)
+        assert np.array_equal(ref, opt)

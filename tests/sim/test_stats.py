@@ -1,0 +1,56 @@
+"""Unit tests for simulation result types."""
+
+import numpy as np
+
+from repro.sim.stats import SimulationResult, summarize_latencies
+
+
+def make_result(times, blocked=None):
+    times = np.asarray(times, dtype=np.int64)
+    return SimulationResult(
+        completion_times=times,
+        makespan=int(times.max()) if times.size else -1,
+        steps_executed=int(times.max()) if times.size else 0,
+        blocked_steps=(
+            np.asarray(blocked, dtype=np.int64)
+            if blocked is not None
+            else np.zeros(times.size, dtype=np.int64)
+        ),
+    )
+
+
+class TestSimulationResult:
+    def test_delivered_mask(self):
+        res = make_result([5, -1, 7])
+        assert list(res.delivered) == [True, False, True]
+        assert res.num_delivered == 2
+        assert not res.all_delivered
+
+    def test_all_delivered_empty(self):
+        res = make_result([])
+        assert res.all_delivered
+
+    def test_blocked_total(self):
+        res = make_result([5, 6], blocked=[2, 3])
+        assert res.total_blocked_steps == 5
+
+    def test_latencies_ignore_undelivered(self):
+        res = make_result([5, -1, 7])
+        assert list(res.latencies()) == [5.0, 7.0]
+
+    def test_latencies_subtract_release(self):
+        res = make_result([5, 9])
+        lat = res.latencies(np.array([1, 4]))
+        assert list(lat) == [4.0, 5.0]
+
+
+class TestSummaries:
+    def test_summary_fields(self):
+        s = summarize_latencies(np.array([1.0, 2.0, 3.0, 100.0]))
+        assert s["max"] == 100.0
+        assert s["mean"] == 26.5
+        assert s["median"] == 2.5
+
+    def test_empty_summary(self):
+        s = summarize_latencies(np.array([]))
+        assert s == {"mean": 0.0, "median": 0.0, "p95": 0.0, "max": 0.0}

@@ -1,0 +1,45 @@
+"""Public-API surface tests: exports resolve and stay importable."""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.network",
+    "repro.routing",
+    "repro.sim",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_all_exports_resolve(module_name):
+    mod = importlib.import_module(module_name)
+    assert hasattr(mod, "__all__")
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{module_name}.{name} missing"
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_all_is_sorted(module_name):
+    mod = importlib.import_module(module_name)
+    assert list(mod.__all__) == sorted(mod.__all__), f"{module_name}.__all__ unsorted"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_public_items_have_docstrings():
+    import repro
+
+    undocumented = [
+        name
+        for name in repro.__all__
+        if getattr(repro, name).__doc__ in (None, "")
+    ]
+    assert undocumented == []

@@ -1,0 +1,83 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["butterfly"])
+        assert args.n == 64 and args.channels == 2
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "virtual channels" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--n", "8", "--length", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Bit-reversal" in out
+        assert out.count("\n") >= 5
+
+    def test_butterfly(self, capsys):
+        assert main(["butterfly", "--n", "16", "--q", "2", "--length", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "all delivered: True" in out
+
+    def test_schedule(self, capsys):
+        assert main(
+            ["schedule", "--width", "6", "--depth", "5", "--messages", "40"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "LLL schedules" in out
+
+    def test_hard_instance(self, capsys):
+        assert main(["hard-instance", "--congestion", "4", "--dilation", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "Omega bound" in out
+
+    def test_spacetime(self, capsys):
+        assert main(["spacetime", "--worms", "2", "--depth", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "*" in out
+
+    def test_experiment_unknown_name(self):
+        with pytest.raises(SystemExit, match="no benchmark"):
+            main(["experiment", "zzz"])
+
+    def test_experiment_prints_saved_tables(self, capsys):
+        """A previously-generated table prints even without rerunning,
+        as long as the bench run itself succeeds."""
+        import pathlib
+
+        results = pathlib.Path("benchmarks/results")
+        if not (results / "e7_fig2_route.txt").exists():
+            pytest.skip("bench results not generated yet")
+        assert main(["experiment", "e7"]) == 0
+        out = capsys.readouterr().out
+        assert "two-pass route" in out
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "info"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "repro" in proc.stdout

@@ -1,0 +1,20 @@
+"""Run the doctests embedded in module and package docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.analysis.tables
+import repro.network.graph
+
+MODULES = [repro, repro.network.graph, repro.analysis.tables]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(
+        module, optionflags=doctest.NORMALIZE_WHITESPACE, verbose=False
+    )
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0
