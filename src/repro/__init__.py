@@ -21,6 +21,7 @@ Quickstart
 True
 """
 
+from . import telemetry
 from .analysis.balls_bins import lemma_3_2_3_bound, prob_no_bin_exceeds
 from .analysis.lll import chernoff_upper_tail, lll_condition
 from .analysis.fitting import PowerLawFit, fit_power_law, loglog_slope
@@ -193,6 +194,7 @@ __all__ = [
     "select_paths",
     "shortest_paths",
     "subset_collision_rate",
+    "telemetry",
     "transpose_permutation",
     "tree_path",
     "truncated_paths",

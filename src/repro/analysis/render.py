@@ -64,8 +64,9 @@ def render_spacetime(
     ----------
     trace:
         ``(steps, M)`` array of completed-move counts (``-1`` before
-        release), as produced by ``WormholeSimulator.run(...,
-        record_trace=True)``.
+        release), as produced by attaching a
+        :class:`repro.telemetry.TraceSnapshotCollector` and reading its
+        ``matrix``.
     path_lengths:
         Per-message ``D_m`` (to mark delivery).
     message_length:

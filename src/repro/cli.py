@@ -14,6 +14,9 @@ Small, reproducible demonstrations of the package's main pipelines:
     Build and route the Theorem 2.2.1 instance; compare with the bound.
 ``spacetime``
     Worm spacetime diagram of a small contended run.
+``profile``
+    Instrument a workload with the :mod:`repro.telemetry` collectors and
+    print the utilization / occupancy / stall-blame report.
 
 Every command accepts ``--seed`` and prints deterministic output.
 """
@@ -72,6 +75,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--channels", type=int, default=1, help="B")
 
     p = sub.add_parser(
+        "profile",
+        help="telemetry report (utilization, occupancy, stall blame)",
+    )
+    p.add_argument(
+        "--workload",
+        choices=("hard-instance", "demo", "schedule"),
+        default="hard-instance",
+        help="what to instrument (default: the Theorem 2.2.1 instance)",
+    )
+    p.add_argument("--congestion", type=int, default=8, help="C (hard-instance)")
+    p.add_argument("--dilation", type=int, default=15, help="D (hard-instance)")
+    p.add_argument("--channels", type=int, default=1, help="B")
+    p.add_argument("--n", type=int, default=8, help="butterfly inputs (demo)")
+    p.add_argument(
+        "--length", type=int, default=0, help="flits per message (0 = auto)"
+    )
+    p.add_argument("--top", type=int, default=5, help="rows per report table")
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="also record an event trace to PATH (.jsonl or .npz)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
         "experiment",
         help="regenerate one of the paper experiments (e1..e18, perf)",
     )
@@ -93,6 +122,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "schedule": _cmd_schedule,
         "hard-instance": _cmd_hard_instance,
         "spacetime": _cmd_spacetime,
+        "profile": _cmd_profile,
         "experiment": _cmd_experiment,
         "reproduce": _cmd_reproduce,
     }[args.command]
@@ -218,11 +248,13 @@ def _cmd_spacetime(args: argparse.Namespace) -> None:
     from repro.network.random_networks import chain_bundle
     from repro.routing.paths import paths_from_node_walks
     from repro.sim.wormhole import WormholeSimulator
+    from repro.telemetry import TraceSnapshotCollector
 
     net, walks = chain_bundle(1, args.depth, args.worms)
     paths = paths_from_node_walks(net, walks)
-    res = WormholeSimulator(net, args.channels, priority="index").run(
-        paths, message_length=args.length, record_trace=True
+    snapshot = TraceSnapshotCollector()
+    WormholeSimulator(net, args.channels, priority="index").run(
+        paths, message_length=args.length, telemetry=[snapshot]
     )
     print(
         f"{args.worms} worms (L={args.length}) sharing a {args.depth}-edge "
@@ -230,9 +262,87 @@ def _cmd_spacetime(args: argparse.Namespace) -> None:
     )
     print(
         render_spacetime(
-            res.extra["trace"], [args.depth] * args.worms, args.length
+            snapshot.matrix, [args.depth] * args.worms, args.length
         )
     )
+
+
+def _cmd_profile(args: argparse.Namespace) -> None:
+    from repro.telemetry import (
+        TraceRecorder,
+        Watchdog,
+        render_report,
+        standard_collectors,
+    )
+
+    probes = standard_collectors() + [Watchdog()]
+    recorder = None
+    if args.trace is not None:
+        recorder = TraceRecorder()
+        probes.append(recorder)
+
+    from repro import WormholeSimulator
+
+    if args.workload == "hard-instance":
+        from repro import build_hard_instance
+
+        inst = build_hard_instance(
+            C=args.congestion, D=args.dilation, B=args.channels
+        )
+        L = args.length or inst.recommended_length()
+        result = WormholeSimulator(
+            inst.network, args.channels, seed=args.seed
+        ).run(inst.paths, message_length=L, telemetry=probes)
+        title = (
+            f"Theorem 2.2.1 hard instance: C={inst.congestion}, "
+            f"D={inst.dilation}, B={inst.B}, L={L}"
+        )
+    elif args.workload == "demo":
+        from repro import Butterfly, bit_reversal_permutation
+
+        bf = Butterfly(args.n)
+        inst = bit_reversal_permutation(args.n)
+        paths = [list(r) for r in bf.path_edges_batch(inst.sources, inst.dests)]
+        L = args.length or 16
+        result = WormholeSimulator(bf, args.channels, seed=args.seed).run(
+            paths, message_length=L, telemetry=probes
+        )
+        title = (
+            f"Bit-reversal on an {args.n}-input butterfly: "
+            f"B={args.channels}, L={L}"
+        )
+    else:  # schedule
+        from repro import execute_schedule, lll_schedule
+        from repro.network.random_networks import (
+            layered_network,
+            random_walk_paths,
+        )
+        from repro.routing.paths import paths_from_node_walks
+
+        rng = np.random.default_rng(args.seed)
+        net = layered_network(10, 10, 3, rng)
+        walks = random_walk_paths(net, 10, 10, 120, rng)
+        paths = paths_from_node_walks(net, walks)
+        L = args.length or 10
+        build = lll_schedule(
+            paths, L, B=args.channels,
+            rng=np.random.default_rng(args.seed), mode="direct",
+        )
+        result = execute_schedule(
+            net, paths, build.schedule, B=args.channels, telemetry=probes
+        )
+        title = (
+            f"Theorem 2.1.6 schedule: {build.num_classes} classes, "
+            f"B={args.channels}, L={L}"
+        )
+
+    print(render_report(probes, result, top=args.top, title=title))
+    if recorder is not None:
+        try:
+            recorder.save(args.trace)
+        except OSError as exc:
+            raise SystemExit(f"repro profile: cannot write trace: {exc}")
+        print(f"trace written to {args.trace}")
 
 
 def _cmd_experiment(args: argparse.Namespace) -> None:

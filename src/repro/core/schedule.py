@@ -86,18 +86,23 @@ def execute_schedule(
     B: int,
     require_unblocked: bool = True,
     seed: int | None = 0,
+    telemetry=None,
 ) -> SimulationResult:
     """Run a schedule through the flit-level simulator and validate it.
 
     With ``require_unblocked`` (the Theorem 2.1.6 guarantee) the run must
     deliver every message with **zero** blocked steps and finish within
     ``schedule.length_bound``; violations raise :class:`NetworkError`.
+
+    ``telemetry`` is forwarded to :meth:`WormholeSimulator.run` so
+    :mod:`repro.telemetry` probes can observe scheduler-driven runs.
     """
     sim = WormholeSimulator(net, num_virtual_channels=B, seed=seed)
     result = sim.run(
         paths,
         message_length=schedule.message_length,
         release_times=schedule.release_times(),
+        telemetry=telemetry,
     )
     if require_unblocked:
         if not result.all_delivered:

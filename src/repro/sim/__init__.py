@@ -14,7 +14,7 @@ from .deadlock import (
 from .restricted import RestrictedWormholeSimulator
 from .stats import SimulationResult, summarize_latencies
 from .store_forward import StoreForwardSimulator
-from .wormhole import WormholeSimulator, pad_paths
+from .wormhole import WormholeSimulator, check_edge_simple, pad_paths
 
 __all__ = [
     "AdaptiveMeshRouter",
@@ -28,6 +28,7 @@ __all__ = [
     "StoreForwardSimulator",
     "WormholeSimulator",
     "channel_dependency_graph",
+    "check_edge_simple",
     "circuit_switch_butterfly",
     "dateline_vc_assignment",
     "has_cycle",

@@ -28,12 +28,14 @@ this is where adaptivity pays — the worm routes around congestion.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..network.graph import NetworkError
 from ..network.mesh import KAryNCube
+from ..telemetry.probe import Probe, ProbeSet, RunMeta
 from .stats import SimulationResult
 
 __all__ = ["AdaptiveMeshRouter", "AdaptiveRunResult"]
@@ -132,8 +134,15 @@ class AdaptiveMeshRouter:
         message_length: int,
         release_times: np.ndarray | None = None,
         max_steps: int | None = None,
+        telemetry: "ProbeSet | Probe | Iterable[Probe] | None" = None,
     ) -> AdaptiveRunResult:
-        """Route ``(source, destination)`` node-id demands adaptively."""
+        """Route ``(source, destination)`` node-id demands adaptively.
+
+        ``telemetry`` attaches :mod:`repro.telemetry` probes.  Because
+        routes are chosen online, ``meta.paths`` is ``None``; a blocked
+        head reports the first edge its policy allowed as the edge it
+        wanted.
+        """
         L = int(message_length)
         if L < 1:
             raise NetworkError("message length L must be >= 1")
@@ -164,6 +173,22 @@ class AdaptiveMeshRouter:
         if max_steps is None:
             max_steps = int(release.max() + (L + dists + 2).sum() + 10)
 
+        probes = ProbeSet.coerce(telemetry)
+        if probes is not None:
+            probes.on_run_start(
+                RunMeta(
+                    simulator="adaptive",
+                    num_messages=M,
+                    num_edges=self.net.num_edges,
+                    num_virtual_channels=self.B,
+                    paths=None,
+                    lengths=dists,
+                    message_length=np.full(M, L, dtype=np.int64),
+                    release=release,
+                    extra={"flits_per_grant": L, "policy": self.policy},
+                )
+            )
+
         taken: list[list[int]] = [[] for _ in range(M)]
         position = np.asarray([s for s, _ in demands], dtype=np.int64)
         dest = np.asarray([d for _, d in demands], dtype=np.int64)
@@ -181,6 +206,10 @@ class AdaptiveMeshRouter:
                 t = int(release[~done].min())
                 continue
             movers: list[int] = []
+            grants: list[tuple[int, int]] = []
+            blocks: list[tuple[int, int]] = []
+            releases: list[tuple[int, int]] = []
+            finished: list[int] = []
             # Heads wanting a new edge pick among allowed free moves; we
             # grant sequentially in a random order using live occupancy
             # counts (still at most B per edge since grants increment).
@@ -191,12 +220,18 @@ class AdaptiveMeshRouter:
                     free = [e for e in options if occupancy[e] < self.B]
                     if not free:
                         blocked[m] += 1
+                        if probes is not None:
+                            blocks.append(
+                                (int(m), int(options[0]) if options else -1)
+                            )
                         continue
                     e = free[int(self._rng.integers(len(free)))]
                     occupancy[e] += 1
                     taken[m].append(int(e))
                     position[m] = self.net.head(e)
                     movers.append(int(m))
+                    if probes is not None:
+                        grants.append((int(m), int(e)))
                 else:
                     movers.append(int(m))  # draining
 
@@ -206,31 +241,55 @@ class AdaptiveMeshRouter:
                 rel = int(k[m]) - L - 1
                 if 0 <= rel < d - 1:
                     occupancy[taken[m][rel]] -= 1
+                    if probes is not None:
+                        releases.append((int(m), int(taken[m][rel])))
                 if k[m] == L + d - 1:
                     occupancy[taken[m][d - 1]] -= 1
                     completion[m] = t
                     done[m] = True
                     pending -= 1
+                    if probes is not None:
+                        releases.append((int(m), int(taken[m][d - 1])))
+                        finished.append(int(m))
+
+            if probes is not None:
+                if grants:
+                    g = np.asarray(grants, dtype=np.int64)
+                    probes.on_grant(t, g[:, 0], g[:, 1])
+                if blocks:
+                    b = np.asarray(blocks, dtype=np.int64)
+                    probes.on_block(t, b[:, 0], b[:, 1])
+                if releases:
+                    r = np.asarray(releases, dtype=np.int64)
+                    probes.on_release(t, r[:, 0], r[:, 1])
+                if finished:
+                    probes.on_complete(t, np.asarray(finished, dtype=np.int64))
+                probes.on_step(t, np.asarray(movers, dtype=np.int64), k)
+                if probes.aborted:
+                    break
 
             if not movers and bool((release[~done] < t).all()):
-                return AdaptiveRunResult(
-                    SimulationResult(
-                        completion_times=completion,
-                        makespan=int(completion.max()),
-                        steps_executed=t,
-                        blocked_steps=blocked,
-                        deadlocked=True,
-                    ),
-                    taken,
+                result = SimulationResult(
+                    completion_times=completion,
+                    makespan=int(completion.max()),
+                    steps_executed=t,
+                    blocked_steps=blocked,
+                    deadlocked=True,
                 )
+                if probes is not None:
+                    probes.on_deadlock(t, np.flatnonzero(~done))
+                    probes.on_run_end(result)
+                return AdaptiveRunResult(result, taken)
 
-        return AdaptiveRunResult(
-            SimulationResult(
-                completion_times=completion,
-                makespan=int(completion.max()),
-                steps_executed=t,
-                blocked_steps=blocked,
-                hit_step_cap=pending > 0,
-            ),
-            taken,
+        result = SimulationResult(
+            completion_times=completion,
+            makespan=int(completion.max()),
+            steps_executed=t,
+            blocked_steps=blocked,
+            hit_step_cap=pending > 0,
         )
+        if probes is not None:
+            if probes.aborted:
+                result.extra["telemetry_abort"] = probes.abort_reason
+            probes.on_run_end(result)
+        return AdaptiveRunResult(result, taken)

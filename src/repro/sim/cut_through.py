@@ -27,14 +27,15 @@ crossed path edge ``i``; the buffer at the head of edge ``i`` holds
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
 from ..network.graph import Network, NetworkError
 from ..routing.paths import Path
+from ..telemetry.probe import Probe, ProbeSet, RunMeta
 from .stats import SimulationResult
-from .wormhole import pad_paths
+from .wormhole import check_edge_simple, pad_paths
 
 __all__ = ["CutThroughSimulator"]
 
@@ -78,10 +79,15 @@ class CutThroughSimulator:
         message_length: int | np.ndarray,
         release_times: np.ndarray | None = None,
         max_steps: int | None = None,
+        telemetry: "ProbeSet | Probe | Iterable[Probe] | None" = None,
     ) -> SimulationResult:
         """Route all messages; returns flit-step times.
 
         ``message_length`` may be a scalar or a per-message array.
+        ``telemetry`` attaches :mod:`repro.telemetry` probes; grants
+        are edge-ownership claims (each implying the owning message's
+        ``L`` flits will stream across the edge), releases fire when
+        ownership is surrendered.
         """
         padded, D = pad_paths(paths)
         M = D.size
@@ -101,6 +107,21 @@ class CutThroughSimulator:
             if release_times is None
             else np.asarray(release_times, dtype=np.int64).copy()
         )
+        probes = ProbeSet.coerce(telemetry)
+        if probes is not None:
+            probes.on_run_start(
+                RunMeta(
+                    simulator="cut_through",
+                    num_messages=M,
+                    num_edges=self.num_edges,
+                    num_virtual_channels=1,
+                    paths=padded,
+                    lengths=D,
+                    message_length=L_arr,
+                    release=release,
+                    extra={"flits_per_grant": L_arr},
+                )
+            )
         trivial = D == 0
         completion[trivial] = release[trivial]
         if max_steps is None:
@@ -133,6 +154,7 @@ class CutThroughSimulator:
                 if i is not None and owner[padded[m, i]] < 0:
                     claimers.append(int(m))
                     claim_edges.append(int(padded[m, i]))
+            granted_claims: list[tuple[int, int]] = []
             if claimers:
                 order = np.argsort(
                     self._rng.random(len(claimers))
@@ -143,6 +165,8 @@ class CutThroughSimulator:
                     e = claim_edges[j]
                     if owner[e] < 0:
                         owner[e] = claimers[j]
+                        if probes is not None:
+                            granted_claims.append((claimers[j], e))
             # Flit movement: one flit per owned edge per step.  Edges are
             # serviced head-first (descending index) so a buffer slot
             # vacated this step can be refilled this step — the same
@@ -150,6 +174,8 @@ class CutThroughSimulator:
             # *availability* upstream uses the start-of-step snapshot (a
             # flit cannot cross two edges in one step).
             snapshot = crossed.copy()
+            released_slots: list[tuple[int, int]] = []
+            finished: list[int] = []
             for m in active:
                 d = int(D[m])
                 c = snapshot[m]
@@ -176,8 +202,12 @@ class CutThroughSimulator:
                             prev = padded[m, i - 1]
                             if owner[prev] == m:
                                 owner[prev] = -1
+                                if probes is not None:
+                                    released_slots.append((int(m), int(prev)))
                         if i == d - 1:
                             owner[e] = -1
+                            if probes is not None:
+                                released_slots.append((int(m), int(e)))
                 if advanced:
                     moved_any = True
                     progressed[m] = True
@@ -185,23 +215,74 @@ class CutThroughSimulator:
                     completion[m] = t
                     done[m] = True
                     pending -= 1
+                    finished.append(int(m))
             blocked[active] += ~progressed[active]
+
+            if probes is not None:
+                self._emit_step_events(
+                    probes, t, granted_claims, released_slots, finished,
+                    active, progressed, crossed, padded, D,
+                )
+                if probes.aborted:
+                    break
             if not moved_any and bool((release[~done] < t).all()):
-                return SimulationResult(
+                result = SimulationResult(
                     completion_times=completion,
                     makespan=int(completion.max()),
                     steps_executed=t,
                     blocked_steps=blocked,
                     deadlocked=True,
                 )
+                if probes is not None:
+                    probes.on_deadlock(t, np.flatnonzero(~done))
+                    probes.on_run_end(result)
+                return result
 
-        return SimulationResult(
+        result = SimulationResult(
             completion_times=completion,
             makespan=int(completion.max()),
             steps_executed=t,
             blocked_steps=blocked,
             hit_step_cap=pending > 0,
         )
+        if probes is not None:
+            if probes.aborted:
+                result.extra["telemetry_abort"] = probes.abort_reason
+            probes.on_run_end(result)
+        return result
+
+    def _emit_step_events(
+        self,
+        probes: ProbeSet,
+        t: int,
+        granted_claims: list[tuple[int, int]],
+        released_slots: list[tuple[int, int]],
+        finished: list[int],
+        active: np.ndarray,
+        progressed: np.ndarray,
+        crossed: np.ndarray,
+        padded: np.ndarray,
+        D: np.ndarray,
+    ) -> None:
+        """Dispatch one step's events (only called with probes attached)."""
+        if granted_claims:
+            g = np.asarray(granted_claims, dtype=np.int64)
+            probes.on_grant(t, g[:, 0], g[:, 1])
+        stalled = active[~progressed[active]]
+        if stalled.size:
+            wanted = np.full(stalled.size, -1, dtype=np.int64)
+            for j, m in enumerate(stalled):
+                i = self._header_edge(crossed[m], D[m])
+                if i is not None:
+                    wanted[j] = padded[m, i]
+            probes.on_block(t, stalled, wanted)
+        if released_slots:
+            r = np.asarray(released_slots, dtype=np.int64)
+            probes.on_release(t, r[:, 0], r[:, 1])
+        if finished:
+            probes.on_complete(t, np.asarray(finished, dtype=np.int64))
+        movers = active[progressed[active]]
+        probes.on_step(t, movers, (crossed > 0).sum(axis=1))
 
     @staticmethod
     def _header_edge(c: np.ndarray, d: int) -> int | None:
@@ -217,7 +298,5 @@ class CutThroughSimulator:
 
     @staticmethod
     def _check_edge_simple(padded: np.ndarray, lengths: np.ndarray) -> None:
-        for m in range(padded.shape[0]):
-            edges = padded[m, : lengths[m]]
-            if np.unique(edges).size != edges.size:
-                raise NetworkError(f"path of message {m} is not edge-simple")
+        del lengths  # encoded by the -1 padding already
+        check_edge_simple(padded)

@@ -34,7 +34,7 @@ import numpy as np
 from ..network.graph import Network, NetworkError
 from ..routing.paths import Path
 from .stats import SimulationResult
-from .wormhole import pad_paths
+from .wormhole import check_edge_simple, pad_paths
 
 __all__ = ["RestrictedWormholeSimulator"]
 
@@ -89,10 +89,7 @@ class RestrictedWormholeSimulator:
         blocked = np.zeros(M, dtype=np.int64)
         if M == 0:
             return SimulationResult(completion, -1, 0, blocked)
-        for m in range(M):
-            edges = padded[m, : D[m]]
-            if np.unique(edges).size != edges.size:
-                raise NetworkError(f"path of message {m} is not edge-simple")
+        check_edge_simple(padded)
 
         release = (
             np.zeros(M, dtype=np.int64)

@@ -21,12 +21,13 @@ message implements the random-delay smoothing trick behind the
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
 from ..network.graph import Network, NetworkError
 from ..routing.paths import Path
+from ..telemetry.probe import Probe, ProbeSet, RunMeta
 from .stats import SimulationResult
 from .wormhole import pad_paths
 
@@ -78,12 +79,18 @@ class StoreForwardSimulator:
         release_times: np.ndarray | None = None,
         delay_range: int = 0,
         max_steps: int | None = None,
+        telemetry: "ProbeSet | Probe | Iterable[Probe] | None" = None,
     ) -> SimulationResult:
         """Route all messages; times are reported in **flit steps**.
 
         ``release_times`` are in flit steps and are rounded up to message
         steps.  ``delay_range > 0`` adds an extra uniform random delay of
         ``[0, delay_range)`` message steps per message.
+
+        ``telemetry`` attaches :mod:`repro.telemetry` probes.  Events
+        use the simulator's native **message steps** as the time axis
+        (``meta.extra["flit_steps_per_step"]`` converts); each grant
+        means the whole ``L``-flit message crosses the edge this step.
         """
         if message_length < 1:
             raise NetworkError("message length L must be >= 1")
@@ -110,6 +117,25 @@ class StoreForwardSimulator:
 
         if max_steps is None:
             max_steps = int(release.max() + D.sum() + 1)
+
+        probes = ProbeSet.coerce(telemetry)
+        if probes is not None:
+            probes.on_run_start(
+                RunMeta(
+                    simulator="store_forward",
+                    num_messages=M,
+                    num_edges=self.net.num_edges,
+                    num_virtual_channels=1,
+                    paths=padded,
+                    lengths=D,
+                    message_length=np.full(M, message_length, dtype=np.int64),
+                    release=release,
+                    extra={
+                        "flits_per_grant": int(message_length),
+                        "flit_steps_per_step": hop,
+                    },
+                )
+            )
 
         hops_done = np.zeros(M, dtype=np.int64)
         done = trivial.copy()
@@ -152,7 +178,21 @@ class StoreForwardSimulator:
                 done[finished] = True
                 pending -= finished.size
 
-        return SimulationResult(
+            if probes is not None:
+                probes.on_grant(t, movers, edges[winners])
+                losers = idx[~winners]
+                if losers.size:
+                    probes.on_block(t, losers, edges[~winners])
+                # A store-and-forward edge is held only within the step
+                # it transmits, so the grant's slot frees immediately.
+                probes.on_release(t, movers, edges[winners])
+                if finished.size:
+                    probes.on_complete(t, finished)
+                probes.on_step(t, movers, hops_done)
+                if probes.aborted:
+                    break
+
+        result = SimulationResult(
             completion_times=completion,
             makespan=int(completion.max()),
             steps_executed=t * hop,
@@ -160,3 +200,8 @@ class StoreForwardSimulator:
             hit_step_cap=pending > 0,
             extra={"max_queue": max_queue, "message_step_flits": hop},
         )
+        if probes is not None:
+            if probes.aborted:
+                result.extra["telemetry_abort"] = probes.abort_reason
+            probes.on_run_end(result)
+        return result

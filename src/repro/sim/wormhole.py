@@ -39,17 +39,38 @@ The per-step state update is fully vectorized with NumPy.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import warnings
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
 from ..network.graph import Network, NetworkError
 from ..routing.paths import Path
+from ..telemetry.probe import Probe, ProbeSet, RunMeta
 from .stats import SimulationResult
 
-__all__ = ["WormholeSimulator", "pad_paths"]
+__all__ = ["WormholeSimulator", "check_edge_simple", "pad_paths"]
 
 _PRIORITIES = ("random", "age", "index", "rank")
+
+
+def check_edge_simple(
+    padded: np.ndarray, what: str = "path of message {m} is not edge-simple"
+) -> None:
+    """Raise unless every padded path row is free of repeated edge ids.
+
+    A single sort over the padded matrix replaces the former per-message
+    ``np.unique`` loop: after sorting each row, a duplicate edge shows
+    up as two equal adjacent entries (the ``-1`` padding is masked out),
+    so the whole check is one vectorized pass regardless of ``M``.
+    """
+    if padded.shape[0] == 0 or padded.shape[1] < 2:
+        return
+    srt = np.sort(padded, axis=1)
+    dup = (srt[:, 1:] == srt[:, :-1]) & (srt[:, 1:] >= 0)
+    bad = np.flatnonzero(dup.any(axis=1))
+    if bad.size:
+        raise NetworkError(what.format(m=int(bad[0])))
 
 
 def pad_paths(paths: Sequence[Path] | Sequence[Sequence[int]]) -> tuple[np.ndarray, np.ndarray]:
@@ -128,6 +149,7 @@ class WormholeSimulator:
         record_trace: bool = False,
         vc_ids: np.ndarray | Sequence[Sequence[int]] | None = None,
         record_contention: bool = False,
+        telemetry: "ProbeSet | Probe | Iterable[Probe] | None" = None,
     ) -> SimulationResult:
         """Route all messages; returns a :class:`SimulationResult`.
 
@@ -148,10 +170,11 @@ class WormholeSimulator:
             Safety cap; defaults to a generous bound that any live
             simulation finishes under.
         record_trace:
-            Store each message's completed-move count after every flit
-            step in ``result.extra["trace"]`` (shape ``(steps, M)``,
-            ``-1`` before release).  Costs O(steps * M) memory; meant for
-            visualization and debugging of small runs.
+            Deprecated — attach a :class:`~repro.telemetry.collectors
+            .TraceSnapshotCollector` via ``telemetry=`` instead.  Stores
+            each message's completed-move count after every flit step in
+            ``result.extra["trace"]`` (shape ``(steps, M)``, ``-1``
+            before release).
         vc_ids:
             Optional per-hop virtual-channel *class* assignment — the
             Dally-Seitz mechanism proper.  Ragged per-message sequences
@@ -163,9 +186,18 @@ class WormholeSimulator:
             deadlock-freedom *provable* (acyclic CDG); interchangeable
             slots merely make deadlock unlikely.
         record_contention:
-            Store, per physical edge, how many header requests were
-            denied over the run in ``result.extra["edge_contention"]`` —
-            a hotspot map for congestion analysis.
+            Deprecated — attach a :class:`~repro.telemetry.collectors
+            .EdgeContentionCollector` via ``telemetry=`` instead.
+            Stores, per physical edge, how many header requests were
+            denied over the run in ``result.extra["edge_contention"]``.
+        telemetry:
+            Probes to instrument the run — a
+            :class:`~repro.telemetry.probe.ProbeSet`, a single
+            :class:`~repro.telemetry.probe.Probe`, or an iterable of
+            probes (see :mod:`repro.telemetry`).  With nothing attached
+            the hot loop performs no probe dispatch at all, and attached
+            collectors never perturb the simulation (no RNG draws, no
+            state writes), so results are bit-identical either way.
         """
         padded, D = pad_paths(paths)
         M = D.size
@@ -174,7 +206,11 @@ class WormholeSimulator:
         ).copy()
         if M and L.min() < 1:
             raise NetworkError("message length L must be >= 1")
-        self._check_edge_simple(padded, D)
+        check_edge_simple(
+            padded,
+            "path of message {m} is not edge-simple; a worm cannot "
+            "hold two virtual channels on one edge",
+        )
         release = (
             np.zeros(M, dtype=np.int64)
             if release_times is None
@@ -185,16 +221,60 @@ class WormholeSimulator:
         if M and release.min() < 0:
             raise NetworkError("release times must be >= 0")
 
+        # Legacy recording kwargs become collector probes (satellite of
+        # the telemetry subsystem); the result keys stay byte-identical.
+        legacy: list[Probe] = []
+        trace_probe = contention_probe = None
+        if record_trace:
+            warnings.warn(
+                "record_trace is deprecated; attach a repro.telemetry."
+                "TraceSnapshotCollector via telemetry= instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            from ..telemetry.collectors import TraceSnapshotCollector
+
+            trace_probe = TraceSnapshotCollector()
+            legacy.append(trace_probe)
+        if record_contention:
+            warnings.warn(
+                "record_contention is deprecated; attach a repro.telemetry."
+                "EdgeContentionCollector via telemetry= instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            from ..telemetry.collectors import EdgeContentionCollector
+
+            contention_probe = EdgeContentionCollector()
+            legacy.append(contention_probe)
+        probes = ProbeSet.coerce(telemetry, extra=legacy)
+        if probes is not None:
+            probes.on_run_start(
+                RunMeta(
+                    simulator="wormhole",
+                    num_messages=M,
+                    num_edges=self.num_edges,
+                    num_virtual_channels=self.B,
+                    paths=padded,
+                    lengths=D,
+                    message_length=L,
+                    release=release,
+                )
+            )
+
         total_moves = L + D - 1  # moves needed to deliver the whole worm
         completion = np.full(M, -1, dtype=np.int64)
         blocked = np.zeros(M, dtype=np.int64)
         if M == 0:
-            return SimulationResult(
+            result = SimulationResult(
                 completion_times=completion,
                 makespan=-1,
                 steps_executed=0,
                 blocked_steps=blocked,
             )
+            if probes is not None:
+                probes.on_run_end(result)
+            return result
 
         # Zero-length paths (source == destination): delivered at release.
         trivial = D == 0
@@ -228,18 +308,12 @@ class WormholeSimulator:
 
         k = np.zeros(M, dtype=np.int64)  # completed moves per message
         occupancy = np.zeros(num_slots, dtype=np.int64)
-        edge_contention = (
-            np.zeros(self.num_edges, dtype=np.int64)
-            if record_contention
-            else None
-        )
         done = trivial.copy()
         pending = int(M - done.sum())
         age_priority = np.lexsort((np.arange(M), release)).argsort()
         rank_priority = (
             self._rng.permutation(M) if self.priority == "rank" else None
         )
-        trace: list[np.ndarray] = []
 
         t = 0
         while pending and t < max_steps:
@@ -289,8 +363,10 @@ class WormholeSimulator:
                 np.add.at(occupancy, acquired, 1)
                 blocked_ids = contenders[~granted]
                 blocked[blocked_ids] += 1
-                if edge_contention is not None and blocked_ids.size:
-                    np.add.at(edge_contention, raw_edges[~granted], 1)
+                if probes is not None:
+                    probes.on_grant(t, contenders[granted], raw_edges[granted])
+                    if blocked_ids.size:
+                        probes.on_block(t, blocked_ids, raw_edges[~granted])
 
             movers = idx[movers_local]
             k[movers] += 1
@@ -305,6 +381,8 @@ class WormholeSimulator:
                 rel_msgs = movers[sel]
                 rel_edges = slot_keys[rel_msgs, rel_idx[sel]]
                 np.add.at(occupancy, rel_edges, -1)
+                if probes is not None:
+                    probes.on_release(t, rel_msgs, padded[rel_msgs, rel_idx[sel]])
             finished = movers[k[movers] == total_moves[movers]]
             if finished.size:
                 completion[finished] = t
@@ -312,57 +390,63 @@ class WormholeSimulator:
                 pending -= finished.size
                 last_edges = slot_keys[finished, D[finished] - 1]
                 np.add.at(occupancy, last_edges, -1)
+                if probes is not None:
+                    probes.on_release(t, finished, padded[finished, D[finished] - 1])
+                    probes.on_complete(t, finished)
 
-            if record_trace:
-                snapshot = np.where(release < t, k, -1)
-                trace.append(snapshot)
+            if probes is not None:
+                probes.on_step(t, movers, k)
+                if probes.aborted:
+                    break
 
             if movers.size == 0:
                 # Nothing moved.  If every pending message is already
                 # released, the configuration can never change: deadlock.
                 if bool((release[~done] < t).all()):
-                    return SimulationResult(
+                    result = SimulationResult(
                         completion_times=completion,
                         makespan=int(completion.max()),
                         steps_executed=t,
                         blocked_steps=blocked,
                         deadlocked=True,
-                        extra=self._result_extra(
-                            trace, record_trace, edge_contention
-                        ),
+                        extra=self._legacy_extra(trace_probe, contention_probe),
                     )
+                    if probes is not None:
+                        probes.on_deadlock(t, np.flatnonzero(~done))
+                        probes.on_run_end(result)
+                    return result
 
-        return SimulationResult(
+        result = SimulationResult(
             completion_times=completion,
             makespan=int(completion.max()),
             steps_executed=t,
             blocked_steps=blocked,
             hit_step_cap=pending > 0,
-            extra=self._result_extra(trace, record_trace, edge_contention),
+            extra=self._legacy_extra(trace_probe, contention_probe),
         )
+        if probes is not None:
+            if probes.aborted:
+                result.extra["telemetry_abort"] = probes.abort_reason
+            probes.on_run_end(result)
+        return result
 
     @staticmethod
-    def _result_extra(
-        trace: list[np.ndarray],
-        record_trace: bool,
-        edge_contention: np.ndarray | None,
-    ) -> dict:
+    def _legacy_extra(trace_probe, contention_probe) -> dict:
+        """``extra`` keys for the deprecated record_* kwargs."""
         extra: dict = {}
-        if record_trace:
-            extra["trace"] = (
-                np.vstack(trace) if trace else np.zeros((0, 0), dtype=np.int64)
-            )
-        if edge_contention is not None:
-            extra["edge_contention"] = edge_contention
+        if trace_probe is not None:
+            extra["trace"] = trace_probe.matrix
+        if contention_probe is not None:
+            extra["edge_contention"] = contention_probe.denied
         return extra
 
     # ------------------------------------------------------------------
     @staticmethod
     def _check_edge_simple(padded: np.ndarray, lengths: np.ndarray) -> None:
-        for m in range(padded.shape[0]):
-            edges = padded[m, : lengths[m]]
-            if np.unique(edges).size != edges.size:
-                raise NetworkError(
-                    f"path of message {m} is not edge-simple; a worm cannot "
-                    "hold two virtual channels on one edge"
-                )
+        """Back-compat alias for :func:`check_edge_simple`."""
+        del lengths  # encoded by the -1 padding already
+        check_edge_simple(
+            padded,
+            "path of message {m} is not edge-simple; a worm cannot "
+            "hold two virtual channels on one edge",
+        )

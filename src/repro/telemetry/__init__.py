@@ -1,0 +1,71 @@
+"""``repro.telemetry`` — instrumentation, tracing, and watchdogs.
+
+A pluggable observability layer for every simulator in the package:
+
+* :mod:`~repro.telemetry.probe` — the :class:`Probe` event protocol and
+  the :class:`ProbeSet` dispatcher (a guaranteed no-op when empty);
+* :mod:`~repro.telemetry.collectors` — channel utilization, buffer
+  occupancy, stall attribution (head-of-line blame), throughput /
+  backlog, plus the legacy trace-snapshot and edge-contention maps;
+* :mod:`~repro.telemetry.trace` — versioned JSONL / NPZ event traces
+  with a bit-exact :func:`replay_check`;
+* :mod:`~repro.telemetry.watchdog` — stall / low-delivery-rate alerts
+  that annotate (or abort) a run;
+* :mod:`~repro.telemetry.report` — text/markdown rendering of a
+  collected run.
+
+Usage::
+
+    from repro import WormholeSimulator
+    from repro.telemetry import Watchdog, render_report, standard_collectors
+
+    probes = standard_collectors() + [Watchdog()]
+    result = WormholeSimulator(net, B).run(paths, L, telemetry=probes)
+    print(render_report(probes, result))
+"""
+
+from .collectors import (
+    BufferOccupancyCollector,
+    ChannelUtilizationCollector,
+    EdgeContentionCollector,
+    StallAttributionCollector,
+    ThroughputCollector,
+    TraceSnapshotCollector,
+    standard_collectors,
+)
+from .probe import Probe, ProbeSet, RunMeta
+from .report import render_report
+from .trace import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    Trace,
+    TraceError,
+    TraceRecorder,
+    load_trace,
+    replay_check,
+    write_trace,
+)
+from .watchdog import Watchdog
+
+__all__ = [
+    "BufferOccupancyCollector",
+    "ChannelUtilizationCollector",
+    "EdgeContentionCollector",
+    "Probe",
+    "ProbeSet",
+    "RunMeta",
+    "StallAttributionCollector",
+    "ThroughputCollector",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "Trace",
+    "TraceError",
+    "TraceRecorder",
+    "TraceSnapshotCollector",
+    "Watchdog",
+    "load_trace",
+    "render_report",
+    "replay_check",
+    "standard_collectors",
+    "write_trace",
+]

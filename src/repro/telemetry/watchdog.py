@@ -1,0 +1,155 @@
+"""Slow-progress / livelock watchdog.
+
+The simulators already *detect deadlock* (no mover while every pending
+message is released) — but two pathologies slip through and silently
+burn steps until ``max_steps``:
+
+* **stall**: nothing moves for many consecutive steps while the run
+  waits on far-future releases (a mis-built schedule, a starved phase);
+* **low delivery rate**: movement continues but deliveries crawl — the
+  classic head-of-line convoy, where one blocked worm serializes
+  everything behind it.
+
+The watchdog observes the step stream, records timestamped alerts, and
+annotates ``result.extra["watchdog"]`` so a finished (or aborted) run
+explains itself.  With ``abort=True`` it asks the simulator to stop at
+the first alert instead of crawling to ``max_steps``; the partial
+result is annotated with ``extra["telemetry_abort"]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .probe import Probe, RunMeta
+
+__all__ = ["Watchdog"]
+
+
+class Watchdog(Probe):
+    """Annotate (or abort) runs that stall or deliver too slowly.
+
+    Parameters
+    ----------
+    stall_steps:
+        Alert when no message moves for this many consecutive steps.
+    min_rate:
+        Optional delivered-messages-per-step floor; checked over
+        trailing windows of ``rate_window`` steps (the first window is
+        exempt — pipelines need time to fill).
+    rate_window:
+        Window length (steps) for the rate check.
+    abort:
+        Request a simulator abort at the first alert.
+    """
+
+    def __init__(
+        self,
+        stall_steps: int = 200,
+        min_rate: float | None = None,
+        rate_window: int = 500,
+        abort: bool = False,
+    ) -> None:
+        super().__init__()
+        if stall_steps < 1:
+            raise ValueError("stall_steps must be >= 1")
+        if rate_window < 1:
+            raise ValueError("rate_window must be >= 1")
+        self.stall_steps = int(stall_steps)
+        self.min_rate = min_rate
+        self.rate_window = int(rate_window)
+        self.abort = bool(abort)
+        self.alerts: list[dict] = []
+        self._reset()
+
+    def _reset(self) -> None:
+        self.alerts = []
+        self.delivered = 0
+        self._no_mover_run = 0
+        self._last_progress: int | None = None
+        self._steps_seen = 0
+        self._delivered_at_window_start = 0
+        self._stall_alerted = False
+
+    # ------------------------------------------------------------------
+    def on_run_start(self, meta: RunMeta) -> None:
+        self._reset()
+
+    def on_complete(self, t: int, messages: np.ndarray) -> None:
+        self.delivered += int(messages.size)
+
+    def on_step(self, t: int, movers: np.ndarray, k: np.ndarray) -> None:
+        self._steps_seen += 1
+        if movers.size:
+            self._no_mover_run = 0
+            self._last_progress = t
+            self._stall_alerted = False
+        else:
+            self._no_mover_run += 1
+            if self._no_mover_run >= self.stall_steps and not self._stall_alerted:
+                self._alert(
+                    {
+                        "type": "stall",
+                        "step": t,
+                        "stalled_steps": self._no_mover_run,
+                        "detail": (
+                            f"no message moved for {self._no_mover_run} "
+                            "consecutive steps"
+                        ),
+                    }
+                )
+                self._stall_alerted = True
+        if (
+            self.min_rate is not None
+            and self._steps_seen % self.rate_window == 0
+            and self._steps_seen > self.rate_window  # first window exempt
+        ):
+            window_delivered = self.delivered - self._delivered_at_window_start
+            rate = window_delivered / self.rate_window
+            if rate < self.min_rate:
+                self._alert(
+                    {
+                        "type": "low-rate",
+                        "step": t,
+                        "rate": rate,
+                        "detail": (
+                            f"delivered {window_delivered} messages in the "
+                            f"last {self.rate_window} steps "
+                            f"({rate:.4f}/step < floor {self.min_rate})"
+                        ),
+                    }
+                )
+        if (
+            self.min_rate is not None
+            and self._steps_seen % self.rate_window == 0
+        ):
+            self._delivered_at_window_start = self.delivered
+
+    def on_deadlock(self, t: int, pending: np.ndarray) -> None:
+        self.alerts.append(
+            {
+                "type": "deadlock",
+                "step": t,
+                "pending": pending.tolist(),
+                "detail": f"deadlocked with {pending.size} undelivered messages",
+            }
+        )
+
+    def on_run_end(self, result) -> None:
+        result.extra["watchdog"] = {
+            "tripped": bool(self.alerts),
+            "alerts": list(self.alerts),
+            "delivered": self.delivered,
+            "last_progress_step": self._last_progress,
+            "steps_observed": self._steps_seen,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def tripped(self) -> bool:
+        return bool(self.alerts)
+
+    def _alert(self, alert: dict) -> None:
+        self.alerts.append(alert)
+        if self.abort:
+            self.request_abort(f"watchdog: {alert['detail']}")

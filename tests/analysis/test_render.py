@@ -8,6 +8,7 @@ from repro.network.butterfly import Butterfly
 from repro.network.random_networks import chain_bundle
 from repro.routing.paths import paths_from_node_walks
 from repro.sim.wormhole import WormholeSimulator
+from repro.telemetry import TraceSnapshotCollector
 
 
 class TestRenderButterfly:
@@ -40,12 +41,12 @@ class TestTraceAndSpacetime:
         net, walks = chain_bundle(1, 3, 2)
         paths = paths_from_node_walks(net, walks)
         sim = WormholeSimulator(net, 1, priority="index")
-        res = sim.run(paths, message_length=4, record_trace=True)
-        return paths, res
+        snapshot = TraceSnapshotCollector()
+        res = sim.run(paths, message_length=4, telemetry=[snapshot])
+        return paths, res, snapshot.matrix
 
     def test_trace_shape(self, traced_run):
-        paths, res = traced_run
-        trace = res.extra["trace"]
+        paths, res, trace = traced_run
         assert trace.shape == (res.steps_executed, 2)
         # Move counts never decrease.
         assert (np.diff(trace, axis=0) >= 0).all()
@@ -57,8 +58,8 @@ class TestTraceAndSpacetime:
         assert "trace" not in res.extra
 
     def test_spacetime_rendering(self, traced_run):
-        paths, res = traced_run
-        art = render_spacetime(res.extra["trace"], [3, 3], message_length=4)
+        paths, res, trace = traced_run
+        art = render_spacetime(trace, [3, 3], message_length=4)
         lines = art.splitlines()
         assert len(lines) == res.steps_executed + 1
         # The winning worm ends delivered; the loser too by the end.
@@ -67,10 +68,8 @@ class TestTraceAndSpacetime:
         assert "-" in art
 
     def test_spacetime_truncation(self, traced_run):
-        paths, res = traced_run
-        art = render_spacetime(
-            res.extra["trace"], [3, 3], message_length=4, max_rows=2
-        )
+        paths, res, trace = traced_run
+        art = render_spacetime(trace, [3, 3], message_length=4, max_rows=2)
         assert "more steps" in art
 
     def test_spacetime_validation(self):

@@ -152,8 +152,6 @@ class TestContextualLowerBounds:
         the butterfly's unique paths is Theta(sqrt(n)), the mechanism
         behind the oblivious lower bounds."""
         from repro import Butterfly, transpose_permutation
-        from repro.routing.paths import congestion, paths_from_node_walks
-
         import numpy as np
 
         for n in (16, 64, 256):

@@ -14,6 +14,7 @@ from repro.core.lower_bound import (
 from repro.network.graph import NetworkError
 from repro.routing.paths import Path
 from repro.sim.wormhole import WormholeSimulator
+from repro.telemetry import TraceSnapshotCollector
 
 
 class TestMaxMPrime:
@@ -128,9 +129,10 @@ class TestLowerBoundBehavior:
         inst = build_hard_instance(C=2 * (B + 1), D=11, B=B)
         L = inst.recommended_length()
         sim = WormholeSimulator(inst.network, num_virtual_channels=B, seed=0)
-        res = sim.run(inst.paths, message_length=L, record_trace=True)
+        snapshot = TraceSnapshotCollector()
+        res = sim.run(inst.paths, message_length=L, telemetry=[snapshot])
         assert res.all_delivered
-        trace = res.extra["trace"]
+        trace = snapshot.matrix
         D = inst.dilation
         prev = np.zeros(trace.shape[1], dtype=np.int64)
         worst = 0

@@ -14,7 +14,6 @@ validate each empirically with seed sweeps:
 """
 
 import numpy as np
-import pytest
 
 from repro.core.bounds import num_colors, num_rounds
 from repro.core.butterfly_routing import ButterflyRouter

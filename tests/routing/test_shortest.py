@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.network.graph import Network, NetworkError
+from repro.network.graph import NetworkError
 from repro.network.mesh import KAryNCube
 from repro.routing.shortest import bfs_path, bfs_tree, shortest_paths
 

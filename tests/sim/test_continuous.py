@@ -1,6 +1,5 @@
 """Unit tests for the continuous (steady-state) wormhole harness."""
 
-import numpy as np
 import pytest
 
 from repro.network.butterfly import Butterfly

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.network.graph import Network, NetworkError
+from repro.network.graph import NetworkError
 from repro.network.random_networks import chain_bundle
 from repro.routing.paths import paths_from_node_walks
 from repro.sim.store_forward import StoreForwardSimulator

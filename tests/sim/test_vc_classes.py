@@ -9,7 +9,6 @@ result: interchangeable slots can still deadlock on a ring, class
 restrictions (dateline) cannot.
 """
 
-import numpy as np
 import pytest
 
 from repro.network.graph import Network, NetworkError

@@ -7,6 +7,7 @@ from repro.network.graph import Network, NetworkError
 from repro.network.random_networks import chain_bundle
 from repro.routing.paths import paths_from_node_walks
 from repro.sim.wormhole import WormholeSimulator, pad_paths
+from repro.telemetry import EdgeContentionCollector
 
 
 def line(n):
@@ -296,10 +297,11 @@ class TestContentionMap:
         """Denied requests pile up on the chain entrance, nowhere else."""
         net, walks = chain_bundle(2, 3, 3)
         paths = paths_from_node_walks(net, walks)
+        collector = EdgeContentionCollector()
         res = WormholeSimulator(net, 1, seed=0).run(
-            paths, message_length=4, record_contention=True
+            paths, message_length=4, telemetry=[collector]
         )
-        contention = res.extra["edge_contention"]
+        contention = collector.denied
         assert contention.shape == (net.num_edges,)
         # All denials happen at the two chains' first edges (injection).
         first_edges = {paths[0].edges[0], paths[3].edges[0]}

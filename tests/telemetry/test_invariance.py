@@ -1,0 +1,166 @@
+"""Attaching telemetry must never change a simulation's outcome.
+
+Property-based: for random workloads, the SimulationResult of an
+instrumented run is bit-identical to the uninstrumented run — the
+collectors observe, they do not perturb (in particular they never touch
+the simulator's RNG stream).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.random_networks import chain_bundle
+from repro.routing.paths import paths_from_node_walks
+from repro.sim.adaptive import AdaptiveMeshRouter
+from repro.sim.cut_through import CutThroughSimulator
+from repro.sim.store_forward import StoreForwardSimulator
+from repro.sim.wormhole import WormholeSimulator
+from repro.telemetry import (
+    EdgeContentionCollector,
+    TraceRecorder,
+    TraceSnapshotCollector,
+    Watchdog,
+    standard_collectors,
+)
+
+
+def assert_results_identical(plain, probed):
+    assert np.array_equal(plain.completion_times, probed.completion_times)
+    assert plain.makespan == probed.makespan
+    assert plain.steps_executed == probed.steps_executed
+    assert np.array_equal(plain.blocked_steps, probed.blocked_steps)
+    assert plain.deadlocked == probed.deadlocked
+    assert plain.hit_step_cap == probed.hit_step_cap
+
+
+workload = st.fixed_dictionaries(
+    {
+        "chains": st.integers(1, 2),
+        "depth": st.integers(1, 5),
+        "worms": st.integers(1, 4),
+        "B": st.integers(1, 3),
+        "L": st.integers(1, 6),
+        "seed": st.integers(0, 2**16),
+        "priority": st.sampled_from(["random", "index"]),
+        "staggered": st.booleans(),
+    }
+)
+
+
+class TestWormholeInvariance:
+    @settings(max_examples=40, deadline=None)
+    @given(w=workload)
+    def test_collectors_do_not_perturb(self, w):
+        net, walks = chain_bundle(w["chains"], w["depth"], w["worms"])
+        paths = paths_from_node_walks(net, walks)
+        M = len(paths)
+        release = (
+            np.arange(M, dtype=np.int64) * 2 if w["staggered"] else None
+        )
+
+        def run(telemetry):
+            sim = WormholeSimulator(
+                net, w["B"], priority=w["priority"], seed=w["seed"]
+            )
+            return sim.run(
+                paths,
+                message_length=w["L"],
+                release_times=release,
+                telemetry=telemetry,
+            )
+
+        plain = run(None)
+        probes = standard_collectors() + [
+            EdgeContentionCollector(),
+            TraceSnapshotCollector(),
+            TraceRecorder(),
+            Watchdog(),
+        ]
+        probed = run(probes)
+        assert_results_identical(plain, probed)
+        # Annotation-only keys may be added; core extras must agree.
+        assert "watchdog" in probed.extra
+        assert "watchdog" not in plain.extra
+
+
+class TestOtherEngineInvariance:
+    def test_cut_through(self):
+        net, walks = chain_bundle(2, 4, 3)
+        paths = paths_from_node_walks(net, walks)
+
+        def run(telemetry):
+            return CutThroughSimulator(net, 2, seed=5).run(
+                paths, 5, telemetry=telemetry
+            )
+
+        assert_results_identical(run(None), run(standard_collectors()))
+
+    def test_store_forward(self):
+        net, walks = chain_bundle(2, 4, 3)
+        paths = paths_from_node_walks(net, walks)
+
+        def run(telemetry):
+            return StoreForwardSimulator(net, priority="random", seed=5).run(
+                paths, 5, delay_range=3, telemetry=telemetry
+            )
+
+        assert_results_identical(run(None), run(standard_collectors()))
+
+    def test_adaptive(self):
+        from repro.network.mesh import KAryNCube
+
+        cube = KAryNCube(k=4, n=2, wrap=False)
+        demands = [(0, 15), (3, 12), (5, 10), (12, 3), (15, 0)]
+
+        def run(telemetry):
+            router = AdaptiveMeshRouter(cube, 1, policy="west-first", seed=9)
+            return router.run(demands, 4, telemetry=telemetry).result
+
+        assert_results_identical(run(None), run(standard_collectors()))
+
+
+class TestDeprecatedShims:
+    """The legacy record_* kwargs still work, warn, and match exactly."""
+
+    def make(self):
+        net, walks = chain_bundle(2, 3, 3)
+        paths = paths_from_node_walks(net, walks)
+        return net, paths
+
+    def test_record_trace_shim(self):
+        net, paths = self.make()
+        with pytest.deprecated_call(match="record_trace"):
+            legacy = WormholeSimulator(net, 1, seed=0).run(
+                paths, 4, record_trace=True
+            )
+        snap = TraceSnapshotCollector()
+        modern = WormholeSimulator(net, 1, seed=0).run(
+            paths, 4, telemetry=[snap]
+        )
+        assert_results_identical(legacy, modern)
+        assert np.array_equal(legacy.extra["trace"], snap.matrix)
+
+    def test_record_contention_shim(self):
+        net, paths = self.make()
+        with pytest.deprecated_call(match="record_contention"):
+            legacy = WormholeSimulator(net, 1, seed=0).run(
+                paths, 4, record_contention=True
+            )
+        cont = EdgeContentionCollector()
+        modern = WormholeSimulator(net, 1, seed=0).run(
+            paths, 4, telemetry=[cont]
+        )
+        assert_results_identical(legacy, modern)
+        assert np.array_equal(legacy.extra["edge_contention"], cont.denied)
+
+    def test_shims_compose_with_telemetry(self):
+        net, paths = self.make()
+        cont = EdgeContentionCollector()
+        with pytest.deprecated_call(match="record_trace"):
+            res = WormholeSimulator(net, 1, seed=0).run(
+                paths, 4, record_trace=True, telemetry=[cont]
+            )
+        assert "trace" in res.extra
+        assert cont.denied.sum() == res.total_blocked_steps

@@ -54,6 +54,40 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "*" in out
 
+    def test_profile_hard_instance(self, capsys):
+        assert main(
+            ["profile", "--congestion", "4", "--dilation", "7", "--top", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 2.2.1 hard instance" in out
+        assert "## Hottest edges (flits crossed)" in out
+        assert "## Stall attribution" in out
+        assert "worst blame chain" in out
+
+    def test_profile_demo_workload(self, capsys):
+        assert main(
+            ["profile", "--workload", "demo", "--n", "8", "--channels", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "butterfly" in out
+        assert "## Throughput" in out
+
+    def test_profile_writes_replayable_trace(self, capsys, tmp_path):
+        trace_path = tmp_path / "run.jsonl"
+        assert main(
+            [
+                "profile",
+                "--congestion", "4",
+                "--dilation", "7",
+                "--trace", str(trace_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert str(trace_path) in out
+        from repro.telemetry import load_trace, replay_check
+
+        replay_check(load_trace(trace_path))
+
     def test_experiment_unknown_name(self):
         with pytest.raises(SystemExit, match="no benchmark"):
             main(["experiment", "zzz"])

@@ -12,7 +12,6 @@ import pytest
 from repro import (
     CutThroughSimulator,
     Network,
-    NetworkError,
     RestrictedWormholeSimulator,
     StoreForwardSimulator,
     WormholeSimulator,

@@ -19,7 +19,7 @@ from repro import (
     random_q_relation,
 )
 from repro.network.random_networks import layered_network, random_walk_paths
-from repro.routing.paths import congestion, dilation, paths_from_node_walks
+from repro.routing.paths import paths_from_node_walks
 
 
 @pytest.fixture(scope="module")
