@@ -15,6 +15,7 @@ import pytest
 from repro import Table, bounds, execute_schedule, lll_schedule
 from repro.network.random_networks import layered_network, random_walk_paths
 from repro.routing.paths import congestion, dilation, paths_from_node_walks
+from repro.sim.sweep import TrialSpec, run_sweep
 
 BS = (1, 2, 3, 4)
 
@@ -26,23 +27,46 @@ def build_workload(width, depth, messages, seed):
     return net, paths_from_node_walks(net, walks)
 
 
-def run_sweep(net, paths, L):
-    rows = []
-    for B in BS:
-        build = lll_schedule(
-            paths, message_length=L, B=B,
-            rng=np.random.default_rng(B), mode="direct",
+def schedule_specs(width, depth, messages, L):
+    """The E1 grid as sweep trials.
+
+    ``schedule_seed=B`` and the executor's default ``seed=0`` reproduce
+    the historical per-``B`` loop exactly, so the recorded tables are
+    unchanged by the sweep migration.
+    """
+    return [
+        TrialSpec.make(
+            "layered",
+            "schedule",
+            B=B,
+            workload_params={
+                "width": width,
+                "depth": depth,
+                "messages": messages,
+                "seed": 7,
+            },
+            sim_params={"mode": "direct", "schedule_seed": B},
+            message_length=L,
         )
-        res = execute_schedule(net, paths, build.schedule, B=B)
-        bound = bounds.general_upper_bound(L, build.congestion, build.dilation, B)
+        for B in BS
+    ]
+
+
+def sweep_rows(specs, L):
+    rows = []
+    for trial in run_sweep(specs):
+        m = trial.metrics
+        bound = bounds.general_upper_bound(
+            L, m["congestion"], m["dilation"], trial.spec.B
+        )
         rows.append(
             {
-                "B": B,
-                "classes": build.num_classes,
-                "makespan": int(res.makespan),
+                "B": trial.spec.B,
+                "classes": m["classes"],
+                "makespan": m["makespan"],
                 "bound": bound,
-                "ratio": res.makespan / bound,
-                "blocked": int(res.total_blocked_steps),
+                "ratio": m["makespan"] / bound,
+                "blocked": m["blocked"],
             }
         )
     return rows
@@ -57,9 +81,10 @@ def test_e1_schedule_length_vs_b(benchmark, save_table, width, depth, messages):
     net, paths = build_workload(width, depth, messages, seed=7)
     C, D = congestion(paths), dilation(paths)
     L = D  # the L = Theta(D) regime of the lower bound
+    specs = schedule_specs(width, depth, messages, L)
 
     rows = benchmark.pedantic(
-        run_sweep, args=(net, paths, L), iterations=1, rounds=1
+        sweep_rows, args=(specs, L), iterations=1, rounds=1
     )
 
     table = Table(

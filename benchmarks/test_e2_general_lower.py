@@ -8,9 +8,6 @@ it, and running the ``B = 1`` instance with extra virtual channels yields
 the paper's *superlinear* speedup (> B).
 """
 
-import numpy as np
-import pytest
-
 from repro import (
     Table,
     WormholeSimulator,
@@ -18,6 +15,7 @@ from repro import (
     build_hard_instance,
     hard_instance_lower_bound,
 )
+from repro.sim.sweep import TrialSpec, run_sweep, sweep_grid
 
 CASES = [
     # (B, C, D)
@@ -35,24 +33,39 @@ def route_instance(inst, L, B):
 
 
 def test_e2_measured_vs_omega_bound(benchmark, save_table):
+    # The greedy router keeps its historical seed=0 so the measured
+    # makespans match the pre-sweep tables exactly.
+    prepared = []
+    for B, C, D in CASES:
+        inst = build_hard_instance(C=C, D=D, B=B)
+        L = inst.recommended_length()
+        spec = TrialSpec.make(
+            "hard-instance",
+            "wormhole",
+            B=B,
+            workload_params={"C": C, "D": D, "B": B},
+            sim_params={"seed": 0},
+            message_length=L,
+        )
+        prepared.append((spec, inst, L))
+
     def sweep():
+        out = run_sweep([spec for spec, _, _ in prepared])
         rows = []
-        for B, C, D in CASES:
-            inst = build_hard_instance(C=C, D=D, B=B)
-            L = inst.recommended_length()
-            res = route_instance(inst, L, B)
-            assert res.all_delivered
+        for trial, (_, inst, L) in zip(out, prepared):
+            m = trial.metrics
+            assert m["delivered"] == m["messages"]
             lb = hard_instance_lower_bound(inst, L)
             rows.append(
                 {
-                    "B": B,
-                    "C": inst.congestion,
-                    "D": inst.dilation,
+                    "B": trial.spec.B,
+                    "C": m["workload_congestion"],
+                    "D": m["workload_dilation"],
                     "L": L,
-                    "M": inst.num_messages,
-                    "measured": int(res.makespan),
+                    "M": m["workload_messages"],
+                    "measured": m["makespan"],
                     "omega": lb,
-                    "ratio": res.makespan / lb,
+                    "ratio": m["makespan"] / lb,
                 }
             )
         return rows
@@ -76,10 +89,18 @@ def test_e2_superlinear_speedup(benchmark, save_table):
     headline — speedup beyond B' itself, approaching B' D^(1-1/B')."""
     inst = build_hard_instance(C=12, D=21, B=1)
     L = inst.recommended_length()
+    specs = sweep_grid(
+        "hard-instance",
+        "wormhole",
+        (1, 2, 3, 4),
+        workload_params={"C": 12, "D": 21, "B": 1},
+        sim_params={"seed": 0},
+        message_length=L,
+    )
 
     def sweep():
         return {
-            Bp: int(route_instance(inst, L, Bp).makespan) for Bp in (1, 2, 3, 4)
+            t.spec.B: t.metrics["makespan"] for t in run_sweep(specs)
         }
 
     spans = benchmark.pedantic(sweep, iterations=1, rounds=1)

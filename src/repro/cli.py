@@ -17,6 +17,9 @@ Small, reproducible demonstrations of the package's main pipelines:
 ``profile``
     Instrument a workload with the :mod:`repro.telemetry` collectors and
     print the utilization / occupancy / stall-blame report.
+``sweep``
+    Run a (simulator, workload, B, seed) trial grid through
+    :mod:`repro.sim.sweep` — optionally parallel and result-cached.
 
 Every command accepts ``--seed`` and prints deterministic output.
 """
@@ -101,6 +104,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser(
+        "sweep",
+        help="run a (simulator, workload, B, seed) trial grid, "
+        "optionally in parallel and cached",
+    )
+    p.add_argument(
+        "--workload",
+        default="chain-bundle",
+        help="registered workload name (layered, hard-instance, "
+        "chain-bundle, butterfly-bitrev, mesh-permutation)",
+    )
+    p.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VAL",
+        help="workload parameter override (repeatable)",
+    )
+    p.add_argument(
+        "--simulators",
+        default="wormhole,cut_through,store_forward",
+        help="comma-separated simulator names",
+    )
+    p.add_argument(
+        "--channels", default="1,2,4", help="comma-separated B values"
+    )
+    p.add_argument(
+        "--length", type=int, default=0, help="flits per message (0 = auto)"
+    )
+    p.add_argument("--repeats", type=int, default=1, help="trials per cell")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = serial; results are identical)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="reuse/populate a per-trial result cache in this directory",
+    )
+    p.add_argument(
+        "--force", action="store_true", help="recompute cached trials"
+    )
+    p.add_argument("--seed", type=int, default=0, help="root seed")
+
+    p = sub.add_parser(
         "experiment",
         help="regenerate one of the paper experiments (e1..e18, perf)",
     )
@@ -123,6 +172,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "hard-instance": _cmd_hard_instance,
         "spacetime": _cmd_spacetime,
         "profile": _cmd_profile,
+        "sweep": _cmd_sweep,
         "experiment": _cmd_experiment,
         "reproduce": _cmd_reproduce,
     }[args.command]
@@ -343,6 +393,75 @@ def _cmd_profile(args: argparse.Namespace) -> None:
         except OSError as exc:
             raise SystemExit(f"repro profile: cannot write trace: {exc}")
         print(f"trace written to {args.trace}")
+
+
+def _parse_param(text: str):
+    """``KEY=VAL`` with VAL coerced to int, then float, then str."""
+    if "=" not in text:
+        raise SystemExit(f"repro sweep: --param needs KEY=VAL, got {text!r}")
+    key, raw = text.split("=", 1)
+    for cast in (int, float):
+        try:
+            return key, cast(raw)
+        except ValueError:
+            pass
+    return key, raw
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    from repro import Table
+    from repro.sim.sweep import WORKLOADS, run_sweep, sweep_grid
+
+    if args.workload not in WORKLOADS:
+        raise SystemExit(
+            f"repro sweep: unknown workload {args.workload!r}; "
+            f"available: {', '.join(sorted(WORKLOADS))}"
+        )
+    workload_params = dict(_parse_param(p) for p in args.param)
+    simulators = [s.strip() for s in args.simulators.split(",") if s.strip()]
+    channels = [int(b) for b in args.channels.split(",") if b.strip()]
+    specs = sweep_grid(
+        args.workload,
+        simulators,
+        channels,
+        workload_params=workload_params,
+        message_length=args.length or None,
+        repeats=args.repeats,
+    )
+    out = run_sweep(
+        specs,
+        root_seed=args.seed,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        force=args.force,
+    )
+
+    params = ", ".join(f"{k}={v}" for k, v in sorted(workload_params.items()))
+    title = f"sweep: {args.workload}" + (f" ({params})" if params else "")
+    columns = ["simulator", "B", "repeat", "L", "makespan", "blocked", "delivered", "cached"]
+    table = Table(title, columns)
+    for t in out:
+        m = t.metrics
+        table.add_row(
+            [
+                t.spec.simulator,
+                t.spec.B,
+                t.spec.repeat,
+                m["message_length"],
+                m["makespan"],
+                m["blocked"],
+                f"{m['delivered']}/{m['messages']}",
+                "yes" if t.cached else "no",
+            ]
+        )
+    print(table.render())
+    executed = len(out) - out.num_cached
+    print(
+        f"{len(out)} trials ({out.num_cached} cached, {executed} executed) "
+        f"in {out.wall_time:.2f}s with "
+        f"{args.workers if args.workers >= 2 else 1} worker(s); "
+        f"root seed {out.root_seed}"
+    )
 
 
 def _cmd_experiment(args: argparse.Namespace) -> None:

@@ -11,9 +11,17 @@ from .deadlock import (
     is_deadlock_free,
     wait_for_graph,
 )
+from .engine import (
+    SlotArbiter,
+    StepLoop,
+    default_step_cap,
+    grant_free_slots,
+    resolve_step_cap,
+)
 from .restricted import RestrictedWormholeSimulator
 from .stats import SimulationResult, summarize_latencies
 from .store_forward import StoreForwardSimulator
+from .sweep import SweepResult, TrialResult, TrialSpec, run_sweep, sweep_grid
 from .wormhole import WormholeSimulator, check_edge_simple, pad_paths
 
 __all__ = [
@@ -25,15 +33,25 @@ __all__ = [
     "CutThroughSimulator",
     "RestrictedWormholeSimulator",
     "SimulationResult",
+    "SlotArbiter",
+    "StepLoop",
     "StoreForwardSimulator",
+    "SweepResult",
+    "TrialResult",
+    "TrialSpec",
     "WormholeSimulator",
     "channel_dependency_graph",
     "check_edge_simple",
     "circuit_switch_butterfly",
     "dateline_vc_assignment",
+    "default_step_cap",
+    "grant_free_slots",
     "has_cycle",
     "is_deadlock_free",
     "pad_paths",
+    "resolve_step_cap",
+    "run_sweep",
     "summarize_latencies",
+    "sweep_grid",
     "wait_for_graph",
 ]

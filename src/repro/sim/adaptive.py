@@ -24,6 +24,11 @@ Worm mechanics are identical to :class:`~repro.sim.wormhole
 release) except the head extends its path one chosen edge at a time.  A
 head is *blocked* only when every direction its policy allows is full;
 this is where adaptivity pays — the worm routes around congestion.
+
+Slot occupancy lives in a shared :class:`~repro.sim.engine.SlotArbiter`
+(scalar claim path — grants happen sequentially in a random order as
+each head picks among its free directions) and the step protocol in the
+shared :class:`~repro.sim.engine.StepLoop`.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ import numpy as np
 from ..network.graph import NetworkError
 from ..network.mesh import KAryNCube
 from ..telemetry.probe import Probe, ProbeSet, RunMeta
+from .engine import SlotArbiter, StepLoop, resolve_step_cap
 from .stats import SimulationResult
 
 __all__ = ["AdaptiveMeshRouter", "AdaptiveRunResult"]
@@ -152,11 +158,15 @@ class AdaptiveMeshRouter:
             if release_times is None
             else np.asarray(release_times, dtype=np.int64)
         )
-        completion = np.full(M, -1, dtype=np.int64)
-        blocked = np.zeros(M, dtype=np.int64)
         if M == 0:
             return AdaptiveRunResult(
-                SimulationResult(completion, -1, 0, blocked), []
+                SimulationResult(
+                    np.full(0, -1, dtype=np.int64),
+                    -1,
+                    0,
+                    np.zeros(0, dtype=np.int64),
+                ),
+                [],
             )
 
         # Minimal routes all have the Manhattan length.
@@ -170,8 +180,13 @@ class AdaptiveMeshRouter:
             ],
             dtype=np.int64,
         )
-        if max_steps is None:
-            max_steps = int(release.max() + (L + dists + 2).sum() + 10)
+        max_steps = resolve_step_cap(
+            max_steps,
+            "adaptive",
+            release=release,
+            lengths=dists,
+            message_length=L,
+        )
 
         probes = ProbeSet.coerce(telemetry)
         if probes is not None:
@@ -193,18 +208,15 @@ class AdaptiveMeshRouter:
         position = np.asarray([s for s, _ in demands], dtype=np.int64)
         dest = np.asarray([d for _, d in demands], dtype=np.int64)
         k = np.zeros(M, dtype=np.int64)
-        occupancy = np.zeros(self.net.num_edges, dtype=np.int64)
-        done = dists == 0
-        completion[done] = release[done]
-        pending = int(M - done.sum())
+        arbiter = SlotArbiter(self.net.num_edges, capacity=self.B)
 
-        t = 0
-        while pending and t < max_steps:
-            t += 1
-            active = np.flatnonzero(~done & (release < t))
-            if active.size == 0:
-                t = int(release[~done].min())
-                continue
+        loop = StepLoop(M, release, max_steps, probes)
+        loop.done |= dists == 0
+        loop.completion[dists == 0] = release[dists == 0]
+        completion, done = loop.completion, loop.done
+
+        def body(t: int, active_mask: np.ndarray) -> bool:
+            active = np.flatnonzero(active_mask)
             movers: list[int] = []
             grants: list[tuple[int, int]] = []
             blocks: list[tuple[int, int]] = []
@@ -217,16 +229,16 @@ class AdaptiveMeshRouter:
             for m in order:
                 if k[m] < dists[m]:  # head still extending
                     options = self._allowed_moves(int(position[m]), int(dest[m]))
-                    free = [e for e in options if occupancy[e] < self.B]
+                    free = [e for e in options if arbiter.has_free(e)]
                     if not free:
-                        blocked[m] += 1
+                        loop.blocked[m] += 1
                         if probes is not None:
                             blocks.append(
                                 (int(m), int(options[0]) if options else -1)
                             )
                         continue
                     e = free[int(self._rng.integers(len(free)))]
-                    occupancy[e] += 1
+                    arbiter.acquire_one(e)
                     taken[m].append(int(e))
                     position[m] = self.net.head(e)
                     movers.append(int(m))
@@ -240,14 +252,13 @@ class AdaptiveMeshRouter:
                 d = int(dists[m])
                 rel = int(k[m]) - L - 1
                 if 0 <= rel < d - 1:
-                    occupancy[taken[m][rel]] -= 1
+                    arbiter.vacate_one(taken[m][rel])
                     if probes is not None:
                         releases.append((int(m), int(taken[m][rel])))
                 if k[m] == L + d - 1:
-                    occupancy[taken[m][d - 1]] -= 1
+                    arbiter.vacate_one(taken[m][d - 1])
                     completion[m] = t
                     done[m] = True
-                    pending -= 1
                     if probes is not None:
                         releases.append((int(m), int(taken[m][d - 1])))
                         finished.append(int(m))
@@ -265,31 +276,7 @@ class AdaptiveMeshRouter:
                 if finished:
                     probes.on_complete(t, np.asarray(finished, dtype=np.int64))
                 probes.on_step(t, np.asarray(movers, dtype=np.int64), k)
-                if probes.aborted:
-                    break
+            return bool(movers)
 
-            if not movers and bool((release[~done] < t).all()):
-                result = SimulationResult(
-                    completion_times=completion,
-                    makespan=int(completion.max()),
-                    steps_executed=t,
-                    blocked_steps=blocked,
-                    deadlocked=True,
-                )
-                if probes is not None:
-                    probes.on_deadlock(t, np.flatnonzero(~done))
-                    probes.on_run_end(result)
-                return AdaptiveRunResult(result, taken)
-
-        result = SimulationResult(
-            completion_times=completion,
-            makespan=int(completion.max()),
-            steps_executed=t,
-            blocked_steps=blocked,
-            hit_step_cap=pending > 0,
-        )
-        if probes is not None:
-            if probes.aborted:
-                result.extra["telemetry_abort"] = probes.abort_reason
-            probes.on_run_end(result)
+        result = loop.run(body)
         return AdaptiveRunResult(result, taken)

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..network.butterfly import Butterfly
 from ..network.graph import NetworkError
+from .engine import grant_free_slots
 
 __all__ = ["CircuitSwitchResult", "circuit_switch_butterfly"]
 
@@ -95,20 +96,9 @@ def circuit_switch_butterfly(
             break
         lvl_edges = edges[idx, level]
         # Random arbitration: shuffle, then keep the first `capacity`
-        # contenders per edge.
+        # contenders per edge (the engine's shared grant kernel).
         prio = rng.random(idx.size)
-        order = np.lexsort((prio, lvl_edges))
-        sorted_edges = lvl_edges[order]
-        new_group = np.empty(order.size, dtype=bool)
-        new_group[0] = True
-        new_group[1:] = sorted_edges[1:] != sorted_edges[:-1]
-        group_start = np.maximum.accumulate(
-            np.where(new_group, np.arange(order.size), 0)
-        )
-        rank = np.arange(order.size) - group_start
-        keep_sorted = rank < capacity
-        keep = np.empty(order.size, dtype=bool)
-        keep[order] = keep_sorted
+        keep = grant_free_slots(lvl_edges, prio, capacity)
         dropped[level] = int((~keep).sum())
         alive[idx[~keep]] = False
     return CircuitSwitchResult(survived=alive, dropped_per_level=dropped)

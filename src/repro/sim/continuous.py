@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..network.graph import Network, NetworkError
+from .engine import grant_free_slots
 
 __all__ = ["ContinuousResult", "ContinuousWormholeSimulator"]
 
@@ -168,18 +169,7 @@ class ContinuousWormholeSimulator:
             if contenders:
                 edges_arr = np.asarray(edges, dtype=np.int64)
                 prio = self._rng.random(len(contenders))
-                order = np.lexsort((prio, edges_arr))
-                sorted_edges = edges_arr[order]
-                new_group = np.empty(order.size, dtype=bool)
-                new_group[0] = True
-                new_group[1:] = sorted_edges[1:] != sorted_edges[:-1]
-                group_start = np.maximum.accumulate(
-                    np.where(new_group, np.arange(order.size), 0)
-                )
-                rank = np.arange(order.size) - group_start
-                free = self.B - occupancy[sorted_edges]
-                granted = np.zeros(order.size, dtype=bool)
-                granted[order] = rank < free
+                granted = grant_free_slots(edges_arr, prio, self.B, occupancy)
                 for idx, m in enumerate(contenders):
                     if granted[idx]:
                         occupancy[paths[m][k[m]]] += 1

@@ -23,6 +23,11 @@ flit step):
 State per message is the vector ``c[i]`` = number of its flits that have
 crossed path edge ``i``; the buffer at the head of edge ``i`` holds
 ``c[i] - c[i+1]`` flits.  One flit may cross each owned edge per step.
+
+The step protocol (release gating, gap skipping, deadlock declaration,
+step caps, result assembly) comes from the shared
+:class:`~repro.sim.engine.StepLoop`; only the ownership-based advance
+rule lives here.
 """
 
 from __future__ import annotations
@@ -34,8 +39,9 @@ import numpy as np
 from ..network.graph import Network, NetworkError
 from ..routing.paths import Path
 from ..telemetry.probe import Probe, ProbeSet, RunMeta
+from .engine import StepLoop, compat_check_edge_simple, pad_paths, resolve_step_cap
 from .stats import SimulationResult
-from .wormhole import check_edge_simple, pad_paths
+from .wormhole import check_edge_simple  # noqa: F401  (back-compat re-export)
 
 __all__ = ["CutThroughSimulator"]
 
@@ -96,10 +102,10 @@ class CutThroughSimulator:
         ).copy()
         if M and L_arr.min() < 1:
             raise NetworkError("message length L must be >= 1")
-        completion = np.full(M, -1, dtype=np.int64)
-        blocked = np.zeros(M, dtype=np.int64)
         if M == 0:
-            return SimulationResult(completion, -1, 0, blocked)
+            return SimulationResult(
+                np.full(0, -1, dtype=np.int64), -1, 0, np.zeros(0, dtype=np.int64)
+            )
         self._check_edge_simple(padded, D)
 
         release = (
@@ -123,26 +129,26 @@ class CutThroughSimulator:
                 )
             )
         trivial = D == 0
-        completion[trivial] = release[trivial]
-        if max_steps is None:
-            # Worst case is full serialization with per-hop drain lag.
-            max_d = int(D.max())
-            max_steps = int(release.max() + (int(L_arr.max()) + 2 * max_d + 2) * M + 10)
+        max_steps = resolve_step_cap(
+            max_steps,
+            "cut_through",
+            release=release,
+            lengths=D,
+            message_length=L_arr,
+            num_messages=M,
+        )
 
         # crossed[m, i] = flits of m that have crossed path edge i.
         max_D = padded.shape[1]
         crossed = np.zeros((M, max_D), dtype=np.int64)
         owner = np.full(self.num_edges, -1, dtype=np.int64)
-        done = trivial.copy()
-        pending = int(M - done.sum())
 
-        t = 0
-        while pending and t < max_steps:
-            t += 1
-            active = np.flatnonzero(~done & (release < t))
-            if active.size == 0:
-                t = int(release[~done].min())
-                continue
+        loop = StepLoop(M, release, max_steps, probes)
+        loop.mark_trivial(trivial, release)
+        completion, done = loop.completion, loop.done
+
+        def body(t: int, active_mask: np.ndarray) -> bool:
+            active = np.flatnonzero(active_mask)
             moved_any = False
             progressed = np.zeros(M, dtype=bool)
             # Header claims: messages whose next flit would enter an
@@ -214,42 +220,17 @@ class CutThroughSimulator:
                 if crossed[m, d - 1] == L_arr[m]:
                     completion[m] = t
                     done[m] = True
-                    pending -= 1
                     finished.append(int(m))
-            blocked[active] += ~progressed[active]
+            loop.blocked[active] += ~progressed[active]
 
             if probes is not None:
                 self._emit_step_events(
                     probes, t, granted_claims, released_slots, finished,
                     active, progressed, crossed, padded, D,
                 )
-                if probes.aborted:
-                    break
-            if not moved_any and bool((release[~done] < t).all()):
-                result = SimulationResult(
-                    completion_times=completion,
-                    makespan=int(completion.max()),
-                    steps_executed=t,
-                    blocked_steps=blocked,
-                    deadlocked=True,
-                )
-                if probes is not None:
-                    probes.on_deadlock(t, np.flatnonzero(~done))
-                    probes.on_run_end(result)
-                return result
+            return moved_any
 
-        result = SimulationResult(
-            completion_times=completion,
-            makespan=int(completion.max()),
-            steps_executed=t,
-            blocked_steps=blocked,
-            hit_step_cap=pending > 0,
-        )
-        if probes is not None:
-            if probes.aborted:
-                result.extra["telemetry_abort"] = probes.abort_reason
-            probes.on_run_end(result)
-        return result
+        return loop.run(body)
 
     def _emit_step_events(
         self,
@@ -296,7 +277,5 @@ class CutThroughSimulator:
                 return i
         return None
 
-    @staticmethod
-    def _check_edge_simple(padded: np.ndarray, lengths: np.ndarray) -> None:
-        del lengths  # encoded by the -1 padding already
-        check_edge_simple(padded)
+    # Back-compat alias: the single engine shim behind the old name.
+    _check_edge_simple = staticmethod(compat_check_edge_simple)

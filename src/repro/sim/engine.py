@@ -1,0 +1,466 @@
+"""Shared simulation-engine core for every router in :mod:`repro.sim`.
+
+The five routers (wormhole, cut-through, store-and-forward, restricted,
+adaptive) implement different *buffer models* but share one synchronous
+step protocol and one arbitration kernel.  This module owns that shared
+machinery so each router contributes only its advance rule:
+
+:func:`pad_paths` / :func:`check_edge_simple`
+    Path packing and validation (formerly private to the wormhole
+    module; re-exported there for back compatibility).
+:func:`grant_free_slots` / :class:`SlotArbiter`
+    The vectorized contend/rank/grant kernel — sort the contenders by
+    ``(slot, priority)``, rank each contender within its slot group, and
+    grant the first ``free`` of every group — plus occupancy tracking
+    for slot models that hold grants across steps (capacity-``B`` edges,
+    or capacity-1 ``(edge, VC-class)`` pairs).  **This is the only place
+    in** ``repro.sim`` **where the kernel exists**; the circuit and
+    continuous simulators call it too.
+:class:`StepLoop`
+    The synchronous step protocol: time advance, release gating,
+    idle-gap skipping, step caps, deadlock declaration, telemetry abort
+    handling, and :class:`~repro.sim.stats.SimulationResult` assembly.
+:func:`default_step_cap` / :func:`resolve_step_cap`
+    The documented per-model ``max_steps`` bounds with one shared
+    override path.
+:func:`legacy_record_probes` / :func:`legacy_extra`
+    The deprecation shim behind the pre-telemetry ``record_trace`` /
+    ``record_contention`` keywords.
+
+Bit-exactness contract
+----------------------
+The engine reproduces the original per-router loops *exactly*: the same
+RNG draws in the same order, the same arbitration outcomes, the same
+probe event ordering, and the same deadlock declarations.  The golden
+suite in ``tests/sim/test_golden_equivalence.py`` pins this against
+outputs recorded from the pre-engine simulators.
+
+Edge-simplicity note
+--------------------
+Every slot-holding router validates that paths are edge-simple (a worm
+cannot hold two buffer slots on one edge).  The store-and-forward
+router is deliberately **exempt**: it holds no per-edge slot across
+steps (an edge is owned only within the message step it transmits) and
+its queues are unbounded, so a path that repeats an edge is still
+well-defined — the message simply queues at that edge again.  See
+:mod:`repro.sim.store_forward`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from ..network.graph import NetworkError
+from ..routing.paths import Path
+from ..telemetry.probe import Probe, ProbeSet
+from .stats import SimulationResult
+
+__all__ = [
+    "SlotArbiter",
+    "StepLoop",
+    "age_priorities",
+    "check_edge_simple",
+    "compat_check_edge_simple",
+    "default_step_cap",
+    "grant_free_slots",
+    "legacy_extra",
+    "legacy_record_probes",
+    "pad_paths",
+    "resolve_step_cap",
+]
+
+
+# ----------------------------------------------------------------------
+# Path packing and validation.
+# ----------------------------------------------------------------------
+
+
+def check_edge_simple(
+    padded: np.ndarray, what: str = "path of message {m} is not edge-simple"
+) -> None:
+    """Raise unless every padded path row is free of repeated edge ids.
+
+    A single sort over the padded matrix replaces the former per-message
+    ``np.unique`` loop: after sorting each row, a duplicate edge shows
+    up as two equal adjacent entries (the ``-1`` padding is masked out),
+    so the whole check is one vectorized pass regardless of ``M``.
+    """
+    if padded.shape[0] == 0 or padded.shape[1] < 2:
+        return
+    srt = np.sort(padded, axis=1)
+    dup = (srt[:, 1:] == srt[:, :-1]) & (srt[:, 1:] >= 0)
+    bad = np.flatnonzero(dup.any(axis=1))
+    if bad.size:
+        raise NetworkError(what.format(m=int(bad[0])))
+
+
+def compat_check_edge_simple(
+    padded: np.ndarray,
+    lengths: np.ndarray,
+    what: str = "path of message {m} is not edge-simple",
+) -> None:
+    """The single back-compat shim behind the former per-router
+    ``_check_edge_simple(padded, lengths)`` staticmethods."""
+    del lengths  # encoded by the -1 padding already
+    check_edge_simple(padded, what)
+
+
+def pad_paths(paths: Sequence[Path] | Sequence[Sequence[int]]) -> tuple[np.ndarray, np.ndarray]:
+    """Pack ragged per-message edge-id lists into a padded matrix.
+
+    Returns ``(padded, lengths)`` where ``padded`` has shape
+    ``(M, max_len)`` with ``-1`` padding and ``lengths[m]`` is message
+    ``m``'s path length ``D_m``.
+    """
+    edge_lists = [
+        list(p.edges) if isinstance(p, Path) else list(p) for p in paths
+    ]
+    lengths = np.asarray([len(e) for e in edge_lists], dtype=np.int64)
+    max_len = int(lengths.max()) if lengths.size else 0
+    padded = np.full((len(edge_lists), max_len), -1, dtype=np.int64)
+    for m, edges in enumerate(edge_lists):
+        padded[m, : len(edges)] = edges
+    return padded, lengths
+
+
+# ----------------------------------------------------------------------
+# The arbitration kernel.
+# ----------------------------------------------------------------------
+
+
+def grant_free_slots(
+    slots: np.ndarray,
+    prio: np.ndarray,
+    capacity: int,
+    occupancy: np.ndarray | None = None,
+) -> np.ndarray:
+    """The vectorized contend/rank/grant kernel shared by every router.
+
+    ``slots[i]`` is the slot id contender ``i`` requests and ``prio[i]``
+    its priority (smaller wins).  Contenders are sorted by
+    ``(slot, priority)``; within each slot group the first
+    ``capacity - occupancy[slot]`` contenders are granted.  Returns the
+    boolean granted mask aligned with the input order.  Occupancy is
+    **not** updated — callers that hold grants across steps acquire via
+    :class:`SlotArbiter`.
+    """
+    order = np.lexsort((prio, slots))
+    if order.size == 0:
+        return np.zeros(0, dtype=bool)
+    sorted_slots = slots[order]
+    new_group = np.empty(order.size, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = sorted_slots[1:] != sorted_slots[:-1]
+    group_start = np.maximum.accumulate(
+        np.where(new_group, np.arange(order.size), 0)
+    )
+    rank = np.arange(order.size) - group_start
+    if occupancy is None:
+        granted_sorted = rank < capacity
+    else:
+        granted_sorted = rank < capacity - occupancy[sorted_slots]
+    granted = np.empty(order.size, dtype=bool)
+    granted[order] = granted_sorted
+    return granted
+
+
+def age_priorities(release: np.ndarray) -> np.ndarray:
+    """Earlier-released-first priority ranks, ties broken by index."""
+    return np.lexsort((np.arange(release.size), release)).argsort()
+
+
+class SlotArbiter:
+    """Capacity-limited slot pool with the shared arbitration kernel.
+
+    A *slot* is whatever a router's buffer model holds across steps: a
+    physical edge with capacity ``B`` (interchangeable virtual
+    channels), or an ``(edge, VC-class)`` pair with capacity 1 (the
+    Dally-Seitz mechanism).  The arbiter tracks per-slot occupancy and
+    answers contention rounds with :meth:`contend`, which applies
+    :func:`grant_free_slots` against the current occupancy.
+    """
+
+    def __init__(self, num_slots: int, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise NetworkError("slot capacity must be >= 1")
+        self.num_slots = int(num_slots)
+        self.capacity = int(capacity)
+        self.occupancy = np.zeros(self.num_slots, dtype=np.int64)
+
+    # -- vectorized round ----------------------------------------------
+    def contend(self, slots: np.ndarray, prio: np.ndarray) -> np.ndarray:
+        """Granted mask for one contention round (does not acquire)."""
+        if slots.size == 0:
+            return np.zeros(0, dtype=bool)
+        return grant_free_slots(slots, prio, self.capacity, self.occupancy)
+
+    def acquire(self, slots: np.ndarray) -> None:
+        """Occupy ``slots`` (duplicates accumulate)."""
+        np.add.at(self.occupancy, slots, 1)
+
+    def vacate(self, slots: np.ndarray) -> None:
+        """Release previously acquired ``slots``."""
+        np.add.at(self.occupancy, slots, -1)
+
+    # -- scalar path (sequential / adaptive arbitration) ---------------
+    def has_free(self, slot: int) -> bool:
+        return bool(self.occupancy[slot] < self.capacity)
+
+    def acquire_one(self, slot: int) -> None:
+        self.occupancy[slot] += 1
+
+    def vacate_one(self, slot: int) -> None:
+        self.occupancy[slot] -= 1
+
+
+# ----------------------------------------------------------------------
+# Per-model step caps.
+# ----------------------------------------------------------------------
+
+
+def _wormhole_cap(*, release, total_moves, trivial, **_):
+    # Every step, at least one pending message moves (else deadlock is
+    # declared), and each message needs L + D - 1 moves.
+    if not (~trivial).any():
+        return 0
+    return int(release.max() + total_moves[~trivial].sum() + 1)
+
+
+def _cut_through_cap(*, release, lengths, message_length, num_messages, **_):
+    # Worst case is full serialization with per-hop drain lag.
+    max_d = int(lengths.max())
+    return int(
+        release.max()
+        + (int(message_length.max()) + 2 * max_d + 2) * num_messages
+        + 10
+    )
+
+
+def _restricted_cap(*, release, lengths, message_length, num_messages, **_):
+    # One flit per edge per step: full serialization costs about
+    # L * D per message in the worst case.
+    max_d = int(lengths.max())
+    return int(
+        release.max()
+        + (int(message_length.max()) * (max_d + 2) + 4) * num_messages
+        + 10
+    )
+
+
+def _store_forward_cap(*, release, lengths, **_):
+    # Greedy store-and-forward always grants one message per contended
+    # edge, so the schedule needs at most sum(D) message steps of work.
+    return int(release.max() + lengths.sum() + 1)
+
+
+def _adaptive_cap(*, release, lengths, message_length, **_):
+    # Minimal adaptive routes have Manhattan length `lengths`; pad per
+    # message for drain and injection slack.
+    return int(release.max() + (message_length + lengths + 2).sum() + 10)
+
+
+_STEP_CAPS: dict[str, Callable[..., int]] = {
+    "wormhole": _wormhole_cap,
+    "cut_through": _cut_through_cap,
+    "restricted": _restricted_cap,
+    "store_forward": _store_forward_cap,
+    "adaptive": _adaptive_cap,
+}
+
+
+def default_step_cap(model: str, **dims) -> int:
+    """The documented per-model ``max_steps`` bound.
+
+    Each bound is generous enough that any *live* simulation of that
+    buffer model finishes under it, so hitting the cap means livelock
+    (or a deadlock the model cannot itself declare).  Accepted ``dims``
+    (all NumPy arrays unless noted): ``release``, ``lengths`` (path /
+    Manhattan lengths ``D_m``), ``message_length`` (per-message ``L``),
+    ``num_messages`` (int), ``total_moves`` (``L + D - 1``),
+    ``trivial`` (zero-length-path mask).  Units are the model's native
+    steps (flit steps; message steps for store-and-forward).
+    """
+    try:
+        cap = _STEP_CAPS[model]
+    except KeyError:
+        raise NetworkError(f"no step-cap bound for model {model!r}") from None
+    return cap(**dims)
+
+
+def resolve_step_cap(max_steps: int | None, model: str, **dims) -> int:
+    """The shared override path: an explicit ``max_steps`` wins,
+    otherwise the model's :func:`default_step_cap` applies."""
+    if max_steps is not None:
+        return int(max_steps)
+    return default_step_cap(model, **dims)
+
+
+# ----------------------------------------------------------------------
+# Legacy record_* keyword shim.
+# ----------------------------------------------------------------------
+
+
+def legacy_record_probes(
+    record_trace: bool, record_contention: bool, stacklevel: int = 3
+) -> tuple[list[Probe], "Probe | None", "Probe | None"]:
+    """Engine-level shim for the deprecated ``record_*`` run keywords.
+
+    Returns ``(extra_probes, trace_probe, contention_probe)`` to pass to
+    :meth:`ProbeSet.coerce` and :func:`legacy_extra`; emits the same
+    DeprecationWarnings the routers used to emit inline.
+    """
+    legacy: list[Probe] = []
+    trace_probe = contention_probe = None
+    if record_trace:
+        warnings.warn(
+            "record_trace is deprecated; attach a repro.telemetry."
+            "TraceSnapshotCollector via telemetry= instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        from ..telemetry.collectors import TraceSnapshotCollector
+
+        trace_probe = TraceSnapshotCollector()
+        legacy.append(trace_probe)
+    if record_contention:
+        warnings.warn(
+            "record_contention is deprecated; attach a repro.telemetry."
+            "EdgeContentionCollector via telemetry= instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        from ..telemetry.collectors import EdgeContentionCollector
+
+        contention_probe = EdgeContentionCollector()
+        legacy.append(contention_probe)
+    return legacy, trace_probe, contention_probe
+
+
+def legacy_extra(trace_probe, contention_probe) -> dict:
+    """``extra`` keys for the deprecated ``record_*`` kwargs."""
+    extra: dict = {}
+    if trace_probe is not None:
+        extra["trace"] = trace_probe.matrix
+    if contention_probe is not None:
+        extra["edge_contention"] = contention_probe.denied
+    return extra
+
+
+# ----------------------------------------------------------------------
+# The synchronous step loop.
+# ----------------------------------------------------------------------
+
+
+class StepLoop:
+    """The synchronous step protocol shared by every router.
+
+    The loop owns everything that is *not* the buffer model: time
+    advance, release gating (a message released at ``r`` first contends
+    at step ``r + 1``), idle-gap skipping (when nothing is released the
+    clock jumps to the next release), the step cap, deadlock
+    declaration, telemetry abort handling, and result assembly.  The
+    router supplies a ``body(t, active)`` callback that advances its
+    buffer model for one step:
+
+    * ``active`` is the boolean mask of released, unfinished messages;
+    * the body mutates :attr:`completion`, :attr:`done`, and
+      :attr:`blocked` in place and dispatches its own probe events
+      (grant/block/release/complete/step — their order is part of each
+      router's contract);
+    * it returns ``True`` iff any message moved this step.
+
+    When the body reports no movement while every pending message is
+    already released, the configuration can never change again and the
+    loop declares deadlock (``detect_deadlock=False`` opts out for
+    models that cannot deadlock, e.g. greedy store-and-forward).  The
+    ``on_deadlock`` / ``on_run_end`` lifecycle events and the
+    ``telemetry_abort`` annotation are dispatched here so routers
+    cannot drift apart in their protocol behavior.
+    """
+
+    def __init__(
+        self,
+        num_messages: int,
+        release: np.ndarray,
+        max_steps: int,
+        probes: "ProbeSet | None" = None,
+        *,
+        detect_deadlock: bool = True,
+        time_scale: int = 1,
+    ) -> None:
+        self.M = int(num_messages)
+        self.release = release
+        self.max_steps = int(max_steps)
+        self.probes = probes
+        self.detect_deadlock = detect_deadlock
+        self.time_scale = int(time_scale)
+        self.completion = np.full(self.M, -1, dtype=np.int64)
+        self.blocked = np.zeros(self.M, dtype=np.int64)
+        self.done = np.zeros(self.M, dtype=bool)
+        self.t = 0
+
+    @property
+    def pending(self) -> int:
+        return int(self.M - self.done.sum())
+
+    def mark_trivial(self, trivial: np.ndarray, completion: np.ndarray) -> None:
+        """Deliver zero-length-path messages at their release time."""
+        self.done |= trivial
+        self.completion[trivial] = completion[trivial]
+
+    def run(
+        self,
+        body: Callable[[int, np.ndarray], bool],
+        extra_factory: Callable[[], dict] | None = None,
+    ) -> SimulationResult:
+        release, done, probes = self.release, self.done, self.probes
+        t = self.t
+        while (self.M - done.sum()) and t < self.max_steps:
+            t += 1
+            active = ~done & (release < t)
+            if not active.any():
+                # Jump to the next release to avoid idling through gaps.
+                t = int(release[~done].min())
+                continue
+            moved = body(t, active)
+            if probes is not None and probes.aborted:
+                break
+            if (
+                not moved
+                and self.detect_deadlock
+                and bool((release[~done] < t).all())
+            ):
+                # Nothing moved and every pending message is already
+                # released: the configuration can never change.
+                self.t = t
+                result = self._result(True, False, extra_factory)
+                if probes is not None:
+                    probes.on_deadlock(t, np.flatnonzero(~done))
+                    probes.on_run_end(result)
+                return result
+        self.t = t
+        result = self._result(False, self.pending > 0, extra_factory)
+        if probes is not None:
+            if probes.aborted:
+                result.extra["telemetry_abort"] = probes.abort_reason
+            probes.on_run_end(result)
+        return result
+
+    def _result(
+        self,
+        deadlocked: bool,
+        hit_step_cap: bool,
+        extra_factory: Callable[[], dict] | None,
+    ) -> SimulationResult:
+        return SimulationResult(
+            completion_times=self.completion,
+            makespan=int(self.completion.max()),
+            steps_executed=self.t * self.time_scale,
+            blocked_steps=self.blocked,
+            deadlocked=deadlocked,
+            hit_step_cap=hit_step_cap,
+            extra=extra_factory() if extra_factory is not None else {},
+        )

@@ -23,6 +23,11 @@ like the cut-through engine:
   and admissible new headers (rotating service order for fairness);
 * a header may cross edge ``i`` only if a slot is free
   (``residents < B``).
+
+The rotating-service advance rule is this router's contribution; the
+step protocol (release gating, gap skipping, deadlock declaration, step
+caps, result assembly) comes from the shared
+:class:`~repro.sim.engine.StepLoop`.
 """
 
 from __future__ import annotations
@@ -33,8 +38,8 @@ import numpy as np
 
 from ..network.graph import Network, NetworkError
 from ..routing.paths import Path
+from .engine import StepLoop, check_edge_simple, pad_paths, resolve_step_cap
 from .stats import SimulationResult
-from .wormhole import check_edge_simple, pad_paths
 
 __all__ = ["RestrictedWormholeSimulator"]
 
@@ -85,10 +90,10 @@ class RestrictedWormholeSimulator:
         ).copy()
         if M and L_arr.min() < 1:
             raise NetworkError("message length L must be >= 1")
-        completion = np.full(M, -1, dtype=np.int64)
-        blocked = np.zeros(M, dtype=np.int64)
         if M == 0:
-            return SimulationResult(completion, -1, 0, blocked)
+            return SimulationResult(
+                np.full(0, -1, dtype=np.int64), -1, 0, np.zeros(0, dtype=np.int64)
+            )
         check_edge_simple(padded)
 
         release = (
@@ -97,12 +102,14 @@ class RestrictedWormholeSimulator:
             else np.asarray(release_times, dtype=np.int64).copy()
         )
         trivial = D == 0
-        completion[trivial] = release[trivial]
-        if max_steps is None:
-            max_d = int(D.max())
-            # One flit per edge per step: full serialization costs about
-            # L * D per message in the worst case.
-            max_steps = int(release.max() + (int(L_arr.max()) * (max_d + 2) + 4) * M + 10)
+        max_steps = resolve_step_cap(
+            max_steps,
+            "restricted",
+            release=release,
+            lengths=D,
+            message_length=L_arr,
+            num_messages=M,
+        )
 
         max_D = padded.shape[1]
         crossed = np.zeros((M, max_D), dtype=np.int64)
@@ -111,16 +118,12 @@ class RestrictedWormholeSimulator:
         # Next path-edge each message's header wants (== D[m] once inside).
         head_edge = np.zeros(M, dtype=np.int64)
         rr_offset = self._rng.integers(0, 1 << 30, size=self.num_edges)
-        done = trivial.copy()
-        pending = int(M - done.sum())
 
-        t = 0
-        while pending and t < max_steps:
-            t += 1
-            active_mask = ~done & (release < t)
-            if not active_mask.any():
-                t = int(release[~done].min())
-                continue
+        loop = StepLoop(M, release, max_steps)
+        loop.mark_trivial(trivial, release)
+        completion, done = loop.completion, loop.done
+
+        def body(t: int, active_mask: np.ndarray) -> bool:
             snapshot = crossed.copy()
             moved_any = False
             progressed = np.zeros(M, dtype=bool)
@@ -192,22 +195,8 @@ class RestrictedWormholeSimulator:
                             residents[e].pop(m, None)  # delivered instantly
                             completion[m] = t
                             done[m] = True
-                            pending -= 1
 
-            blocked[active] += ~progressed[active]
-            if not moved_any and bool((release[~done] < t).all()):
-                return SimulationResult(
-                    completion_times=completion,
-                    makespan=int(completion.max()),
-                    steps_executed=t,
-                    blocked_steps=blocked,
-                    deadlocked=True,
-                )
+            loop.blocked[active] += ~progressed[active]
+            return moved_any
 
-        return SimulationResult(
-            completion_times=completion,
-            makespan=int(completion.max()),
-            steps_executed=t,
-            blocked_steps=blocked,
-            hit_step_cap=pending > 0,
-        )
+        return loop.run(body)

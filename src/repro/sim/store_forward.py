@@ -17,6 +17,19 @@ distance first, the classic greedy rule).
 An optional initial random delay in ``[0, delay_range)`` message steps per
 message implements the random-delay smoothing trick behind the
 ``O(C + D log n)`` online algorithm of [27].
+
+Unlike every other router, store-and-forward performs **no**
+edge-simplicity validation — deliberately.  A slot-holding router (worm
+spanning several edges) can self-deadlock on a path that repeats an
+edge, so those routers reject such paths; here an edge is held only
+within the message step it transmits and queues are unbounded, so a
+repeated edge simply means the message queues at that edge twice.  The
+exemption is part of the engine's validation contract (see
+:mod:`repro.sim.engine`).
+
+The greedy protocol also cannot deadlock — every contended edge forwards
+exactly one message per message step — so the shared
+:class:`~repro.sim.engine.StepLoop` runs with deadlock detection off.
 """
 
 from __future__ import annotations
@@ -28,8 +41,8 @@ import numpy as np
 from ..network.graph import Network, NetworkError
 from ..routing.paths import Path
 from ..telemetry.probe import Probe, ProbeSet, RunMeta
+from .engine import SlotArbiter, StepLoop, pad_paths, resolve_step_cap
 from .stats import SimulationResult
-from .wormhole import pad_paths
 
 __all__ = ["StoreForwardSimulator"]
 
@@ -97,10 +110,10 @@ class StoreForwardSimulator:
         padded, D = pad_paths(paths)
         M = D.size
         hop = -(-message_length // self.bandwidth)  # ceil(L / B) flit steps
-        completion = np.full(M, -1, dtype=np.int64)
-        blocked = np.zeros(M, dtype=np.int64)
         if M == 0:
-            return SimulationResult(completion, -1, 0, blocked)
+            return SimulationResult(
+                np.full(0, -1, dtype=np.int64), -1, 0, np.zeros(0, dtype=np.int64)
+            )
 
         release_fs = (
             np.zeros(M, dtype=np.int64)
@@ -113,10 +126,9 @@ class StoreForwardSimulator:
             release = release + self._rng.integers(0, delay_range, size=M)
 
         trivial = D == 0
-        completion[trivial] = release[trivial] * hop
-
-        if max_steps is None:
-            max_steps = int(release.max() + D.sum() + 1)
+        max_steps = resolve_step_cap(
+            max_steps, "store_forward", release=release, lengths=D
+        )
 
         probes = ProbeSet.coerce(telemetry)
         if probes is not None:
@@ -138,16 +150,20 @@ class StoreForwardSimulator:
             )
 
         hops_done = np.zeros(M, dtype=np.int64)
-        done = trivial.copy()
-        pending = int(M - done.sum())
-        max_queue = 0
-        t = 0  # message steps
-        while pending and t < max_steps:
-            t += 1
-            active = ~done & (release < t)
-            if not active.any():
-                t = int(release[~done].min())
-                continue
+        # The arbiter holds nothing across steps (an edge is owned only
+        # within the step it transmits): capacity-1 slots, never acquired.
+        arbiter = SlotArbiter(self.net.num_edges, capacity=1)
+        stats = {"max_queue": 0}
+
+        # Greedy store-and-forward cannot deadlock: every contended edge
+        # forwards one message per step, so progress is unconditional.
+        loop = StepLoop(
+            M, release, max_steps, probes, detect_deadlock=False, time_scale=hop
+        )
+        loop.done |= trivial
+        loop.completion[trivial] = release[trivial] * hop
+
+        def body(t: int, active: np.ndarray) -> bool:
             idx = np.flatnonzero(active)
             edges = padded[idx, hops_done[idx]]
             if self.priority == "random":
@@ -156,27 +172,19 @@ class StoreForwardSimulator:
                 prio = release[idx].astype(np.float64)
             else:  # farthest to go first
                 prio = -(D[idx] - hops_done[idx]).astype(np.float64)
-            order = np.lexsort((prio, edges))
-            sorted_edges = edges[order]
-            first_of_group = np.empty(order.size, dtype=bool)
-            first_of_group[0] = True
-            first_of_group[1:] = sorted_edges[1:] != sorted_edges[:-1]
-            winners_sorted = first_of_group  # one message per edge per step
-            winners = np.zeros(idx.size, dtype=bool)
-            winners[order] = winners_sorted
+            winners = arbiter.contend(edges, prio)  # one message per edge
             # Queue-depth bookkeeping: contenders per edge this step.
             counts = np.bincount(edges, minlength=0)
             if counts.size:
-                max_queue = max(max_queue, int(counts.max()))
+                stats["max_queue"] = max(stats["max_queue"], int(counts.max()))
 
             movers = idx[winners]
             hops_done[movers] += 1
-            blocked[idx[~winners]] += hop
+            loop.blocked[idx[~winners]] += hop
             finished = movers[hops_done[movers] == D[movers]]
             if finished.size:
-                completion[finished] = t * hop
-                done[finished] = True
-                pending -= finished.size
+                loop.completion[finished] = t * hop
+                loop.done[finished] = True
 
             if probes is not None:
                 probes.on_grant(t, movers, edges[winners])
@@ -189,19 +197,13 @@ class StoreForwardSimulator:
                 if finished.size:
                     probes.on_complete(t, finished)
                 probes.on_step(t, movers, hops_done)
-                if probes.aborted:
-                    break
+            return True  # a contended edge always forwards someone
 
-        result = SimulationResult(
-            completion_times=completion,
-            makespan=int(completion.max()),
-            steps_executed=t * hop,
-            blocked_steps=blocked,
-            hit_step_cap=pending > 0,
-            extra={"max_queue": max_queue, "message_step_flits": hop},
+        result = loop.run(
+            body,
+            lambda: {
+                "max_queue": stats["max_queue"],
+                "message_step_flits": hop,
+            },
         )
-        if probes is not None:
-            if probes.aborted:
-                result.extra["telemetry_abort"] = probes.abort_reason
-            probes.on_run_end(result)
         return result

@@ -1,0 +1,627 @@
+"""Parallel trial-grid sweeps over (simulator, workload, B, seed).
+
+Every experiment in this repository ultimately runs the same loop: build
+a workload, instantiate a router at some ``B``, route, and record a
+handful of scalars.  This module centralizes that loop as a *trial grid*:
+
+* a :class:`TrialSpec` names one (workload, simulator, ``B``, repeat)
+  cell declaratively — everything needed to run the trial is in the spec,
+  so trials can be shipped to worker processes or keyed into a cache;
+* :func:`run_sweep` executes a list of specs either serially or fanned
+  out over a :class:`~concurrent.futures.ProcessPoolExecutor`, with a
+  content-hash on-disk result cache (change one axis of a grid and only
+  the delta is recomputed);
+* per-trial randomness is derived with
+  :meth:`numpy.random.SeedSequence.spawn` from a root seed and a digest
+  of the trial's configuration, so results are independent of execution
+  order and worker count — a parallel sweep is bit-identical to a serial
+  one — and adding trials to a grid never perturbs existing ones.
+
+Workloads and simulators are looked up in registries by name (the spec
+must stay JSON-serializable); :data:`WORKLOADS` covers the standard
+instances used by the E1/E2/E5 experiments and the CLI, and new entries
+can be registered with :func:`register_workload`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..network.graph import NetworkError
+
+__all__ = [
+    "SweepResult",
+    "TrialResult",
+    "TrialSpec",
+    "WORKLOADS",
+    "SIMULATORS",
+    "Workload",
+    "register_workload",
+    "run_sweep",
+    "sweep_grid",
+    "trial_seed",
+]
+
+_CACHE_VERSION = 1
+
+_Scalar = (str, int, float, bool, type(None))
+
+
+def _check_params(params: dict[str, Any], what: str) -> tuple[tuple[str, Any], ...]:
+    """Normalize a parameter dict to a sorted, JSON-safe tuple of pairs."""
+    items = []
+    for key in sorted(params):
+        value = params[key]
+        if isinstance(value, (bool, np.bool_)):
+            value = bool(value)
+        elif isinstance(value, np.integer):
+            value = int(value)
+        elif isinstance(value, np.floating):
+            value = float(value)
+        if not isinstance(value, _Scalar):
+            raise NetworkError(
+                f"{what} parameter {key!r} must be a JSON scalar, "
+                f"got {type(value).__name__}"
+            )
+        items.append((str(key), value))
+    return tuple(items)
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One cell of a sweep grid.
+
+    A spec is pure data: workload and simulator are registry *names*, the
+    parameter tuples are sorted ``(key, value)`` pairs of JSON scalars.
+    Two specs with equal fields denote the same trial — same derived
+    seed, same cache entry.
+    """
+
+    workload: str
+    simulator: str
+    B: int = 1
+    workload_params: tuple[tuple[str, Any], ...] = ()
+    sim_params: tuple[tuple[str, Any], ...] = ()
+    message_length: int | None = None
+    repeat: int = 0
+
+    @classmethod
+    def make(
+        cls,
+        workload: str,
+        simulator: str,
+        *,
+        B: int = 1,
+        workload_params: dict[str, Any] | None = None,
+        sim_params: dict[str, Any] | None = None,
+        message_length: int | None = None,
+        repeat: int = 0,
+    ) -> "TrialSpec":
+        if workload not in WORKLOADS:
+            raise NetworkError(
+                f"unknown workload {workload!r}; "
+                f"registered: {', '.join(sorted(WORKLOADS))}"
+            )
+        if simulator not in SIMULATORS:
+            raise NetworkError(
+                f"unknown simulator {simulator!r}; "
+                f"registered: {', '.join(sorted(SIMULATORS))}"
+            )
+        if B < 1:
+            raise NetworkError("B must be >= 1")
+        if repeat < 0:
+            raise NetworkError("repeat must be >= 0")
+        return cls(
+            workload=workload,
+            simulator=simulator,
+            B=int(B),
+            workload_params=_check_params(workload_params or {}, "workload"),
+            sim_params=_check_params(sim_params or {}, "simulator"),
+            message_length=None if message_length is None else int(message_length),
+            repeat=int(repeat),
+        )
+
+    def key(self) -> dict[str, Any]:
+        """The trial's canonical identity (JSON-ready)."""
+        return {
+            "workload": self.workload,
+            "workload_params": list(map(list, self.workload_params)),
+            "simulator": self.simulator,
+            "sim_params": list(map(list, self.sim_params)),
+            "B": self.B,
+            "message_length": self.message_length,
+            "repeat": self.repeat,
+        }
+
+    def cache_key(self, root_seed: int) -> str:
+        payload = {"v": _CACHE_VERSION, "root_seed": int(root_seed), **self.key()}
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def label(self) -> str:
+        rep = f" r{self.repeat}" if self.repeat else ""
+        return f"{self.simulator}/{self.workload} B={self.B}{rep}"
+
+
+def trial_seed(spec: TrialSpec, root_seed: int) -> np.random.SeedSequence:
+    """Derive the trial's :class:`~numpy.random.SeedSequence`.
+
+    The sequence is keyed on ``root_seed`` plus a digest of the trial
+    configuration *excluding* ``repeat``; repeats are then separated with
+    :meth:`~numpy.random.SeedSequence.spawn` (children are a stable
+    prefix sequence, so repeat ``i`` never changes when more repeats are
+    added).  Execution order and worker count cannot influence this.
+    """
+    config = spec.key()
+    config.pop("repeat")
+    blob = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(blob.encode()).digest()
+    entropy = [int(root_seed) & 0xFFFFFFFF, int.from_bytes(digest[:16], "little")]
+    base = np.random.SeedSequence(entropy)
+    return base.spawn(spec.repeat + 1)[spec.repeat]
+
+
+# ----------------------------------------------------------------------
+# Workload registry
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Workload:
+    """A built instance, ready to route.
+
+    ``paths`` serve the path-routed simulators; ``demands``/``cube``
+    serve the adaptive mesh router.  ``default_length`` supplies ``L``
+    when the spec leaves ``message_length`` unset, and ``info`` carries
+    JSON-safe provenance (C, D, M, ...) copied into trial metrics.
+    """
+
+    net: Any
+    paths: list | None = None
+    demands: list | None = None
+    cube: Any = None
+    default_length: int = 8
+    info: dict[str, Any] = field(default_factory=dict)
+
+
+WORKLOADS: dict[str, Callable[..., Workload]] = {}
+
+
+def register_workload(name: str) -> Callable:
+    """Register ``fn(**params) -> Workload`` under ``name``."""
+
+    def deco(fn: Callable[..., Workload]) -> Callable[..., Workload]:
+        WORKLOADS[name] = fn
+        return fn
+
+    return deco
+
+
+@register_workload("layered")
+def _wl_layered(
+    width: int = 10,
+    depth: int = 10,
+    out_degree: int = 3,
+    messages: int = 120,
+    seed: int = 0,
+) -> Workload:
+    from ..network.random_networks import layered_network, random_walk_paths
+    from ..routing.paths import congestion, dilation, paths_from_node_walks
+
+    rng = np.random.default_rng(seed)
+    net = layered_network(width, depth, out_degree, rng)
+    walks = random_walk_paths(net, width, depth, messages, rng)
+    paths = paths_from_node_walks(net, walks)
+    C, D = congestion(paths), dilation(paths)
+    return Workload(
+        net=net,
+        paths=paths,
+        default_length=D,
+        info={"congestion": C, "dilation": D, "messages": len(paths)},
+    )
+
+
+@register_workload("hard-instance")
+def _wl_hard_instance(C: int = 8, D: int = 15, B: int = 1) -> Workload:
+    from ..core.lower_bound import build_hard_instance
+
+    inst = build_hard_instance(C=C, D=D, B=B)
+    return Workload(
+        net=inst.network,
+        paths=inst.paths,
+        default_length=inst.recommended_length(),
+        info={
+            "congestion": inst.congestion,
+            "dilation": inst.dilation,
+            "messages": inst.num_messages,
+            "m_prime": inst.m_prime,
+        },
+    )
+
+
+@register_workload("chain-bundle")
+def _wl_chain_bundle(
+    chains: int = 4, depth: int = 12, messages: int = 8
+) -> Workload:
+    from ..network.random_networks import chain_bundle
+    from ..routing.paths import paths_from_node_walks
+
+    net, walks = chain_bundle(chains, depth, messages)
+    paths = paths_from_node_walks(net, walks)
+    return Workload(
+        net=net,
+        paths=paths,
+        default_length=2 * depth,
+        info={"congestion": messages, "dilation": depth, "messages": len(paths)},
+    )
+
+
+@register_workload("butterfly-bitrev")
+def _wl_butterfly_bitrev(n: int = 8) -> Workload:
+    from ..network.butterfly import Butterfly
+    from ..routing.problems import bit_reversal_permutation
+
+    bf = Butterfly(n)
+    inst = bit_reversal_permutation(n)
+    paths = [list(r) for r in bf.path_edges_batch(inst.sources, inst.dests)]
+    return Workload(
+        net=bf,
+        paths=paths,
+        default_length=16,
+        info={"n": n, "messages": len(paths)},
+    )
+
+
+@register_workload("mesh-permutation")
+def _wl_mesh_permutation(k: int = 6, seed: int = 0) -> Workload:
+    from ..network.mesh import KAryNCube
+
+    cube = KAryNCube(k, 2, wrap=False)
+    perm = np.random.default_rng(seed).permutation(k * k)
+    demands = [(i, int(d)) for i, d in enumerate(perm) if i != int(d)]
+    return Workload(
+        net=cube.network,
+        demands=demands,
+        cube=cube,
+        default_length=k,
+        info={"k": k, "messages": len(demands)},
+    )
+
+
+# ----------------------------------------------------------------------
+# Simulator runners
+# ----------------------------------------------------------------------
+
+
+def _digest(arr: np.ndarray) -> str:
+    return hashlib.sha256(
+        np.ascontiguousarray(arr, dtype=np.int64).tobytes()
+    ).hexdigest()[:16]
+
+
+def _result_metrics(res) -> dict[str, Any]:
+    return {
+        "makespan": int(res.makespan),
+        "steps": int(res.steps_executed),
+        "messages": int(res.num_messages),
+        "delivered": int(res.num_delivered),
+        "blocked": int(res.total_blocked_steps),
+        "deadlocked": bool(res.deadlocked),
+        "hit_step_cap": bool(res.hit_step_cap),
+        "completion_digest": _digest(res.completion_times),
+    }
+
+
+def _sim_seed(sp: dict[str, Any], ss: np.random.SeedSequence):
+    """Explicit ``seed`` in sim_params wins over the derived sequence."""
+    return sp["seed"] if "seed" in sp else ss
+
+
+def _run_wormhole(wl: Workload, spec: TrialSpec, ss, L: int) -> dict[str, Any]:
+    from .wormhole import WormholeSimulator
+
+    sp = dict(spec.sim_params)
+    sim = WormholeSimulator(
+        wl.net,
+        num_virtual_channels=spec.B,
+        priority=sp.get("priority", "random"),
+        seed=_sim_seed(sp, ss),
+    )
+    return _result_metrics(sim.run(wl.paths, message_length=L))
+
+
+def _run_cut_through(wl: Workload, spec: TrialSpec, ss, L: int) -> dict[str, Any]:
+    from .cut_through import CutThroughSimulator
+
+    sp = dict(spec.sim_params)
+    sim = CutThroughSimulator(
+        wl.net,
+        buffer_flits=spec.B,
+        priority=sp.get("priority", "random"),
+        seed=_sim_seed(sp, ss),
+    )
+    return _result_metrics(sim.run(wl.paths, message_length=L))
+
+
+def _run_store_forward(wl: Workload, spec: TrialSpec, ss, L: int) -> dict[str, Any]:
+    from .store_forward import StoreForwardSimulator
+
+    sp = dict(spec.sim_params)
+    sim = StoreForwardSimulator(
+        wl.net,
+        bandwidth_flits_per_step=spec.B,
+        priority=sp.get("priority", "farthest"),
+        seed=_sim_seed(sp, ss),
+    )
+    res = sim.run(wl.paths, message_length=L)
+    out = _result_metrics(res)
+    out["max_queue"] = int(res.extra["max_queue"])
+    return out
+
+
+def _run_restricted(wl: Workload, spec: TrialSpec, ss, L: int) -> dict[str, Any]:
+    from .restricted import RestrictedWormholeSimulator
+
+    sp = dict(spec.sim_params)
+    sim = RestrictedWormholeSimulator(
+        wl.net, num_buffers=spec.B, seed=_sim_seed(sp, ss)
+    )
+    return _result_metrics(sim.run(wl.paths, message_length=L))
+
+
+def _run_adaptive(wl: Workload, spec: TrialSpec, ss, L: int) -> dict[str, Any]:
+    from .adaptive import AdaptiveMeshRouter
+
+    if wl.cube is None or wl.demands is None:
+        raise NetworkError(
+            f"workload {spec.workload!r} has no mesh demands; "
+            "the adaptive router needs a mesh workload (e.g. mesh-permutation)"
+        )
+    sp = dict(spec.sim_params)
+    router = AdaptiveMeshRouter(
+        wl.cube,
+        num_virtual_channels=spec.B,
+        policy=sp.get("policy", "west-first"),
+        seed=_sim_seed(sp, ss),
+    )
+    return _result_metrics(router.run(wl.demands, message_length=L).result)
+
+
+def _run_schedule(wl: Workload, spec: TrialSpec, ss, L: int) -> dict[str, Any]:
+    """E1's pipeline: build a Theorem 2.1.6 schedule, then execute it."""
+    from ..core.schedule import execute_schedule
+    from ..core.scheduler import lll_schedule
+
+    sp = dict(spec.sim_params)
+    sched_seed = sp.get("schedule_seed")
+    rng = np.random.default_rng(ss if sched_seed is None else sched_seed)
+    build = lll_schedule(
+        wl.paths,
+        message_length=L,
+        B=spec.B,
+        rng=rng,
+        mode=sp.get("mode", "direct"),
+    )
+    res = execute_schedule(
+        wl.net, wl.paths, build.schedule, B=spec.B, seed=sp.get("seed", 0)
+    )
+    out = _result_metrics(res)
+    out["classes"] = int(build.num_classes)
+    out["congestion"] = int(build.congestion)
+    out["dilation"] = int(build.dilation)
+    out["length_bound"] = int(build.length_bound)
+    return out
+
+
+SIMULATORS: dict[str, Callable[..., dict[str, Any]]] = {
+    "wormhole": _run_wormhole,
+    "cut_through": _run_cut_through,
+    "store_forward": _run_store_forward,
+    "restricted": _run_restricted,
+    "adaptive": _run_adaptive,
+    "schedule": _run_schedule,
+}
+
+
+def _execute_trial(item: tuple[TrialSpec, int]) -> tuple[dict[str, Any], float]:
+    """Top-level worker entry point (must be picklable)."""
+    spec, root_seed = item
+    start = time.perf_counter()
+    wl = WORKLOADS[spec.workload](**dict(spec.workload_params))
+    L = wl.default_length if spec.message_length is None else spec.message_length
+    ss = trial_seed(spec, root_seed)
+    metrics = SIMULATORS[spec.simulator](wl, spec, ss, L)
+    metrics["message_length"] = int(L)
+    for key, value in wl.info.items():
+        metrics.setdefault(f"workload_{key}", value)
+    return metrics, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Sweep execution
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TrialResult:
+    """One executed (or cache-served) trial."""
+
+    spec: TrialSpec
+    metrics: dict[str, Any]
+    cached: bool = False
+    elapsed: float = 0.0
+
+    def row(self) -> dict[str, Any]:
+        return {
+            "workload": self.spec.workload,
+            "simulator": self.spec.simulator,
+            "B": self.spec.B,
+            "repeat": self.spec.repeat,
+            **self.metrics,
+        }
+
+
+@dataclass
+class SweepResult:
+    """Results of :func:`run_sweep`, in input-spec order."""
+
+    trials: list[TrialResult]
+    root_seed: int = 0
+    wall_time: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+    def __iter__(self):
+        return iter(self.trials)
+
+    @property
+    def num_cached(self) -> int:
+        return sum(t.cached for t in self.trials)
+
+    def rows(self) -> list[dict[str, Any]]:
+        return [t.row() for t in self.trials]
+
+    def column(self, name: str) -> list[Any]:
+        return [t.metrics.get(name) for t in self.trials]
+
+    def filter(self, **eq: Any) -> "SweepResult":
+        """Trials whose spec fields equal the given values."""
+        kept = [
+            t
+            for t in self.trials
+            if all(getattr(t.spec, k) == v for k, v in eq.items())
+        ]
+        return SweepResult(kept, self.root_seed, self.wall_time)
+
+
+def sweep_grid(
+    workload: str,
+    simulators: str | Sequence[str],
+    Bs: Iterable[int],
+    *,
+    workload_params: dict[str, Any] | None = None,
+    sim_params: dict[str, Any] | None = None,
+    message_length: int | None = None,
+    repeats: int = 1,
+) -> list[TrialSpec]:
+    """The cartesian grid ``simulators x Bs x repeats`` on one workload."""
+    if isinstance(simulators, str):
+        simulators = [simulators]
+    if repeats < 1:
+        raise NetworkError("repeats must be >= 1")
+    return [
+        TrialSpec.make(
+            workload,
+            simulator,
+            B=B,
+            workload_params=workload_params,
+            sim_params=sim_params,
+            message_length=message_length,
+            repeat=r,
+        )
+        for simulator in simulators
+        for B in Bs
+        for r in range(repeats)
+    ]
+
+
+def _cache_load(path: Path, key: dict[str, Any]) -> dict[str, Any] | None:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if payload.get("v") != _CACHE_VERSION or payload.get("spec") != key:
+        return None  # hash collision or stale format: recompute
+    metrics = payload.get("metrics")
+    return metrics if isinstance(metrics, dict) else None
+
+
+def _cache_store(
+    path: Path, key: dict[str, Any], metrics: dict[str, Any], root_seed: int
+) -> None:
+    payload = {
+        "v": _CACHE_VERSION,
+        "root_seed": int(root_seed),
+        "spec": key,
+        "metrics": metrics,
+    }
+    tmp = path.with_suffix(f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+    os.replace(tmp, path)
+
+
+def run_sweep(
+    specs: Sequence[TrialSpec],
+    *,
+    root_seed: int = 0,
+    workers: int = 0,
+    cache_dir: str | os.PathLike | None = None,
+    force: bool = False,
+) -> SweepResult:
+    """Execute a list of trial specs; returns results in input order.
+
+    Parameters
+    ----------
+    specs:
+        The grid (see :func:`sweep_grid` / :meth:`TrialSpec.make`).
+    root_seed:
+        Root entropy for :func:`trial_seed`; one sweep at two different
+        root seeds is two independent replications of the whole grid.
+    workers:
+        ``0`` or ``1`` runs serially in-process; ``>= 2`` fans trials out
+        over a :class:`~concurrent.futures.ProcessPoolExecutor`.  Results
+        are bit-identical either way.
+    cache_dir:
+        Optional directory of per-trial JSON results keyed by a content
+        hash of (spec, root_seed).  Cached trials are served without
+        executing; changing any axis of the grid recomputes only the new
+        cells.
+    force:
+        Ignore (and overwrite) existing cache entries.
+    """
+    specs = list(specs)
+    started = time.perf_counter()
+    cache_path: Path | None = None
+    if cache_dir is not None:
+        cache_path = Path(cache_dir)
+        cache_path.mkdir(parents=True, exist_ok=True)
+
+    results: list[TrialResult | None] = [None] * len(specs)
+    pending: list[int] = []
+    for i, spec in enumerate(specs):
+        if cache_path is not None and not force:
+            entry = cache_path / f"{spec.cache_key(root_seed)}.json"
+            metrics = _cache_load(entry, spec.key())
+            if metrics is not None:
+                results[i] = TrialResult(spec, metrics, cached=True)
+                continue
+        pending.append(i)
+
+    if pending:
+        items = [(specs[i], root_seed) for i in pending]
+        if workers >= 2:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(_execute_trial, items))
+        else:
+            outcomes = [_execute_trial(item) for item in items]
+        for i, (metrics, elapsed) in zip(pending, outcomes):
+            results[i] = TrialResult(specs[i], metrics, cached=False, elapsed=elapsed)
+            if cache_path is not None:
+                entry = cache_path / f"{specs[i].cache_key(root_seed)}.json"
+                _cache_store(entry, specs[i].key(), metrics, root_seed)
+
+    done = [r for r in results if r is not None]
+    assert len(done) == len(specs)
+    return SweepResult(done, root_seed, time.perf_counter() - started)

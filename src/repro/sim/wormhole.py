@@ -34,12 +34,16 @@ simulation of this model:
 * the worm finishes after ``L + D_m - 1`` moves, matching the paper's
   unobstructed latency ``D + L - 1``.
 
-The per-step state update is fully vectorized with NumPy.
+The per-step state update is fully vectorized and built on the shared
+:mod:`repro.sim.engine` core: the :class:`~repro.sim.engine.SlotArbiter`
+owns the contend/rank/grant kernel and slot occupancy, and the
+:class:`~repro.sim.engine.StepLoop` owns release gating, step caps,
+deadlock declaration, and result assembly.
 """
 
 from __future__ import annotations
 
-import warnings
+import functools
 from collections.abc import Iterable, Sequence
 
 import numpy as np
@@ -47,48 +51,27 @@ import numpy as np
 from ..network.graph import Network, NetworkError
 from ..routing.paths import Path
 from ..telemetry.probe import Probe, ProbeSet, RunMeta
+from .engine import (
+    SlotArbiter,
+    StepLoop,
+    age_priorities,
+    check_edge_simple,
+    compat_check_edge_simple,
+    legacy_extra,
+    legacy_record_probes,
+    pad_paths,
+    resolve_step_cap,
+)
 from .stats import SimulationResult
 
 __all__ = ["WormholeSimulator", "check_edge_simple", "pad_paths"]
 
 _PRIORITIES = ("random", "age", "index", "rank")
 
-
-def check_edge_simple(
-    padded: np.ndarray, what: str = "path of message {m} is not edge-simple"
-) -> None:
-    """Raise unless every padded path row is free of repeated edge ids.
-
-    A single sort over the padded matrix replaces the former per-message
-    ``np.unique`` loop: after sorting each row, a duplicate edge shows
-    up as two equal adjacent entries (the ``-1`` padding is masked out),
-    so the whole check is one vectorized pass regardless of ``M``.
-    """
-    if padded.shape[0] == 0 or padded.shape[1] < 2:
-        return
-    srt = np.sort(padded, axis=1)
-    dup = (srt[:, 1:] == srt[:, :-1]) & (srt[:, 1:] >= 0)
-    bad = np.flatnonzero(dup.any(axis=1))
-    if bad.size:
-        raise NetworkError(what.format(m=int(bad[0])))
-
-
-def pad_paths(paths: Sequence[Path] | Sequence[Sequence[int]]) -> tuple[np.ndarray, np.ndarray]:
-    """Pack ragged per-message edge-id lists into a padded matrix.
-
-    Returns ``(padded, lengths)`` where ``padded`` has shape
-    ``(M, max_len)`` with ``-1`` padding and ``lengths[m]`` is message
-    ``m``'s path length ``D_m``.
-    """
-    edge_lists = [
-        list(p.edges) if isinstance(p, Path) else list(p) for p in paths
-    ]
-    lengths = np.asarray([len(e) for e in edge_lists], dtype=np.int64)
-    max_len = int(lengths.max()) if lengths.size else 0
-    padded = np.full((len(edge_lists), max_len), -1, dtype=np.int64)
-    for m, edges in enumerate(edge_lists):
-        padded[m, : len(edges)] = edges
-    return padded, lengths
+_EDGE_SIMPLE_WHAT = (
+    "path of message {m} is not edge-simple; a worm cannot "
+    "hold two virtual channels on one edge"
+)
 
 
 class WormholeSimulator:
@@ -167,8 +150,8 @@ class WormholeSimulator:
             ``release + 1`` on).  This is how Theorem 2.1.6 schedules are
             executed.
         max_steps:
-            Safety cap; defaults to a generous bound that any live
-            simulation finishes under.
+            Safety cap; defaults to the engine's documented wormhole
+            bound (see :func:`repro.sim.engine.default_step_cap`).
         record_trace:
             Deprecated — attach a :class:`~repro.telemetry.collectors
             .TraceSnapshotCollector` via ``telemetry=`` instead.  Stores
@@ -206,11 +189,7 @@ class WormholeSimulator:
         ).copy()
         if M and L.min() < 1:
             raise NetworkError("message length L must be >= 1")
-        check_edge_simple(
-            padded,
-            "path of message {m} is not edge-simple; a worm cannot "
-            "hold two virtual channels on one edge",
-        )
+        check_edge_simple(padded, _EDGE_SIMPLE_WHAT)
         release = (
             np.zeros(M, dtype=np.int64)
             if release_times is None
@@ -221,32 +200,9 @@ class WormholeSimulator:
         if M and release.min() < 0:
             raise NetworkError("release times must be >= 0")
 
-        # Legacy recording kwargs become collector probes (satellite of
-        # the telemetry subsystem); the result keys stay byte-identical.
-        legacy: list[Probe] = []
-        trace_probe = contention_probe = None
-        if record_trace:
-            warnings.warn(
-                "record_trace is deprecated; attach a repro.telemetry."
-                "TraceSnapshotCollector via telemetry= instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            from ..telemetry.collectors import TraceSnapshotCollector
-
-            trace_probe = TraceSnapshotCollector()
-            legacy.append(trace_probe)
-        if record_contention:
-            warnings.warn(
-                "record_contention is deprecated; attach a repro.telemetry."
-                "EdgeContentionCollector via telemetry= instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            from ..telemetry.collectors import EdgeContentionCollector
-
-            contention_probe = EdgeContentionCollector()
-            legacy.append(contention_probe)
+        legacy, trace_probe, contention_probe = legacy_record_probes(
+            record_trace, record_contention
+        )
         probes = ProbeSet.coerce(telemetry, extra=legacy)
         if probes is not None:
             probes.on_run_start(
@@ -263,14 +219,12 @@ class WormholeSimulator:
             )
 
         total_moves = L + D - 1  # moves needed to deliver the whole worm
-        completion = np.full(M, -1, dtype=np.int64)
-        blocked = np.zeros(M, dtype=np.int64)
         if M == 0:
             result = SimulationResult(
-                completion_times=completion,
+                completion_times=np.full(0, -1, dtype=np.int64),
                 makespan=-1,
                 steps_executed=0,
-                blocked_steps=blocked,
+                blocked_steps=np.zeros(0, dtype=np.int64),
             )
             if probes is not None:
                 probes.on_run_end(result)
@@ -278,23 +232,21 @@ class WormholeSimulator:
 
         # Zero-length paths (source == destination): delivered at release.
         trivial = D == 0
-        completion[trivial] = release[trivial]
-
-        if max_steps is None:
-            # Every step, at least one pending message moves (else
-            # deadlock is declared), and each message needs L+D-1 moves.
-            max_steps = int(release.max() + total_moves[~trivial].sum() + 1) if (~trivial).any() else 0
+        max_steps = resolve_step_cap(
+            max_steps,
+            "wormhole",
+            release=release,
+            total_moves=total_moves,
+            trivial=trivial,
+        )
 
         # Slot model: without VC classes, a slot is an edge with capacity
         # B; with classes, a slot is an (edge, class) pair with capacity 1.
         if vc_ids is None:
             slot_keys = padded
-            capacity = self.B
-            num_slots = self.num_edges
+            arbiter = SlotArbiter(self.num_edges, capacity=self.B)
         else:
-            vc_padded, vc_lengths = pad_paths(
-                [list(v) for v in vc_ids]
-            )
+            vc_padded, vc_lengths = pad_paths([list(v) for v in vc_ids])
             if not np.array_equal(vc_lengths, D):
                 raise NetworkError("vc_ids must match the path lengths")
             valid = padded >= 0
@@ -303,30 +255,20 @@ class WormholeSimulator:
             ):
                 raise NetworkError(f"vc ids must lie in [0, {self.B})")
             slot_keys = np.where(valid, padded * self.B + vc_padded, -1)
-            capacity = 1
-            num_slots = self.num_edges * self.B
+            arbiter = SlotArbiter(self.num_edges * self.B, capacity=1)
 
         k = np.zeros(M, dtype=np.int64)  # completed moves per message
-        occupancy = np.zeros(num_slots, dtype=np.int64)
-        done = trivial.copy()
-        pending = int(M - done.sum())
-        age_priority = np.lexsort((np.arange(M), release)).argsort()
+        age_priority = age_priorities(release)
         rank_priority = (
             self._rng.permutation(M) if self.priority == "rank" else None
         )
 
-        t = 0
-        while pending and t < max_steps:
-            t += 1
-            active = ~done & (release < t)
-            if not active.any():
-                # Jump to the next release to avoid idling through gaps.
-                future = release[~done]
-                t = int(future.min())
-                continue
+        loop = StepLoop(M, release, max_steps, probes)
+        loop.mark_trivial(trivial, release)
+
+        def body(t: int, active: np.ndarray) -> bool:
             idx = np.flatnonzero(active)
-            k_a = k[idx]
-            needs_edge = k_a < D[idx]
+            needs_edge = k[idx] < D[idx]
             movers_local = np.zeros(idx.size, dtype=bool)
             movers_local[~needs_edge] = True  # draining worms always move
 
@@ -342,27 +284,11 @@ class WormholeSimulator:
                     prio = rank_priority[contenders]
                 else:
                     prio = contenders
-                order = np.lexsort((prio, edges))
-                sorted_edges = edges[order]
-                # Rank of each contender within its edge group.
-                group_start = np.empty(order.size, dtype=np.int64)
-                new_group = np.empty(order.size, dtype=bool)
-                new_group[0] = True
-                new_group[1:] = sorted_edges[1:] != sorted_edges[:-1]
-                group_start = np.maximum.accumulate(
-                    np.where(new_group, np.arange(order.size), 0)
-                )
-                rank = np.arange(order.size) - group_start
-                free = capacity - occupancy[sorted_edges]
-                granted_sorted = rank < free
-                granted = np.empty(order.size, dtype=bool)
-                granted[order] = granted_sorted
+                granted = arbiter.contend(edges, prio)
                 movers_local[needs_edge] = granted
-                # Acquire the newly entered edges.
-                acquired = edges[granted]
-                np.add.at(occupancy, acquired, 1)
+                arbiter.acquire(edges[granted])
                 blocked_ids = contenders[~granted]
-                blocked[blocked_ids] += 1
+                loop.blocked[blocked_ids] += 1
                 if probes is not None:
                     probes.on_grant(t, contenders[granted], raw_edges[granted])
                     if blocked_ids.size:
@@ -379,74 +305,31 @@ class WormholeSimulator:
             sel = (rel_idx >= 0) & (rel_idx < D[movers] - 1)
             if sel.any():
                 rel_msgs = movers[sel]
-                rel_edges = slot_keys[rel_msgs, rel_idx[sel]]
-                np.add.at(occupancy, rel_edges, -1)
+                arbiter.vacate(slot_keys[rel_msgs, rel_idx[sel]])
                 if probes is not None:
                     probes.on_release(t, rel_msgs, padded[rel_msgs, rel_idx[sel]])
             finished = movers[k[movers] == total_moves[movers]]
             if finished.size:
-                completion[finished] = t
-                done[finished] = True
-                pending -= finished.size
-                last_edges = slot_keys[finished, D[finished] - 1]
-                np.add.at(occupancy, last_edges, -1)
+                loop.completion[finished] = t
+                loop.done[finished] = True
+                arbiter.vacate(slot_keys[finished, D[finished] - 1])
                 if probes is not None:
-                    probes.on_release(t, finished, padded[finished, D[finished] - 1])
+                    probes.on_release(
+                        t, finished, padded[finished, D[finished] - 1]
+                    )
                     probes.on_complete(t, finished)
 
             if probes is not None:
                 probes.on_step(t, movers, k)
-                if probes.aborted:
-                    break
+            return movers.size > 0
 
-            if movers.size == 0:
-                # Nothing moved.  If every pending message is already
-                # released, the configuration can never change: deadlock.
-                if bool((release[~done] < t).all()):
-                    result = SimulationResult(
-                        completion_times=completion,
-                        makespan=int(completion.max()),
-                        steps_executed=t,
-                        blocked_steps=blocked,
-                        deadlocked=True,
-                        extra=self._legacy_extra(trace_probe, contention_probe),
-                    )
-                    if probes is not None:
-                        probes.on_deadlock(t, np.flatnonzero(~done))
-                        probes.on_run_end(result)
-                    return result
-
-        result = SimulationResult(
-            completion_times=completion,
-            makespan=int(completion.max()),
-            steps_executed=t,
-            blocked_steps=blocked,
-            hit_step_cap=pending > 0,
-            extra=self._legacy_extra(trace_probe, contention_probe),
+        return loop.run(
+            body, lambda: legacy_extra(trace_probe, contention_probe)
         )
-        if probes is not None:
-            if probes.aborted:
-                result.extra["telemetry_abort"] = probes.abort_reason
-            probes.on_run_end(result)
-        return result
-
-    @staticmethod
-    def _legacy_extra(trace_probe, contention_probe) -> dict:
-        """``extra`` keys for the deprecated record_* kwargs."""
-        extra: dict = {}
-        if trace_probe is not None:
-            extra["trace"] = trace_probe.matrix
-        if contention_probe is not None:
-            extra["edge_contention"] = contention_probe.denied
-        return extra
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _check_edge_simple(padded: np.ndarray, lengths: np.ndarray) -> None:
-        """Back-compat alias for :func:`check_edge_simple`."""
-        del lengths  # encoded by the -1 padding already
-        check_edge_simple(
-            padded,
-            "path of message {m} is not edge-simple; a worm cannot "
-            "hold two virtual channels on one edge",
-        )
+    # Back-compat aliases (single engine shims behind the old names).
+    _legacy_extra = staticmethod(legacy_extra)
+    _check_edge_simple = staticmethod(
+        functools.partial(compat_check_edge_simple, what=_EDGE_SIMPLE_WHAT)
+    )

@@ -1,0 +1,329 @@
+"""Unit tests for the shared simulator engine (:mod:`repro.sim.engine`)."""
+
+import numpy as np
+import pytest
+
+from repro.network.graph import NetworkError
+from repro.sim.engine import (
+    SlotArbiter,
+    StepLoop,
+    age_priorities,
+    check_edge_simple,
+    compat_check_edge_simple,
+    default_step_cap,
+    grant_free_slots,
+    legacy_extra,
+    legacy_record_probes,
+    pad_paths,
+    resolve_step_cap,
+)
+
+
+# ----------------------------------------------------------------------
+# grant_free_slots
+# ----------------------------------------------------------------------
+
+
+def test_grant_respects_capacity_per_slot():
+    slots = np.array([0, 0, 0, 1, 1], dtype=np.int64)
+    prio = np.array([0.3, 0.1, 0.2, 0.9, 0.8])
+    granted = grant_free_slots(slots, prio, capacity=2)
+    # slot 0: the two lowest priorities win; slot 1: both fit.
+    assert granted.tolist() == [False, True, True, True, True]
+
+
+def test_grant_breaks_ties_lowest_priority_first():
+    slots = np.zeros(3, dtype=np.int64)
+    prio = np.array([2.0, 0.0, 1.0])
+    granted = grant_free_slots(slots, prio, capacity=1)
+    assert granted.tolist() == [False, True, False]
+
+
+def test_grant_subtracts_existing_occupancy():
+    slots = np.array([0, 1], dtype=np.int64)
+    prio = np.array([0.5, 0.5])
+    occupancy = np.array([2, 1], dtype=np.int64)
+    granted = grant_free_slots(slots, prio, capacity=2, occupancy=occupancy)
+    assert granted.tolist() == [False, True]
+
+
+def test_grant_empty_contender_set():
+    granted = grant_free_slots(
+        np.zeros(0, dtype=np.int64), np.zeros(0), capacity=1
+    )
+    assert granted.shape == (0,) and granted.dtype == bool
+
+
+def test_grant_full_slot_admits_nobody():
+    slots = np.array([0], dtype=np.int64)
+    occupancy = np.array([1], dtype=np.int64)
+    granted = grant_free_slots(slots, np.array([0.0]), 1, occupancy)
+    assert granted.tolist() == [False]
+
+
+# ----------------------------------------------------------------------
+# SlotArbiter
+# ----------------------------------------------------------------------
+
+
+def test_arbiter_contend_acquire_vacate_roundtrip():
+    arb = SlotArbiter(3, capacity=1)
+    slots = np.array([0, 0, 2], dtype=np.int64)
+    prio = np.array([0.9, 0.1, 0.5])
+    granted = arb.contend(slots, prio)
+    assert granted.tolist() == [False, True, True]
+    arb.acquire(slots[granted])
+    assert arb.occupancy.tolist() == [1, 0, 1]
+    # Slot 0 is now full: nobody else gets in.
+    again = arb.contend(np.array([0], dtype=np.int64), np.array([0.0]))
+    assert again.tolist() == [False]
+    arb.vacate(slots[granted])
+    assert arb.occupancy.tolist() == [0, 0, 0]
+
+
+def test_arbiter_scalar_interface():
+    arb = SlotArbiter(2, capacity=2)
+    assert arb.has_free(1)
+    arb.acquire_one(1)
+    arb.acquire_one(1)
+    assert not arb.has_free(1)
+    arb.vacate_one(1)
+    assert arb.has_free(1)
+
+
+def test_arbiter_duplicate_slots_in_one_acquire():
+    arb = SlotArbiter(1, capacity=2)
+    arb.acquire(np.array([0, 0], dtype=np.int64))
+    assert arb.occupancy.tolist() == [2]
+
+
+# ----------------------------------------------------------------------
+# path validation helpers
+# ----------------------------------------------------------------------
+
+
+def test_pad_paths_shapes():
+    padded, lengths = pad_paths([[1, 2, 3], [4], []])
+    assert padded.shape == (3, 3)
+    assert lengths.tolist() == [3, 1, 0]
+    assert padded[1].tolist() == [4, -1, -1]
+
+
+def test_check_edge_simple_rejects_duplicates():
+    padded, _ = pad_paths([[1, 2], [3, 3]])
+    with pytest.raises(NetworkError, match="message 1"):
+        check_edge_simple(padded)
+
+
+def test_check_edge_simple_custom_message():
+    padded, _ = pad_paths([[5, 5]])
+    with pytest.raises(NetworkError, match="worm 0 loops"):
+        check_edge_simple(padded, what="worm {m} loops")
+
+
+def test_compat_shim_drops_lengths_argument():
+    padded, lengths = pad_paths([[1, 2], [2, 1]])
+    compat_check_edge_simple(padded, lengths)  # legacy two-arg call
+    bad, bad_len = pad_paths([[7, 7]])
+    with pytest.raises(NetworkError):
+        compat_check_edge_simple(bad, bad_len)
+
+
+# ----------------------------------------------------------------------
+# step caps
+# ----------------------------------------------------------------------
+
+
+def _dims(model):
+    release = np.array([0, 3], dtype=np.int64)
+    lengths = np.array([2, 4], dtype=np.int64)
+    L = np.array([5, 5], dtype=np.int64)
+    kw = {
+        "release": release,
+        "lengths": lengths,
+        "message_length": L,
+        "num_messages": 2,
+    }
+    if model == "wormhole":
+        kw["total_moves"] = L + lengths - 1
+        kw["trivial"] = lengths == 0
+    return kw
+
+
+@pytest.mark.parametrize(
+    "model",
+    ["wormhole", "cut_through", "restricted", "store_forward", "adaptive"],
+)
+def test_default_caps_are_positive_and_release_shifted(model):
+    kw = _dims(model)
+    cap = default_step_cap(model, **kw)
+    assert cap > 0
+    shifted = dict(kw, release=kw["release"] + 100)
+    assert default_step_cap(model, **shifted) == cap + 100
+
+
+def test_resolve_step_cap_explicit_wins():
+    kw = _dims("wormhole")
+    assert resolve_step_cap(17, "wormhole", **kw) == 17
+    assert resolve_step_cap(None, "wormhole", **kw) == default_step_cap(
+        "wormhole", **kw
+    )
+
+
+def test_default_cap_unknown_model():
+    with pytest.raises(NetworkError, match="bogus"):
+        default_step_cap("bogus", **_dims("wormhole"))
+
+
+# ----------------------------------------------------------------------
+# legacy telemetry shims
+# ----------------------------------------------------------------------
+
+
+def test_legacy_record_probes_warns_once_per_flag():
+    with pytest.warns(DeprecationWarning, match="record_trace is deprecated"):
+        extra, trace, contention = legacy_record_probes(True, False, stacklevel=2)
+    assert trace is not None and contention is None and extra == [trace]
+    with pytest.warns(
+        DeprecationWarning, match="record_contention is deprecated"
+    ):
+        extra, trace, contention = legacy_record_probes(False, True, stacklevel=2)
+    assert trace is None and contention is not None and extra == [contention]
+
+
+def test_legacy_record_probes_silent_when_unused():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        extra, trace, contention = legacy_record_probes(False, False)
+    assert extra == [] and trace is None and contention is None
+
+
+def test_legacy_extra_keys():
+    with pytest.warns(DeprecationWarning):
+        _, trace, contention = legacy_record_probes(True, True, stacklevel=2)
+    extra = legacy_extra(trace, contention)
+    assert set(extra) == {"trace", "edge_contention"}
+
+
+# ----------------------------------------------------------------------
+# StepLoop
+# ----------------------------------------------------------------------
+
+
+def test_steploop_counts_steps_and_assembles_result():
+    release = np.zeros(2, dtype=np.int64)
+    loop = StepLoop(2, release, max_steps=100)
+
+    def body(t, active):
+        if t >= 3:
+            loop.completion[:] = t
+            loop.done[:] = True
+        return True
+
+    result = loop.run(body)
+    assert result.makespan == 3
+    assert result.steps_executed == 3
+    assert result.all_delivered and not result.deadlocked
+
+
+def test_steploop_skips_idle_gap():
+    release = np.array([10], dtype=np.int64)
+    loop = StepLoop(1, release, max_steps=100)
+    seen = []
+
+    def body(t, active):
+        seen.append(t)
+        loop.completion[:] = t
+        loop.done[:] = True
+        return True
+
+    loop.run(body)
+    # t jumps straight past the idle prefix: first working step is 11.
+    assert seen == [11]
+
+
+def test_steploop_declares_deadlock_when_nothing_moves():
+    release = np.zeros(1, dtype=np.int64)
+    loop = StepLoop(1, release, max_steps=100)
+    result = loop.run(lambda t, active: False)
+    assert result.deadlocked and not result.hit_step_cap
+    assert result.steps_executed == 1
+    assert result.completion_times.tolist() == [-1]
+
+
+def test_steploop_detect_deadlock_off_hits_cap_instead():
+    release = np.zeros(1, dtype=np.int64)
+    loop = StepLoop(1, release, max_steps=5, detect_deadlock=False)
+    result = loop.run(lambda t, active: False)
+    assert not result.deadlocked and result.hit_step_cap
+    assert result.steps_executed == 5
+
+
+def test_steploop_time_scale_multiplies_steps():
+    release = np.zeros(1, dtype=np.int64)
+    loop = StepLoop(1, release, max_steps=50, time_scale=4)
+
+    def body(t, active):
+        loop.completion[:] = t * 4
+        loop.done[:] = True
+        return True
+
+    result = loop.run(body)
+    assert result.steps_executed == 4
+    assert result.makespan == 4
+
+
+def test_steploop_mark_trivial_completes_without_stepping():
+    release = np.array([2, 0], dtype=np.int64)
+    loop = StepLoop(2, release, max_steps=10)
+    loop.mark_trivial(np.array([True, False]), release)
+
+    def body(t, active):
+        loop.completion[1] = t
+        loop.done[1] = True
+        return True
+
+    result = loop.run(body)
+    assert result.completion_times[0] == 2
+    assert result.all_delivered
+
+
+def test_steploop_extra_factory_populates_result():
+    release = np.zeros(1, dtype=np.int64)
+    loop = StepLoop(1, release, max_steps=10)
+
+    def body(t, active):
+        loop.completion[:] = t
+        loop.done[:] = True
+        return True
+
+    result = loop.run(body, lambda: {"marker": 7})
+    assert result.extra == {"marker": 7}
+
+
+def test_age_priorities_orders_by_release_then_index():
+    release = np.array([5, 0, 0], dtype=np.int64)
+    prio = age_priorities(release)
+    # Oldest (release 0, lowest index) ranks first; the late message last.
+    assert prio.tolist() == [2, 0, 1]
+
+
+# ----------------------------------------------------------------------
+# the lexsort kernel lives only in the engine
+# ----------------------------------------------------------------------
+
+
+def test_single_kernel_site():
+    import pathlib
+
+    import repro.sim as sim_pkg
+
+    sim_dir = pathlib.Path(sim_pkg.__file__).parent
+    hits = [
+        p.name
+        for p in sim_dir.glob("*.py")
+        if "np.lexsort((prio" in p.read_text()
+    ]
+    assert hits == ["engine.py"]

@@ -1,0 +1,260 @@
+"""Tests for the parallel trial-grid runner (:mod:`repro.sim.sweep`)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.network.graph import NetworkError
+from repro.sim.sweep import (
+    SIMULATORS,
+    WORKLOADS,
+    TrialSpec,
+    Workload,
+    register_workload,
+    run_sweep,
+    sweep_grid,
+    trial_seed,
+)
+
+TINY_WL = {"chains": 2, "depth": 5, "messages": 3}
+
+
+def tiny_grid(simulators=("wormhole", "store_forward"), Bs=(1, 2), repeats=1):
+    return sweep_grid(
+        "chain-bundle",
+        list(simulators),
+        Bs,
+        workload_params=TINY_WL,
+        message_length=8,
+        repeats=repeats,
+    )
+
+
+# ----------------------------------------------------------------------
+# specs and seeds
+# ----------------------------------------------------------------------
+
+
+def test_spec_params_are_canonicalized():
+    a = TrialSpec.make("layered", "wormhole", workload_params={"b": 1, "a": 2})
+    b = TrialSpec.make("layered", "wormhole", workload_params={"a": 2, "b": 1})
+    assert a == b
+    assert a.cache_key(0) == b.cache_key(0)
+
+
+def test_spec_rejects_unknown_names_and_bad_values():
+    with pytest.raises(NetworkError, match="unknown workload"):
+        TrialSpec.make("nope", "wormhole")
+    with pytest.raises(NetworkError, match="unknown simulator"):
+        TrialSpec.make("layered", "nope")
+    with pytest.raises(NetworkError, match="B must be"):
+        TrialSpec.make("layered", "wormhole", B=0)
+    with pytest.raises(NetworkError, match="JSON scalar"):
+        TrialSpec.make("layered", "wormhole", workload_params={"x": [1, 2]})
+
+
+def test_trial_seed_is_stable_and_repeat_separated():
+    spec0 = TrialSpec.make("layered", "wormhole", B=2)
+    spec1 = TrialSpec.make("layered", "wormhole", B=2, repeat=1)
+    s0a = np.random.default_rng(trial_seed(spec0, 7)).integers(1 << 30)
+    s0b = np.random.default_rng(trial_seed(spec0, 7)).integers(1 << 30)
+    s1 = np.random.default_rng(trial_seed(spec1, 7)).integers(1 << 30)
+    other_root = np.random.default_rng(trial_seed(spec0, 8)).integers(1 << 30)
+    assert s0a == s0b  # deterministic
+    assert s0a != s1  # repeats are independent streams
+    assert s0a != other_root  # root seed matters
+
+
+def test_trial_seed_ignores_grid_membership():
+    """Repeat i's seed is identical whether 1 or 100 repeats exist."""
+    spec = TrialSpec.make("layered", "wormhole", repeat=2)
+    direct = trial_seed(spec, 0)
+    assert direct.spawn_key == trial_seed(spec, 0).spawn_key
+
+
+def test_sweep_grid_shape():
+    specs = tiny_grid(repeats=2)
+    assert len(specs) == 2 * 2 * 2
+    assert {(s.simulator, s.B, s.repeat) for s in specs} == {
+        (sim, B, r)
+        for sim in ("wormhole", "store_forward")
+        for B in (1, 2)
+        for r in (0, 1)
+    }
+
+
+# ----------------------------------------------------------------------
+# execution: serial == parallel, cache behavior
+# ----------------------------------------------------------------------
+
+
+def test_parallel_matches_serial_bit_exactly():
+    specs = tiny_grid(repeats=2)
+    serial = run_sweep(specs, root_seed=5, workers=0)
+    parallel = run_sweep(specs, root_seed=5, workers=2)
+    assert [t.metrics for t in serial] == [t.metrics for t in parallel]
+    assert [t.spec for t in serial] == specs  # input order preserved
+
+
+def test_results_in_input_order_and_complete():
+    specs = tiny_grid()
+    out = run_sweep(specs)
+    assert [t.spec for t in out] == specs
+    for t in out:
+        assert t.metrics["delivered"] == t.metrics["messages"]
+        assert t.metrics["message_length"] == 8
+        assert t.metrics["workload_dilation"] == 5
+
+
+def test_cache_round_trip_and_delta_recompute(tmp_path):
+    specs = tiny_grid()
+    first = run_sweep(specs, cache_dir=tmp_path)
+    assert first.num_cached == 0
+    second = run_sweep(specs, cache_dir=tmp_path)
+    assert second.num_cached == len(specs)
+    assert [t.metrics for t in second] == [t.metrics for t in first]
+    # Extend one axis: only the new cells execute.
+    bigger = tiny_grid(Bs=(1, 2, 4))
+    third = run_sweep(bigger, cache_dir=tmp_path)
+    assert third.num_cached == len(specs)
+    assert len(third) == len(bigger)
+
+
+def test_cache_force_recomputes(tmp_path):
+    specs = tiny_grid(simulators=("wormhole",), Bs=(1,))
+    run_sweep(specs, cache_dir=tmp_path)
+    out = run_sweep(specs, cache_dir=tmp_path, force=True)
+    assert out.num_cached == 0
+
+
+def test_cache_keyed_on_root_seed(tmp_path):
+    specs = tiny_grid(simulators=("wormhole",), Bs=(1,))
+    run_sweep(specs, root_seed=0, cache_dir=tmp_path)
+    out = run_sweep(specs, root_seed=1, cache_dir=tmp_path)
+    assert out.num_cached == 0  # different root seed is a different trial
+
+
+def test_cache_rejects_corrupt_entry(tmp_path):
+    specs = tiny_grid(simulators=("wormhole",), Bs=(1,))
+    run_sweep(specs, cache_dir=tmp_path)
+    entry = next(tmp_path.glob("*.json"))
+    entry.write_text("{not json")
+    out = run_sweep(specs, cache_dir=tmp_path)
+    assert out.num_cached == 0  # silently recomputed
+    assert json.loads(entry.read_text())["metrics"]["delivered"] == 6
+
+
+def test_explicit_sim_seed_overrides_derived():
+    spec_a = TrialSpec.make(
+        "chain-bundle",
+        "wormhole",
+        B=1,
+        workload_params=TINY_WL,
+        sim_params={"seed": 0},
+        message_length=8,
+    )
+    out_a = run_sweep([spec_a], root_seed=1)
+    out_b = run_sweep([spec_a], root_seed=99)
+    # With an explicit simulator seed the root seed is irrelevant.
+    assert out_a.trials[0].metrics == out_b.trials[0].metrics
+
+
+# ----------------------------------------------------------------------
+# runners
+# ----------------------------------------------------------------------
+
+
+def test_every_registered_simulator_runs():
+    specs = [
+        TrialSpec.make(
+            "chain-bundle",
+            sim,
+            B=2,
+            workload_params=TINY_WL,
+            message_length=8,
+        )
+        for sim in ("wormhole", "cut_through", "store_forward", "restricted")
+    ]
+    specs.append(
+        TrialSpec.make(
+            "mesh-permutation", "adaptive", B=2, workload_params={"k": 3}
+        )
+    )
+    specs.append(
+        TrialSpec.make(
+            "layered",
+            "schedule",
+            B=2,
+            workload_params={"width": 6, "depth": 4, "messages": 20},
+        )
+    )
+    out = run_sweep(specs)
+    for t in out:
+        assert t.metrics["delivered"] == t.metrics["messages"], t.spec.label()
+    sched = out.trials[-1].metrics
+    assert sched["blocked"] == 0 and sched["classes"] >= 1
+
+
+def test_store_forward_reports_max_queue():
+    spec = TrialSpec.make(
+        "chain-bundle",
+        "store_forward",
+        workload_params=TINY_WL,
+        message_length=8,
+    )
+    out = run_sweep([spec])
+    assert out.trials[0].metrics["max_queue"] >= 1
+
+
+def test_adaptive_requires_mesh_workload():
+    spec = TrialSpec.make(
+        "chain-bundle", "adaptive", workload_params=TINY_WL, message_length=8
+    )
+    with pytest.raises(NetworkError, match="mesh"):
+        run_sweep([spec])
+
+
+def test_register_workload_and_result_helpers():
+    @register_workload("_test_tiny")
+    def _tiny(depth: int = 3) -> Workload:
+        from repro.network.random_networks import chain_bundle
+        from repro.routing.paths import paths_from_node_walks
+
+        net, walks = chain_bundle(1, depth, 2)
+        return Workload(
+            net=net,
+            paths=paths_from_node_walks(net, walks),
+            default_length=4,
+            info={"depth": depth},
+        )
+
+    try:
+        out = run_sweep(sweep_grid("_test_tiny", "wormhole", [1, 2]))
+        assert out.column("makespan") == [
+            t.metrics["makespan"] for t in out.trials
+        ]
+        only_b2 = out.filter(B=2)
+        assert len(only_b2) == 1 and only_b2.trials[0].spec.B == 2
+        row = out.trials[0].row()
+        assert row["simulator"] == "wormhole" and row["workload_depth"] == 3
+    finally:
+        del WORKLOADS["_test_tiny"]
+
+
+def test_registries_cover_the_documented_names():
+    assert {
+        "layered",
+        "hard-instance",
+        "chain-bundle",
+        "butterfly-bitrev",
+        "mesh-permutation",
+    } <= set(WORKLOADS)
+    assert {
+        "wormhole",
+        "cut_through",
+        "store_forward",
+        "restricted",
+        "adaptive",
+        "schedule",
+    } == set(SIMULATORS)

@@ -88,6 +88,50 @@ class TestCommands:
 
         replay_check(load_trace(trace_path))
 
+    def test_sweep_prints_grid_table(self, capsys):
+        assert main(
+            [
+                "sweep",
+                "--workload", "chain-bundle",
+                "--param", "chains=2",
+                "--param", "depth=5",
+                "--param", "messages=3",
+                "--length", "8",
+                "--simulators", "wormhole,store_forward",
+                "--channels", "1,2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sweep: chain-bundle" in out
+        assert "wormhole" in out and "store_forward" in out
+        assert "4 trials (0 cached, 4 executed)" in out
+
+    def test_sweep_uses_and_reports_cache(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--workload", "chain-bundle",
+            "--param", "chains=2",
+            "--param", "depth=5",
+            "--param", "messages=3",
+            "--length", "8",
+            "--simulators", "wormhole",
+            "--channels", "1",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 trials (1 cached, 0 executed)" in out
+
+    def test_sweep_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["sweep", "--workload", "zzz"])
+
+    def test_sweep_rejects_malformed_param(self):
+        with pytest.raises(SystemExit, match="KEY=VAL"):
+            main(["sweep", "--param", "oops"])
+
     def test_experiment_unknown_name(self):
         with pytest.raises(SystemExit, match="no benchmark"):
             main(["experiment", "zzz"])
