@@ -20,6 +20,9 @@ Small, reproducible demonstrations of the package's main pipelines:
 ``sweep``
     Run a (simulator, workload, B, seed) trial grid through
     :mod:`repro.sim.sweep` — optionally parallel and result-cached.
+``bench``
+    Time the batched lockstep sweep path against the per-trial path
+    (plus the perf microbenchmarks) and record ``BENCH_sim.json``.
 
 Every command accepts ``--seed`` and prints deterministic output.
 """
@@ -147,6 +150,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--force", action="store_true", help="recompute cached trials"
     )
+    p.add_argument(
+        "--batch-size",
+        default="auto",
+        help="wormhole trials per lockstep batch ('auto', or a positive "
+        "integer; 1 disables batching — results are identical either way)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="root seed")
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark batched vs serial sweep execution; "
+        "write machine-readable results",
+    )
+    p.add_argument(
+        "--output",
+        default="BENCH_sim.json",
+        help="result file (default BENCH_sim.json)",
+    )
+    p.add_argument(
+        "--repeats",
+        type=int,
+        default=30,
+        help="trials per (B,) grid cell (default 30)",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="small grid, skip microbenchmarks (CI smoke)",
+    )
+    p.add_argument(
+        "--no-micro",
+        action="store_true",
+        help="skip the pytest perf microbenchmarks",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for both timed paths (0 = serial)",
+    )
     p.add_argument("--seed", type=int, default=0, help="root seed")
 
     p = sub.add_parser(
@@ -173,6 +216,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "spacetime": _cmd_spacetime,
         "profile": _cmd_profile,
         "sweep": _cmd_sweep,
+        "bench": _cmd_bench,
         "experiment": _cmd_experiment,
         "reproduce": _cmd_reproduce,
     }[args.command]
@@ -428,12 +472,27 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         message_length=args.length or None,
         repeats=args.repeats,
     )
+    if args.batch_size == "auto":
+        batch_size = None
+    else:
+        try:
+            batch_size = int(args.batch_size)
+        except ValueError:
+            raise SystemExit(
+                f"repro sweep: --batch-size must be 'auto' or a positive "
+                f"integer, got {args.batch_size!r}"
+            ) from None
+        if batch_size < 1:
+            raise SystemExit(
+                "repro sweep: --batch-size must be >= 1"
+            )
     out = run_sweep(
         specs,
         root_seed=args.seed,
         workers=args.workers,
         cache_dir=args.cache_dir,
         force=args.force,
+        batch_size=batch_size,
     )
 
     params = ", ".join(f"{k}={v}" for k, v in sorted(workload_params.items()))
@@ -462,6 +521,132 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         f"{args.workers if args.workers >= 2 else 1} worker(s); "
         f"root seed {out.root_seed}"
     )
+
+
+def _bench_micro(bench_dir) -> list[dict]:
+    """Run the perf microbenchmarks via pytest-benchmark; return stats."""
+    import json
+    import subprocess
+    import sys
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        report = Path(tmp) / "micro.json"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                str(bench_dir / "test_perf_micro.py"),
+                str(bench_dir / "test_perf_batch.py"),
+                "--benchmark-only",
+                "--benchmark-disable-gc",
+                f"--benchmark-json={report}",
+                "-q",
+            ],
+            cwd=bench_dir.parent,
+        )
+        if proc.returncode != 0:
+            raise SystemExit("repro bench: microbenchmark run failed")
+        payload = json.loads(report.read_text())
+    return [
+        {
+            "name": b["name"],
+            "mean_s": b["stats"]["mean"],
+            "stddev_s": b["stats"]["stddev"],
+            "rounds": b["stats"]["rounds"],
+        }
+        for b in payload.get("benchmarks", [])
+    ]
+
+
+def _cmd_bench(args: argparse.Namespace) -> None:
+    """Time batched vs per-trial sweep execution; write BENCH_sim.json."""
+    import json
+    import os
+    import platform
+    import time
+    from pathlib import Path
+
+    from repro.sim.sweep import DEFAULT_BATCH_SIZE, run_sweep, sweep_grid
+
+    repeats = 6 if args.quick else args.repeats
+    channels = (1, 2, 4)
+    workload_params = {"chains": 4, "depth": 12, "messages": 8}
+    specs = sweep_grid(
+        "chain-bundle",
+        "wormhole",
+        channels,
+        workload_params=workload_params,
+        message_length=24,
+        repeats=repeats,
+    )
+
+    def best_of(fn, rounds=3):
+        wall, out = float("inf"), None
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            out = fn()
+            wall = min(wall, time.perf_counter() - t0)
+        return out, wall
+
+    serial_out, serial_wall = best_of(
+        lambda: run_sweep(
+            specs, root_seed=args.seed, workers=args.workers, batch_size=1
+        )
+    )
+    batched_out, batched_wall = best_of(
+        lambda: run_sweep(specs, root_seed=args.seed, workers=args.workers)
+    )
+    identical = [t.metrics for t in serial_out] == [
+        t.metrics for t in batched_out
+    ]
+    speedup = serial_wall / batched_wall
+    trials = len(specs)
+    payload = {
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpus": os.cpu_count(),
+        },
+        "grid": {
+            "workload": "chain-bundle",
+            "workload_params": workload_params,
+            "message_length": 24,
+            "channels": list(channels),
+            "repeats": repeats,
+            "trials": trials,
+            "workers": args.workers if args.workers >= 2 else 1,
+        },
+        "serial": {
+            "batch_size": 1,
+            "wall_s": round(serial_wall, 6),
+            "trials_per_s": round(trials / serial_wall, 2),
+        },
+        "batched": {
+            "batch_size": DEFAULT_BATCH_SIZE,
+            "wall_s": round(batched_wall, 6),
+            "trials_per_s": round(trials / batched_wall, 2),
+        },
+        "speedup": round(speedup, 2),
+        "bit_identical": identical,
+    }
+    if not (args.quick or args.no_micro):
+        payload["micro"] = _bench_micro(_find_bench_dir())
+    Path(args.output).write_text(json.dumps(payload, indent=1) + "\n")
+    print(
+        f"bench: {trials} wormhole trials (C=8, D=12, L=24, B={channels})\n"
+        f"  serial  (batch_size=1):  {serial_wall:.3f}s  "
+        f"{trials / serial_wall:8.1f} trials/s\n"
+        f"  batched (batch_size={DEFAULT_BATCH_SIZE}): {batched_wall:.3f}s  "
+        f"{trials / batched_wall:8.1f} trials/s\n"
+        f"  speedup {speedup:.2f}x, bit-identical: {identical}\n"
+        f"written to {args.output}"
+    )
+    if not identical:
+        raise SystemExit("repro bench: batched metrics diverged from serial")
 
 
 def _cmd_experiment(args: argparse.Namespace) -> None:

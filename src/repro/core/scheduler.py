@@ -18,7 +18,6 @@ simulator.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -108,25 +107,57 @@ def greedy_conflict_coloring(
     """
     inc = MessageEdgeIncidence.from_paths(paths)
     M = inc.num_messages
-    # Messages per edge, to enumerate conflicts without an M x M matrix.
-    by_edge: dict[int, list[int]] = defaultdict(list)
-    for m, e in zip(inc.message_ids, inc.edge_ids):
-        by_edge[int(e)].append(int(m))
-    neighbors: list[set[int]] = [set() for _ in range(M)]
-    for msgs in by_edge.values():
-        for i, a in enumerate(msgs):
-            for b in msgs[i + 1 :]:
-                neighbors[a].add(b)
-                neighbors[b].add(a)
+    if M == 0:
+        return np.zeros(0, dtype=np.int64)
+
+    # Enumerate conflict pairs edge by edge without an M x M matrix:
+    # group incidences by edge, emit every within-group pair, then dedupe
+    # unordered pairs via a combined a*M+b key.
+    ids = np.asarray(inc.message_ids, dtype=np.int64)
+    eids = np.asarray(inc.edge_ids, dtype=np.int64)
+    sort = np.lexsort((ids, eids))
+    m_sorted = ids[sort]
+    _, group_start, group_size = np.unique(
+        eids[sort], return_index=True, return_counts=True
+    )
+    # Entry p (position q in a group of n) pairs with the n - 1 - q
+    # entries after it.
+    pos = np.arange(m_sorted.size) - np.repeat(group_start, group_size)
+    reps = np.repeat(group_size, group_size) - 1 - pos
+    first_idx = np.repeat(np.arange(m_sorted.size), reps)
+    ends = np.cumsum(reps)
+    offset = np.arange(int(ends[-1]) if ends.size else 0) - np.repeat(
+        ends - reps, reps
+    )
+    second = m_sorted[first_idx + 1 + offset]
+    first = m_sorted[first_idx]
+
+    # Paths are edge-simple (enforced by the incidence builder), so
+    # lo < hi always; dedupe pairs that share several edges.
+    lo = np.minimum(first, second)
+    hi = np.maximum(first, second)
+    key = np.unique(lo * M + hi)
+    lo, hi = key // M, key % M
+    src = np.concatenate([lo, hi])
+    dst = np.concatenate([hi, lo])
+
+    deg = np.bincount(src, minlength=M)
+    indptr = np.zeros(M + 1, dtype=np.int64)
+    np.cumsum(deg, out=indptr[1:])
+    adj = dst[np.argsort(src, kind="stable")]
+
     colors = np.full(M, -1, dtype=np.int64)
-    # Color in order of decreasing degree (Welsh-Powell) for tighter counts.
-    order = sorted(range(M), key=lambda m: -len(neighbors[m]))
+    # Color in order of decreasing degree (Welsh-Powell) for tighter
+    # counts; stable argsort breaks ties by message index, matching the
+    # stable Python sort this replaces.
+    order = np.argsort(-deg, kind="stable")
     for m in order:
-        used = {int(colors[v]) for v in neighbors[m] if colors[v] >= 0}
-        c = 0
-        while c in used:
-            c += 1
-        colors[m] = c
+        used = colors[adj[indptr[m] : indptr[m + 1]]]
+        # First free color: at most deg[m] colors are in use around m,
+        # so a presence table of deg[m] + 1 slots always has a hole.
+        present = np.zeros(int(deg[m]) + 1, dtype=bool)
+        present[used[(used >= 0) & (used < present.size)]] = True
+        colors[m] = int(np.argmin(present))
     return colors
 
 

@@ -1,6 +1,7 @@
 """Router substrate: flit-level simulators and deadlock analysis."""
 
 from .adaptive import AdaptiveMeshRouter, AdaptiveRunResult
+from .batch import run_wormhole_batch
 from .circuit import CircuitSwitchResult, circuit_switch_butterfly
 from .continuous import ContinuousResult, ContinuousWormholeSimulator
 from .cut_through import CutThroughSimulator
@@ -12,6 +13,9 @@ from .deadlock import (
     wait_for_graph,
 )
 from .engine import (
+    BatchSlotArbiter,
+    BatchStepLoop,
+    PaddedPaths,
     SlotArbiter,
     StepLoop,
     default_step_cap,
@@ -27,10 +31,13 @@ from .wormhole import WormholeSimulator, check_edge_simple, pad_paths
 __all__ = [
     "AdaptiveMeshRouter",
     "AdaptiveRunResult",
+    "BatchSlotArbiter",
+    "BatchStepLoop",
     "CircuitSwitchResult",
     "ContinuousResult",
     "ContinuousWormholeSimulator",
     "CutThroughSimulator",
+    "PaddedPaths",
     "RestrictedWormholeSimulator",
     "SimulationResult",
     "SlotArbiter",
@@ -51,6 +58,7 @@ __all__ = [
     "pad_paths",
     "resolve_step_cap",
     "run_sweep",
+    "run_wormhole_batch",
     "summarize_latencies",
     "sweep_grid",
     "wait_for_graph",

@@ -1,0 +1,274 @@
+"""Batched lockstep wormhole simulation: whole trial grids as stacked state.
+
+Every sweep in this repository (E1/E2/E5, ``repro sweep``) runs many
+*independent* wormhole trials over the same workload — one per
+``(B, seed)`` grid cell — and each trial's engine state is nothing but
+flat integer arrays per message.  Running them one at a time pays full
+Python dispatch and small-array NumPy overhead per trial per step.  This
+module stacks ``T`` such trials into ``(T, M)`` state arrays and steps
+them in lockstep:
+
+* one vectorized contend/rank/grant arbitration per step over the
+  combined ``(trial, slot)`` key space
+  (:class:`~repro.sim.engine.BatchSlotArbiter`);
+* one stacked acquire/release/completion update per step;
+* one shared clock with per-trial completion / deadlock / step-cap
+  masking (:class:`~repro.sim.engine.BatchStepLoop`), so finished trials
+  drop out of the active set without stalling the batch.
+
+Bit-exactness contract
+----------------------
+``run_wormhole_batch(...)[i]`` is bit-identical to
+``WormholeSimulator(net, B[i], priority, seed=seeds[i]).run(...)`` —
+same completion times, makespan, executed steps, blocked counts,
+deadlock flags, and step-cap flags.  The load-bearing facts:
+
+* trials are independent: trial ``i``'s state is read and written only
+  where trial ``i`` has active messages, and the combined arbitration
+  key space keeps slot groups of different trials disjoint;
+* each trial keeps its **own** RNG (``np.random.default_rng(seeds[i])``)
+  and draws from it exactly as its serial run would: for ``"random"``
+  arbitration, one ``rng.random(n_contenders)`` call per step in which
+  the trial has contenders (none otherwise); for ``"rank"``, one
+  ``rng.permutation(M)`` at startup.  Contenders are ordered by message
+  index within each trial, matching the serial contender order;
+* the shared clock visits every step at which any trial acts; a trial's
+  state does not change during steps where it merely waits, so running
+  through another trial's steps is observationally identical to the
+  serial loop's idle-gap skipping (see :class:`BatchStepLoop`).
+
+The batch-vs-serial equivalence suite (``tests/sim/test_batch.py``)
+pins this contract over the golden scenario shapes and a randomized
+property sweep.
+
+Telemetry probes are deliberately **not** supported here: per-trial
+probe streams would serialize the batch (defeating its purpose) and
+collectors never perturb results, so profile single trials with
+:class:`~repro.sim.wormhole.WormholeSimulator` instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..network.graph import Network, NetworkError
+from ..routing.paths import Path
+from .engine import (
+    BatchSlotArbiter,
+    BatchStepLoop,
+    PaddedPaths,
+    age_priorities,
+    pad_paths,
+    resolve_step_cap,
+)
+from .stats import SimulationResult
+from .wormhole import _EDGE_SIMPLE_WHAT, _PRIORITIES
+
+__all__ = ["run_wormhole_batch"]
+
+
+def _per_trial(value, T: int, name: str) -> np.ndarray:
+    """Broadcast a scalar or per-trial sequence to a ``(T,)`` array."""
+    arr = np.asarray(value, dtype=np.int64)
+    if arr.ndim == 0:
+        return np.full(T, int(arr), dtype=np.int64)
+    if arr.shape != (T,):
+        raise NetworkError(f"{name} must be a scalar or have shape ({T},)")
+    return arr.copy()
+
+
+def run_wormhole_batch(
+    net: Network,
+    paths: Sequence[Path] | Sequence[Sequence[int]] | PaddedPaths,
+    message_length: int | np.ndarray,
+    *,
+    seeds: Sequence,
+    num_virtual_channels: int | Sequence[int] = 1,
+    priority: str = "random",
+    release_times: np.ndarray | None = None,
+    max_steps: int | None = None,
+    vc_ids: np.ndarray | Sequence[Sequence[int]] | None = None,
+) -> list[SimulationResult]:
+    """Simulate ``T = len(seeds)`` independent wormhole trials in lockstep.
+
+    Parameters
+    ----------
+    net:
+        The shared network (only ``num_edges`` is used).
+    paths:
+        The shared per-message routes (or a pre-packed
+        :class:`~repro.sim.engine.PaddedPaths`); every trial routes the
+        same workload — batch *grids* over workloads by batching each
+        workload's cells separately (see :func:`repro.sim.sweep.run_sweep`).
+    message_length:
+        The paper's ``L`` (scalar or per-message), shared by all trials.
+    seeds:
+        One entry per trial — anything ``np.random.default_rng``
+        accepts (int, ``SeedSequence``, ``Generator``, ``None``).  Each
+        trial draws from its own generator in serial order.
+    num_virtual_channels:
+        The ``B`` of each trial — a scalar or a per-trial sequence, so
+        one batch can cover a whole ``B`` sweep of a grid.
+    priority:
+        The arbitration discipline, shared by the batch (``"random"``,
+        ``"age"``, ``"index"``, or ``"rank"`` — see
+        :class:`~repro.sim.wormhole.WormholeSimulator`).
+    release_times / max_steps / vc_ids:
+        As in :meth:`WormholeSimulator.run`, shared by all trials.  With
+        ``vc_ids``, every trial's ``B`` must exceed the largest assigned
+        class id.
+
+    Returns
+    -------
+    list[SimulationResult]
+        Per-trial results, bit-identical to each trial's serial run.
+    """
+    seeds = list(seeds)
+    T = len(seeds)
+    B = _per_trial(num_virtual_channels, T, "num_virtual_channels")
+    if T and B.min() < 1:
+        raise NetworkError(
+            f"need at least one virtual channel, got {int(B.min())}"
+        )
+    if priority not in _PRIORITIES:
+        raise NetworkError(f"priority must be one of {_PRIORITIES}")
+    num_edges = net.num_edges
+
+    pp = PaddedPaths.from_paths(paths)
+    padded, D = pp.padded, pp.lengths
+    M = int(D.size)
+    L = np.broadcast_to(
+        np.asarray(message_length, dtype=np.int64), (M,)
+    ).copy()
+    if M and L.min() < 1:
+        raise NetworkError("message length L must be >= 1")
+    pp.require_edge_simple(_EDGE_SIMPLE_WHAT)
+    release = (
+        np.zeros(M, dtype=np.int64)
+        if release_times is None
+        else np.asarray(release_times, dtype=np.int64).copy()
+    )
+    if release.shape != (M,):
+        raise NetworkError(f"release_times must have shape ({M},)")
+    if M and release.min() < 0:
+        raise NetworkError("release times must be >= 0")
+
+    if T == 0:
+        return []
+    if M == 0:
+        return [
+            SimulationResult(
+                completion_times=np.full(0, -1, dtype=np.int64),
+                makespan=-1,
+                steps_executed=0,
+                blocked_steps=np.zeros(0, dtype=np.int64),
+            )
+            for _ in range(T)
+        ]
+
+    total_moves = L + D - 1
+    trivial = D == 0
+    caps = resolve_step_cap(
+        max_steps,
+        "wormhole",
+        release=release,
+        total_moves=total_moves,
+        trivial=trivial,
+    )
+
+    # Slot model per trial: without VC classes a slot is an edge with
+    # capacity B[i]; with classes, an (edge, class) pair with capacity 1.
+    if vc_ids is None:
+        vc_padded = None
+        arbiter = BatchSlotArbiter(
+            np.full(T, num_edges, dtype=np.int64), B
+        )
+    else:
+        vc_padded, vc_lengths = pad_paths([list(v) for v in vc_ids])
+        if not np.array_equal(vc_lengths, D):
+            raise NetworkError("vc_ids must match the path lengths")
+        valid = padded >= 0
+        if valid.any() and (
+            vc_padded[valid].min() < 0 or vc_padded[valid].max() >= B.min()
+        ):
+            raise NetworkError(f"vc ids must lie in [0, {int(B.min())})")
+        arbiter = BatchSlotArbiter(
+            num_edges * B, np.ones(T, dtype=np.int64)
+        )
+
+    rngs = [np.random.default_rng(s) for s in seeds]
+    age_priority = age_priorities(release) if priority == "age" else None
+    rank_priority = (
+        np.stack([rng.permutation(M) for rng in rngs])
+        if priority == "rank"
+        else None
+    )
+
+    k = np.zeros((T, M), dtype=np.int64)  # completed moves per (trial, msg)
+    loop = BatchStepLoop(T, M, release, caps)
+    loop.mark_trivial(trivial, release)
+
+    def _slots(trials: np.ndarray, msgs: np.ndarray, hop: np.ndarray):
+        """Per-trial slot ids for the given (trial, message, hop) picks."""
+        edges = padded[msgs, hop]
+        if vc_padded is None:
+            return edges
+        return edges * B[trials] + vc_padded[msgs, hop]
+
+    def body(t: int, active: np.ndarray) -> np.ndarray:
+        rows, cols = np.nonzero(active)
+        k_ac = k[rows, cols]
+        needs_edge = k_ac < D[cols]
+        movers_local = np.zeros(rows.size, dtype=bool)
+        movers_local[~needs_edge] = True  # draining worms always move
+
+        if needs_edge.any():
+            crows = rows[needs_edge]
+            ccols = cols[needs_edge]
+            slots = _slots(crows, ccols, k_ac[needs_edge])
+            if priority == "random":
+                # One draw per trial with contenders, from that trial's
+                # own stream — np.nonzero ordering keeps each trial's
+                # contenders contiguous and in message-index order, the
+                # serial draw order.
+                counts = np.bincount(crows, minlength=T)
+                prio = np.empty(crows.size, dtype=np.float64)
+                pos = 0
+                for tr in np.flatnonzero(counts):
+                    n = int(counts[tr])
+                    prio[pos : pos + n] = rngs[tr].random(n)
+                    pos += n
+            elif priority == "age":
+                prio = age_priority[ccols]
+            elif priority == "rank":
+                prio = rank_priority[crows, ccols]
+            else:
+                prio = ccols
+            granted = arbiter.contend(crows, slots, prio)
+            movers_local[needs_edge] = granted
+            arbiter.acquire(crows[granted], slots[granted])
+            loop.blocked[crows[~granted], ccols[~granted]] += 1
+
+        mrows, mcols = rows[movers_local], cols[movers_local]
+        k[mrows, mcols] += 1
+        new_k = k[mrows, mcols]
+        # Release the buffer the tail just vacated; the final edge's
+        # slot is released at completion instead (same rule as serial).
+        rel_idx = new_k - L[mcols] - 1
+        sel = (rel_idx >= 0) & (rel_idx < D[mcols] - 1)
+        if sel.any():
+            arbiter.vacate(
+                mrows[sel], _slots(mrows[sel], mcols[sel], rel_idx[sel])
+            )
+        finished = new_k == total_moves[mcols]
+        if finished.any():
+            frows, fcols = mrows[finished], mcols[finished]
+            loop.completion[frows, fcols] = t
+            loop.done[frows, fcols] = True
+            arbiter.vacate(frows, _slots(frows, fcols, D[fcols] - 1))
+        return np.bincount(mrows, minlength=T) > 0
+
+    loop.run(body)
+    return loop.results()

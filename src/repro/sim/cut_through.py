@@ -39,7 +39,13 @@ import numpy as np
 from ..network.graph import Network, NetworkError
 from ..routing.paths import Path
 from ..telemetry.probe import Probe, ProbeSet, RunMeta
-from .engine import StepLoop, compat_check_edge_simple, pad_paths, resolve_step_cap
+from .engine import (
+    PaddedPaths,
+    StepLoop,
+    compat_check_edge_simple,
+    pad_paths,  # noqa: F401  (back-compat re-export)
+    resolve_step_cap,
+)
 from .stats import SimulationResult
 from .wormhole import check_edge_simple  # noqa: F401  (back-compat re-export)
 
@@ -95,7 +101,8 @@ class CutThroughSimulator:
         ``L`` flits will stream across the edge), releases fire when
         ownership is surrendered.
         """
-        padded, D = pad_paths(paths)
+        pp = PaddedPaths.from_paths(paths)
+        padded, D = pp.padded, pp.lengths
         M = D.size
         L_arr = np.broadcast_to(
             np.asarray(message_length, dtype=np.int64), (M,)
@@ -106,7 +113,7 @@ class CutThroughSimulator:
             return SimulationResult(
                 np.full(0, -1, dtype=np.int64), -1, 0, np.zeros(0, dtype=np.int64)
             )
-        self._check_edge_simple(padded, D)
+        pp.require_edge_simple()
 
         release = (
             np.zeros(M, dtype=np.int64)

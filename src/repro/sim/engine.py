@@ -5,9 +5,12 @@ adaptive) implement different *buffer models* but share one synchronous
 step protocol and one arbitration kernel.  This module owns that shared
 machinery so each router contributes only its advance rule:
 
-:func:`pad_paths` / :func:`check_edge_simple`
+:func:`pad_paths` / :func:`check_edge_simple` / :class:`PaddedPaths`
     Path packing and validation (formerly private to the wormhole
     module; re-exported there for back compatibility).
+    :class:`PaddedPaths` caches one packed-and-validated matrix so
+    repeated runs of the same workload (every seed of a sweep grid
+    cell) skip the re-pack and re-check.
 :func:`grant_free_slots` / :class:`SlotArbiter`
     The vectorized contend/rank/grant kernel — sort the contenders by
     ``(slot, priority)``, rank each contender within its slot group, and
@@ -20,6 +23,13 @@ machinery so each router contributes only its advance rule:
     The synchronous step protocol: time advance, release gating,
     idle-gap skipping, step caps, deadlock declaration, telemetry abort
     handling, and :class:`~repro.sim.stats.SimulationResult` assembly.
+:class:`BatchSlotArbiter` / :class:`BatchStepLoop`
+    The batched (many independent trials in lockstep) counterparts of
+    :class:`SlotArbiter` and :class:`StepLoop`, used by
+    :mod:`repro.sim.batch`: one flat occupancy array over the combined
+    ``(trial, slot)`` key space and one shared clock with per-trial
+    completion / deadlock / step-cap masking, bit-exact per trial with
+    the serial loop.
 :func:`default_step_cap` / :func:`resolve_step_cap`
     The documented per-model ``max_steps`` bounds with one shared
     override path.
@@ -59,6 +69,9 @@ from ..telemetry.probe import Probe, ProbeSet
 from .stats import SimulationResult
 
 __all__ = [
+    "BatchSlotArbiter",
+    "BatchStepLoop",
+    "PaddedPaths",
     "SlotArbiter",
     "StepLoop",
     "age_priorities",
@@ -115,6 +128,8 @@ def pad_paths(paths: Sequence[Path] | Sequence[Sequence[int]]) -> tuple[np.ndarr
     ``(M, max_len)`` with ``-1`` padding and ``lengths[m]`` is message
     ``m``'s path length ``D_m``.
     """
+    if isinstance(paths, PaddedPaths):
+        return paths.padded, paths.lengths
     edge_lists = [
         list(p.edges) if isinstance(p, Path) else list(p) for p in paths
     ]
@@ -126,6 +141,52 @@ def pad_paths(paths: Sequence[Path] | Sequence[Sequence[int]]) -> tuple[np.ndarr
     return padded, lengths
 
 
+class PaddedPaths:
+    """A packed path matrix that can be reused across simulator runs.
+
+    Packing (``pad_paths``) and edge-simplicity validation
+    (``check_edge_simple``) depend only on the routes, not on ``B``,
+    the seed, or the priority discipline — yet every ``run()`` call
+    used to redo both.  Wrapping the routes once in a
+    :class:`PaddedPaths` and passing *it* wherever ``paths`` is
+    accepted amortizes that work over all trials of the workload (the
+    sweep runner does this per worker process).
+
+    Instances are simulator-agnostic: validation is cached by
+    :meth:`require_edge_simple` after the first successful check, and
+    the ``padded`` / ``lengths`` arrays must be treated as read-only.
+    """
+
+    __slots__ = ("padded", "lengths", "_edge_simple")
+
+    def __init__(self, padded: np.ndarray, lengths: np.ndarray) -> None:
+        self.padded = padded
+        self.lengths = lengths
+        self._edge_simple = False
+
+    @classmethod
+    def from_paths(
+        cls, paths: "Sequence[Path] | Sequence[Sequence[int]] | PaddedPaths"
+    ) -> "PaddedPaths":
+        if isinstance(paths, cls):
+            return paths
+        return cls(*pad_paths(paths))
+
+    @property
+    def num_messages(self) -> int:
+        return int(self.lengths.size)
+
+    def require_edge_simple(self, what: str | None = None) -> "PaddedPaths":
+        """Validate once; later calls (any caller, any message) are free."""
+        if not self._edge_simple:
+            if what is None:
+                check_edge_simple(self.padded)
+            else:
+                check_edge_simple(self.padded, what)
+            self._edge_simple = True
+        return self
+
+
 # ----------------------------------------------------------------------
 # The arbitration kernel.
 # ----------------------------------------------------------------------
@@ -134,7 +195,7 @@ def pad_paths(paths: Sequence[Path] | Sequence[Sequence[int]]) -> tuple[np.ndarr
 def grant_free_slots(
     slots: np.ndarray,
     prio: np.ndarray,
-    capacity: int,
+    capacity: int | np.ndarray,
     occupancy: np.ndarray | None = None,
 ) -> np.ndarray:
     """The vectorized contend/rank/grant kernel shared by every router.
@@ -146,6 +207,10 @@ def grant_free_slots(
     boolean granted mask aligned with the input order.  Occupancy is
     **not** updated — callers that hold grants across steps acquire via
     :class:`SlotArbiter`.
+
+    ``capacity`` may be a per-contender array (constant within each
+    slot group) — this is how :class:`BatchSlotArbiter` arbitrates
+    trials with different ``B`` in one call.
     """
     order = np.lexsort((prio, slots))
     if order.size == 0:
@@ -158,10 +223,11 @@ def grant_free_slots(
         np.where(new_group, np.arange(order.size), 0)
     )
     rank = np.arange(order.size) - group_start
+    cap = capacity[order] if isinstance(capacity, np.ndarray) else capacity
     if occupancy is None:
-        granted_sorted = rank < capacity
+        granted_sorted = rank < cap
     else:
-        granted_sorted = rank < capacity - occupancy[sorted_slots]
+        granted_sorted = rank < cap - occupancy[sorted_slots]
     granted = np.empty(order.size, dtype=bool)
     granted[order] = granted_sorted
     return granted
@@ -214,6 +280,61 @@ class SlotArbiter:
 
     def vacate_one(self, slot: int) -> None:
         self.occupancy[slot] -= 1
+
+
+class BatchSlotArbiter:
+    """``T`` independent slot pools arbitrated in one kernel call.
+
+    Trial ``i`` owns ``num_slots[i]`` slots with capacity
+    ``capacities[i]``; the pools are laid out back to back in one flat
+    occupancy array, and every contention round runs
+    :func:`grant_free_slots` once over the combined ``(trial, slot)``
+    key ``offset[trial] + slot``.  Because keys never collide across
+    trials, the grants for each trial are exactly what its own
+    :class:`SlotArbiter` would have produced — trials may even have
+    different capacities (a mixed-``B`` batch).
+    """
+
+    def __init__(
+        self,
+        num_slots: np.ndarray | Sequence[int],
+        capacities: np.ndarray | Sequence[int],
+    ) -> None:
+        num_slots = np.asarray(num_slots, dtype=np.int64)
+        self.capacities = np.asarray(capacities, dtype=np.int64)
+        if num_slots.shape != self.capacities.shape or num_slots.ndim != 1:
+            raise NetworkError(
+                "num_slots and capacities must be 1-D arrays of equal length"
+            )
+        if num_slots.size and self.capacities.min() < 1:
+            raise NetworkError("slot capacity must be >= 1")
+        self.num_trials = int(num_slots.size)
+        self.offsets = np.zeros(self.num_trials + 1, dtype=np.int64)
+        np.cumsum(num_slots, out=self.offsets[1:])
+        self.occupancy = np.zeros(int(self.offsets[-1]), dtype=np.int64)
+
+    def keys(self, trials: np.ndarray, slots: np.ndarray) -> np.ndarray:
+        """Combined ``(trial, slot)`` keys into the flat occupancy."""
+        return self.offsets[trials] + slots
+
+    def contend(
+        self, trials: np.ndarray, slots: np.ndarray, prio: np.ndarray
+    ) -> np.ndarray:
+        """Granted mask for one combined round (does not acquire)."""
+        if slots.size == 0:
+            return np.zeros(0, dtype=bool)
+        return grant_free_slots(
+            self.keys(trials, slots),
+            prio,
+            self.capacities[trials],
+            self.occupancy,
+        )
+
+    def acquire(self, trials: np.ndarray, slots: np.ndarray) -> None:
+        np.add.at(self.occupancy, self.keys(trials, slots), 1)
+
+    def vacate(self, trials: np.ndarray, slots: np.ndarray) -> None:
+        np.add.at(self.occupancy, self.keys(trials, slots), -1)
 
 
 # ----------------------------------------------------------------------
@@ -464,3 +585,146 @@ class StepLoop:
             hit_step_cap=hit_step_cap,
             extra=extra_factory() if extra_factory is not None else {},
         )
+
+
+# ----------------------------------------------------------------------
+# The batched (lockstep) step loop.
+# ----------------------------------------------------------------------
+
+_FAR_FUTURE = np.iinfo(np.int64).max
+
+
+class BatchStepLoop:
+    """The :class:`StepLoop` protocol for ``T`` independent trials.
+
+    All trials share one clock and one ``body(t, active)`` call per
+    step; per-trial state lives in stacked ``(T, M)`` arrays.  The loop
+    reproduces the serial protocol *per trial*:
+
+    * ``active`` is the ``(T, M)`` mask of released, unfinished
+      messages of still-running trials; the body mutates
+      :attr:`completion` / :attr:`done` / :attr:`blocked` in place and
+      returns the ``(T,)`` mask of trials in which any message moved;
+    * a trial whose last message completes at step ``t`` is finalized
+      with ``steps = t`` and drops out of the active set — the batch
+      never stalls on it again;
+    * a trial that executed a step without movement while every one of
+      its pending messages was already released is declared deadlocked
+      at that step (``detect_deadlock=False`` opts out);
+    * each trial has its own step cap; a trial that is still pending
+      after executing step ``max_steps[i]`` is finalized with the cap
+      flag, exactly like the serial loop's exit condition;
+    * idle trials (pending messages, none released yet) wait without
+      consuming work; when *every* live trial is idle the shared clock
+      jumps to the earliest next release, mirroring the serial loop's
+      idle-gap skip.  A trial whose next release lies at or beyond its
+      step cap is finalized with ``steps`` = that release time and the
+      cap flag set — the serial loop's jump-past-the-cap exit.
+
+    Bit-exactness per trial holds because a trial's state evolves only
+    in steps where it has active messages, and those steps happen at
+    the same ``t`` with the same inputs as in its own serial run; the
+    steps it merely waits through touch none of its state.
+    """
+
+    def __init__(
+        self,
+        num_trials: int,
+        num_messages: int,
+        release: np.ndarray,
+        max_steps: np.ndarray | int,
+        *,
+        detect_deadlock: bool = True,
+        time_scale: int = 1,
+    ) -> None:
+        self.T = int(num_trials)
+        self.M = int(num_messages)
+        self.release = release
+        self.max_steps = np.broadcast_to(
+            np.asarray(max_steps, dtype=np.int64), (self.T,)
+        ).copy()
+        self.detect_deadlock = detect_deadlock
+        self.time_scale = int(time_scale)
+        self.completion = np.full((self.T, self.M), -1, dtype=np.int64)
+        self.blocked = np.zeros((self.T, self.M), dtype=np.int64)
+        self.done = np.zeros((self.T, self.M), dtype=bool)
+        self.live = np.ones(self.T, dtype=bool)
+        self.steps = np.zeros(self.T, dtype=np.int64)
+        self.deadlocked = np.zeros(self.T, dtype=bool)
+        self.hit_cap = np.zeros(self.T, dtype=bool)
+        self.t = 0
+
+    def mark_trivial(self, trivial: np.ndarray, completion: np.ndarray) -> None:
+        """Deliver zero-length-path messages at their release time."""
+        self.done[:, trivial] = True
+        self.completion[:, trivial] = completion[trivial]
+
+    def _finalize(self, mask: np.ndarray, t: int) -> None:
+        self.steps[mask] = t
+        self.live[mask] = False
+
+    def run(self, body: Callable[[int, np.ndarray], np.ndarray]) -> None:
+        release, done, live = self.release, self.done, self.live
+        t = self.t
+        # Trials with nothing to do (all paths trivial) end at step 0.
+        self._finalize(live & done.all(axis=1), t)
+        while live.any():
+            t += 1
+            active = live[:, None] & ~done & (release[None, :] < t)
+            act_any = active.any(axis=1)
+            idle = live & ~act_any
+            if idle.any():
+                # The serial loop jumps an idle trial's clock to its next
+                # release; a jump landing at or past the trial's step cap
+                # exits right there with the cap flag set.
+                rows = np.flatnonzero(idle)
+                minrel = np.where(
+                    done[rows], _FAR_FUTURE, release[None, :]
+                ).min(axis=1)
+                over = minrel >= self.max_steps[rows]
+                if over.any():
+                    self.steps[rows[over]] = minrel[over]
+                    self.hit_cap[rows[over]] = True
+                    live[rows[over]] = False
+                if not act_any.any():
+                    if not over.all():
+                        # Every surviving trial is idle: jump the shared
+                        # clock to the earliest next release.
+                        t = int(minrel[~over].min())
+                    continue
+                active &= live[:, None]
+            moved = body(t, active)
+            # 1) trials whose last message finished this step
+            self._finalize(live & done.all(axis=1), t)
+            # 2) deadlock: a trial that executed this step without any
+            # movement while all its pending messages were released can
+            # never change configuration again.
+            if self.detect_deadlock:
+                stuck = live & act_any & ~moved
+                if stuck.any():
+                    unreleased = (~done & (release[None, :] >= t)).any(axis=1)
+                    dead = stuck & ~unreleased
+                    self.deadlocked |= dead
+                    self._finalize(dead, t)
+            # 3) per-trial step caps.
+            capped = live & (t >= self.max_steps)
+            self.hit_cap[capped] = True
+            self._finalize(capped, t)
+        self.t = t
+
+    def results(self) -> list[SimulationResult]:
+        """Per-trial :class:`SimulationResult` objects, in trial order."""
+        out = []
+        for i in range(self.T):
+            completion = self.completion[i].copy()
+            out.append(
+                SimulationResult(
+                    completion_times=completion,
+                    makespan=int(completion.max()) if self.M else -1,
+                    steps_executed=int(self.steps[i]) * self.time_scale,
+                    blocked_steps=self.blocked[i].copy(),
+                    deadlocked=bool(self.deadlocked[i]),
+                    hit_step_cap=bool(self.hit_cap[i]),
+                )
+            )
+        return out

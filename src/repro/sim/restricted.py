@@ -38,7 +38,13 @@ import numpy as np
 
 from ..network.graph import Network, NetworkError
 from ..routing.paths import Path
-from .engine import StepLoop, check_edge_simple, pad_paths, resolve_step_cap
+from .engine import (
+    PaddedPaths,
+    StepLoop,
+    check_edge_simple,  # noqa: F401  (back-compat re-export)
+    pad_paths,  # noqa: F401  (back-compat re-export)
+    resolve_step_cap,
+)
 from .stats import SimulationResult
 
 __all__ = ["RestrictedWormholeSimulator"]
@@ -83,7 +89,8 @@ class RestrictedWormholeSimulator:
 
         ``message_length`` may be a scalar or a per-message array.
         """
-        padded, D = pad_paths(paths)
+        pp = PaddedPaths.from_paths(paths)
+        padded, D = pp.padded, pp.lengths
         M = D.size
         L_arr = np.broadcast_to(
             np.asarray(message_length, dtype=np.int64), (M,)
@@ -94,7 +101,7 @@ class RestrictedWormholeSimulator:
             return SimulationResult(
                 np.full(0, -1, dtype=np.int64), -1, 0, np.zeros(0, dtype=np.int64)
             )
-        check_edge_simple(padded)
+        pp.require_edge_simple()
 
         release = (
             np.zeros(M, dtype=np.int64)

@@ -11,6 +11,14 @@ handful of scalars.  This module centralizes that loop as a *trial grid*:
   out over a :class:`~concurrent.futures.ProcessPoolExecutor`, with a
   content-hash on-disk result cache (change one axis of a grid and only
   the delta is recomputed);
+* wormhole cells that share a workload shape (same workload, params,
+  ``L``, and sim params) are packed into *batches* and run in lockstep
+  by :func:`repro.sim.batch.run_wormhole_batch` — bit-identical to the
+  per-trial path, several times faster (``batch_size``/``--batch-size``;
+  ``1`` disables batching);
+* each worker process memoizes built workloads and their packed path
+  matrices (:meth:`Workload.padded_paths`), so repeated trials of one
+  grid cell pay for path padding and edge-simplicity validation once;
 * per-trial randomness is derived with
   :meth:`numpy.random.SeedSequence.spawn` from a root seed and a digest
   of the trial's configuration, so results are independent of execution
@@ -39,6 +47,7 @@ import numpy as np
 from ..network.graph import NetworkError
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
     "SweepResult",
     "TrialResult",
     "TrialSpec",
@@ -191,9 +200,45 @@ class Workload:
     cube: Any = None
     default_length: int = 8
     info: dict[str, Any] = field(default_factory=dict)
+    _padded: Any = field(default=None, repr=False, compare=False)
+
+    def padded_paths(self):
+        """The packed :class:`~repro.sim.engine.PaddedPaths`, built once.
+
+        Repeated trials of the same grid cell share the padded matrix and
+        its one-time edge-simplicity validation instead of re-packing the
+        path lists per trial.
+        """
+        if self.paths is None:
+            raise NetworkError("workload has no paths")
+        if self._padded is None:
+            from .engine import PaddedPaths
+
+            self._padded = PaddedPaths.from_paths(self.paths)
+        return self._padded
 
 
 WORKLOADS: dict[str, Callable[..., Workload]] = {}
+
+# Per-process memo of built workloads: builders are pure functions of
+# their parameters, so trials of the same grid cell (and batches) share
+# one instance — and with it the cached padded-path matrix.  Keyed on the
+# builder *function* (not its registry name) so re-registering a name
+# can never serve a stale build.
+_WORKLOAD_CACHE: dict[tuple[Any, tuple[tuple[str, Any], ...]], Workload] = {}
+_WORKLOAD_CACHE_MAX = 8
+
+
+def _build_workload(name: str, params: tuple[tuple[str, Any], ...]) -> Workload:
+    fn = WORKLOADS[name]
+    key = (fn, params)
+    wl = _WORKLOAD_CACHE.get(key)
+    if wl is None:
+        wl = fn(**dict(params))
+        if len(_WORKLOAD_CACHE) >= _WORKLOAD_CACHE_MAX:
+            _WORKLOAD_CACHE.pop(next(iter(_WORKLOAD_CACHE)))
+        _WORKLOAD_CACHE[key] = wl
+    return wl
 
 
 def register_workload(name: str) -> Callable:
@@ -336,7 +381,7 @@ def _run_wormhole(wl: Workload, spec: TrialSpec, ss, L: int) -> dict[str, Any]:
         priority=sp.get("priority", "random"),
         seed=_sim_seed(sp, ss),
     )
-    return _result_metrics(sim.run(wl.paths, message_length=L))
+    return _result_metrics(sim.run(wl.padded_paths(), message_length=L))
 
 
 def _run_cut_through(wl: Workload, spec: TrialSpec, ss, L: int) -> dict[str, Any]:
@@ -349,7 +394,7 @@ def _run_cut_through(wl: Workload, spec: TrialSpec, ss, L: int) -> dict[str, Any
         priority=sp.get("priority", "random"),
         seed=_sim_seed(sp, ss),
     )
-    return _result_metrics(sim.run(wl.paths, message_length=L))
+    return _result_metrics(sim.run(wl.padded_paths(), message_length=L))
 
 
 def _run_store_forward(wl: Workload, spec: TrialSpec, ss, L: int) -> dict[str, Any]:
@@ -362,7 +407,7 @@ def _run_store_forward(wl: Workload, spec: TrialSpec, ss, L: int) -> dict[str, A
         priority=sp.get("priority", "farthest"),
         seed=_sim_seed(sp, ss),
     )
-    res = sim.run(wl.paths, message_length=L)
+    res = sim.run(wl.padded_paths(), message_length=L)
     out = _result_metrics(res)
     out["max_queue"] = int(res.extra["max_queue"])
     return out
@@ -375,7 +420,7 @@ def _run_restricted(wl: Workload, spec: TrialSpec, ss, L: int) -> dict[str, Any]
     sim = RestrictedWormholeSimulator(
         wl.net, num_buffers=spec.B, seed=_sim_seed(sp, ss)
     )
-    return _result_metrics(sim.run(wl.paths, message_length=L))
+    return _result_metrics(sim.run(wl.padded_paths(), message_length=L))
 
 
 def _run_adaptive(wl: Workload, spec: TrialSpec, ss, L: int) -> dict[str, Any]:
@@ -432,18 +477,119 @@ SIMULATORS: dict[str, Callable[..., dict[str, Any]]] = {
 }
 
 
+def _finish_metrics(metrics: dict[str, Any], wl: Workload, L: int) -> dict[str, Any]:
+    metrics["message_length"] = int(L)
+    for key, value in wl.info.items():
+        metrics.setdefault(f"workload_{key}", value)
+    return metrics
+
+
 def _execute_trial(item: tuple[TrialSpec, int]) -> tuple[dict[str, Any], float]:
     """Top-level worker entry point (must be picklable)."""
     spec, root_seed = item
     start = time.perf_counter()
-    wl = WORKLOADS[spec.workload](**dict(spec.workload_params))
+    wl = _build_workload(spec.workload, spec.workload_params)
     L = wl.default_length if spec.message_length is None else spec.message_length
     ss = trial_seed(spec, root_seed)
     metrics = SIMULATORS[spec.simulator](wl, spec, ss, L)
-    metrics["message_length"] = int(L)
-    for key, value in wl.info.items():
-        metrics.setdefault(f"workload_{key}", value)
-    return metrics, time.perf_counter() - start
+    return _finish_metrics(metrics, wl, L), time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Batched execution
+# ----------------------------------------------------------------------
+
+#: Simulators eligible for lockstep batching (see ``repro.sim.batch``).
+_BATCH_SIMULATORS = frozenset({"wormhole"})
+
+#: Default trials per lockstep batch when ``batch_size`` is ``None``.
+#: Large enough to amortize per-step dispatch, small enough that a
+#: handful of batches still load-balance across worker processes.
+DEFAULT_BATCH_SIZE = 32
+
+
+def _batch_key(spec: TrialSpec) -> tuple:
+    """Grid cells batchable together: everything but ``B`` and ``repeat``.
+
+    Trials in one batch share the workload, ``L``, and sim params (hence
+    priority discipline); ``B`` varies per trial via the batch engine's
+    per-trial capacities, and seeds stay per-trial by construction.
+    """
+    return (
+        spec.simulator,
+        spec.workload,
+        spec.workload_params,
+        spec.message_length,
+        spec.sim_params,
+    )
+
+
+def _execute_batch(
+    item: tuple[tuple[TrialSpec, ...], int],
+) -> list[tuple[dict[str, Any], float]]:
+    """Run one lockstep batch; per-trial metrics in input order."""
+    from .batch import run_wormhole_batch
+
+    specs, root_seed = item
+    start = time.perf_counter()
+    spec0 = specs[0]
+    wl = _build_workload(spec0.workload, spec0.workload_params)
+    L = wl.default_length if spec0.message_length is None else spec0.message_length
+    sp = dict(spec0.sim_params)
+    seeds = [_sim_seed(dict(s.sim_params), trial_seed(s, root_seed)) for s in specs]
+    results = run_wormhole_batch(
+        wl.net,
+        wl.padded_paths(),
+        message_length=L,
+        seeds=seeds,
+        num_virtual_channels=[s.B for s in specs],
+        priority=sp.get("priority", "random"),
+    )
+    elapsed = (time.perf_counter() - start) / len(specs)
+    return [
+        (_finish_metrics(_result_metrics(res), wl, L), elapsed)
+        for res in results
+    ]
+
+
+def _execute_unit(
+    unit: tuple[str, Any, int],
+) -> list[tuple[dict[str, Any], float]]:
+    """Top-level worker entry point for mixed single/batch work units."""
+    kind, payload, root_seed = unit
+    if kind == "batch":
+        return _execute_batch((payload, root_seed))
+    return [_execute_trial((payload, root_seed))]
+
+
+def _pack_units(
+    specs: list[TrialSpec], pending: list[int], root_seed: int, batch_size: int
+) -> list[tuple[tuple[str, Any, int], list[int]]]:
+    """Group pending trials into (work unit, pending-index list) pairs.
+
+    Batchable trials sharing a :func:`_batch_key` are chunked into
+    lockstep batches of at most ``batch_size``; everything else (and all
+    trials when ``batch_size == 1``) becomes a single-trial unit.
+    """
+    units: list[tuple[tuple[str, Any, int], list[int]]] = []
+    groups: dict[tuple, list[int]] = {}
+    singles: list[int] = []
+    for i in pending:
+        spec = specs[i]
+        if batch_size >= 2 and spec.simulator in _BATCH_SIMULATORS:
+            groups.setdefault(_batch_key(spec), []).append(i)
+        else:
+            singles.append(i)
+    for idxs in groups.values():
+        for j in range(0, len(idxs), batch_size):
+            chunk = idxs[j : j + batch_size]
+            if len(chunk) == 1:
+                singles.extend(chunk)
+            else:
+                payload = tuple(specs[i] for i in chunk)
+                units.append((("batch", payload, root_seed), chunk))
+    units.extend((("single", specs[i], root_seed), [i]) for i in singles)
+    return units
 
 
 # ----------------------------------------------------------------------
@@ -567,6 +713,7 @@ def run_sweep(
     workers: int = 0,
     cache_dir: str | os.PathLike | None = None,
     force: bool = False,
+    batch_size: int | None = None,
 ) -> SweepResult:
     """Execute a list of trial specs; returns results in input order.
 
@@ -588,8 +735,18 @@ def run_sweep(
         cells.
     force:
         Ignore (and overwrite) existing cache entries.
+    batch_size:
+        Trials per lockstep batch for batch-capable simulators (the
+        wormhole router; see :mod:`repro.sim.batch`).  ``None`` picks
+        :data:`DEFAULT_BATCH_SIZE`; ``1`` disables batching and runs
+        every trial through the per-trial path.  Results, seeds, and
+        cache entries are bit-identical at every setting.
     """
     specs = list(specs)
+    if batch_size is None:
+        batch_size = DEFAULT_BATCH_SIZE
+    if batch_size < 1:
+        raise NetworkError("batch_size must be >= 1")
     started = time.perf_counter()
     cache_path: Path | None = None
     if cache_dir is not None:
@@ -608,19 +765,23 @@ def run_sweep(
         pending.append(i)
 
     if pending:
-        items = [(specs[i], root_seed) for i in pending]
+        units = _pack_units(specs, pending, root_seed, batch_size)
+        payloads = [unit for unit, _ in units]
         if workers >= 2:
             from concurrent.futures import ProcessPoolExecutor
 
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(pool.map(_execute_trial, items))
+                outcomes = list(pool.map(_execute_unit, payloads))
         else:
-            outcomes = [_execute_trial(item) for item in items]
-        for i, (metrics, elapsed) in zip(pending, outcomes):
-            results[i] = TrialResult(specs[i], metrics, cached=False, elapsed=elapsed)
-            if cache_path is not None:
-                entry = cache_path / f"{specs[i].cache_key(root_seed)}.json"
-                _cache_store(entry, specs[i].key(), metrics, root_seed)
+            outcomes = [_execute_unit(unit) for unit in payloads]
+        for (_, idxs), unit_results in zip(units, outcomes):
+            for i, (metrics, elapsed) in zip(idxs, unit_results):
+                results[i] = TrialResult(
+                    specs[i], metrics, cached=False, elapsed=elapsed
+                )
+                if cache_path is not None:
+                    entry = cache_path / f"{specs[i].cache_key(root_seed)}.json"
+                    _cache_store(entry, specs[i].key(), metrics, root_seed)
 
     done = [r for r in results if r is not None]
     assert len(done) == len(specs)

@@ -52,6 +52,7 @@ from ..network.graph import Network, NetworkError
 from ..routing.paths import Path
 from ..telemetry.probe import Probe, ProbeSet, RunMeta
 from .engine import (
+    PaddedPaths,
     SlotArbiter,
     StepLoop,
     age_priorities,
@@ -64,7 +65,7 @@ from .engine import (
 )
 from .stats import SimulationResult
 
-__all__ = ["WormholeSimulator", "check_edge_simple", "pad_paths"]
+__all__ = ["PaddedPaths", "WormholeSimulator", "check_edge_simple", "pad_paths"]
 
 _PRIORITIES = ("random", "age", "index", "rank")
 
@@ -125,7 +126,7 @@ class WormholeSimulator:
     # ------------------------------------------------------------------
     def run(
         self,
-        paths: Sequence[Path] | Sequence[Sequence[int]],
+        paths: Sequence[Path] | Sequence[Sequence[int]] | PaddedPaths,
         message_length: int | np.ndarray,
         release_times: np.ndarray | None = None,
         max_steps: int | None = None,
@@ -139,8 +140,11 @@ class WormholeSimulator:
         Parameters
         ----------
         paths:
-            Per-message routes — :class:`Path` objects or raw edge-id
-            sequences.  Paths must be edge-simple (a worm cannot hold two
+            Per-message routes — :class:`Path` objects, raw edge-id
+            sequences, or a pre-packed
+            :class:`~repro.sim.engine.PaddedPaths` (which skips the
+            per-run re-pack and caches the edge-simplicity check across
+            runs).  Paths must be edge-simple (a worm cannot hold two
             virtual channels on one edge).
         message_length:
             The paper's ``L`` (>= 1 flits), scalar or per-message array.
@@ -182,14 +186,15 @@ class WormholeSimulator:
             collectors never perturb the simulation (no RNG draws, no
             state writes), so results are bit-identical either way.
         """
-        padded, D = pad_paths(paths)
+        pp = PaddedPaths.from_paths(paths)
+        padded, D = pp.padded, pp.lengths
         M = D.size
         L = np.broadcast_to(
             np.asarray(message_length, dtype=np.int64), (M,)
         ).copy()
         if M and L.min() < 1:
             raise NetworkError("message length L must be >= 1")
-        check_edge_simple(padded, _EDGE_SIMPLE_WHAT)
+        pp.require_edge_simple(_EDGE_SIMPLE_WHAT)
         release = (
             np.zeros(M, dtype=np.int64)
             if release_times is None

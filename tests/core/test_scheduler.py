@@ -115,3 +115,56 @@ class TestLllSchedule:
         build = lll_schedule([[0, 1], [0, 1], [2, 3]], message_length=4, B=1)
         assert build.congestion == 2
         assert build.num_classes == 2
+
+
+class TestGreedyColoringVectorization:
+    """The vectorized coloring must equal the set-based formulation."""
+
+    @staticmethod
+    def _reference(paths):
+        from collections import defaultdict
+
+        from repro.core.coloring import MessageEdgeIncidence
+
+        inc = MessageEdgeIncidence.from_paths(paths)
+        M = inc.num_messages
+        by_edge = defaultdict(list)
+        for m, e in zip(inc.message_ids, inc.edge_ids):
+            by_edge[int(e)].append(int(m))
+        neighbors = [set() for _ in range(M)]
+        for msgs in by_edge.values():
+            for i, a in enumerate(msgs):
+                for b in msgs[i + 1 :]:
+                    neighbors[a].add(b)
+                    neighbors[b].add(a)
+        colors = np.full(M, -1, dtype=np.int64)
+        for m in sorted(range(M), key=lambda m: -len(neighbors[m])):
+            used = {int(colors[v]) for v in neighbors[m] if colors[v] >= 0}
+            c = 0
+            while c in used:
+                c += 1
+            colors[m] = c
+        return colors
+
+    def test_matches_reference_on_random_instances(self):
+        rng = np.random.default_rng(7)
+        for _ in range(60):
+            M = int(rng.integers(0, 20))
+            paths = [
+                list(rng.choice(10, size=int(rng.integers(0, 6)), replace=False))
+                for _ in range(M)
+            ]
+            got = greedy_conflict_coloring(paths)
+            want = self._reference(paths)
+            assert np.array_equal(got, want), paths
+
+    def test_matches_reference_on_layered_workload(self, layered_workload):
+        _, paths = layered_workload
+        assert np.array_equal(
+            greedy_conflict_coloring(paths), self._reference(paths)
+        )
+
+    def test_degenerate_shapes(self):
+        assert greedy_conflict_coloring([]).tolist() == []
+        assert greedy_conflict_coloring([[]]).tolist() == [0]
+        assert greedy_conflict_coloring([[0], [0], [0]]).tolist() == [0, 1, 2]

@@ -327,3 +327,170 @@ def test_single_kernel_site():
         if "np.lexsort((prio" in p.read_text()
     ]
     assert hits == ["engine.py"]
+
+
+# ----------------------------------------------------------------------
+# PaddedPaths
+# ----------------------------------------------------------------------
+
+
+def test_padded_paths_wraps_and_passes_through():
+    from repro.sim.engine import PaddedPaths
+
+    pp = PaddedPaths.from_paths([[0, 1], [2]])
+    assert pp.num_messages == 2
+    assert pp.lengths.tolist() == [2, 1]
+    # from_paths on an instance returns the same object ...
+    assert PaddedPaths.from_paths(pp) is pp
+    # ... and pad_paths unwraps it without re-packing.
+    padded, lengths = pad_paths(pp)
+    assert padded is pp.padded and lengths is pp.lengths
+
+
+def test_padded_paths_validates_once_and_caches():
+    from repro.sim.engine import PaddedPaths
+
+    pp = PaddedPaths.from_paths([[0, 1], [2]])
+    assert not pp._edge_simple
+    assert pp.require_edge_simple() is pp
+    assert pp._edge_simple
+    pp.require_edge_simple("anything")  # cached: no re-validation
+
+    bad = PaddedPaths.from_paths([[0, 0]])
+    with pytest.raises(NetworkError, match="edge-simple"):
+        bad.require_edge_simple()
+    with pytest.raises(NetworkError, match="worm"):
+        PaddedPaths.from_paths([[1, 1]]).require_edge_simple("worm 0")
+
+
+# ----------------------------------------------------------------------
+# batched arbitration
+# ----------------------------------------------------------------------
+
+
+def test_grant_accepts_per_contender_capacity():
+    from repro.sim.engine import grant_free_slots
+
+    slots = np.array([0, 0, 0, 5, 5], dtype=np.int64)
+    prio = np.array([0.3, 0.1, 0.2, 0.9, 0.8])
+    cap = np.array([2, 2, 2, 1, 1], dtype=np.int64)
+    granted = grant_free_slots(slots, prio, cap)
+    # Slot 0 (capacity 2) grants its two best; slot 5 (capacity 1) one.
+    assert granted.tolist() == [False, True, True, False, True]
+
+
+def test_batch_arbiter_matches_independent_serial_arbiters():
+    from repro.sim.engine import BatchSlotArbiter
+
+    rng = np.random.default_rng(0)
+    num_slots = np.array([4, 6, 4], dtype=np.int64)
+    caps = np.array([1, 2, 3], dtype=np.int64)
+    batch = BatchSlotArbiter(num_slots, caps)
+    serial = [SlotArbiter(int(n), int(c)) for n, c in zip(num_slots, caps)]
+    for _ in range(50):
+        n = int(rng.integers(1, 10))
+        trials = rng.integers(0, 3, size=n).astype(np.int64)
+        slots = np.array(
+            [rng.integers(0, num_slots[tr]) for tr in trials], dtype=np.int64
+        )
+        prio = rng.random(n)
+        got = batch.contend(trials, slots, prio)
+        want = np.zeros(n, dtype=bool)
+        for tr in range(3):
+            sel = trials == tr
+            if sel.any():
+                want[sel] = serial[tr].contend(slots[sel], prio[sel])
+        assert np.array_equal(got, want)
+        batch.acquire(trials[got], slots[got])
+        for tr in range(3):
+            sel = (trials == tr) & got
+            serial[tr].acquire(slots[sel])
+        # Randomly vacate some grants to keep occupancy in flux.
+        drop = got & (rng.random(n) < 0.5)
+        batch.vacate(trials[drop], slots[drop])
+        for tr in range(3):
+            sel = (trials == tr) & drop
+            serial[tr].vacate(slots[sel])
+        for tr in range(3):
+            lo, hi = batch.offsets[tr], batch.offsets[tr + 1]
+            assert np.array_equal(batch.occupancy[lo:hi], serial[tr].occupancy)
+
+
+def test_batch_arbiter_rejects_bad_shapes():
+    from repro.sim.engine import BatchSlotArbiter
+
+    with pytest.raises(NetworkError, match="equal length"):
+        BatchSlotArbiter(np.array([2, 3]), np.array([1]))
+    with pytest.raises(NetworkError, match="capacity"):
+        BatchSlotArbiter(np.array([2]), np.array([0]))
+
+
+# ----------------------------------------------------------------------
+# BatchStepLoop masking
+# ----------------------------------------------------------------------
+
+
+def test_batchsteploop_finalizes_trials_independently():
+    from repro.sim.engine import BatchStepLoop
+
+    release = np.zeros(1, dtype=np.int64)
+    # Trial 0 finishes at step 2, trial 1 deadlocks at step 1, trial 2
+    # runs to its cap of 3.
+    loop = BatchStepLoop(3, 1, release, np.array([10, 10, 3]))
+
+    def body(t, active):
+        moved = np.zeros(3, dtype=bool)
+        if active[0, 0] and t == 2:
+            loop.completion[0, 0] = t
+            loop.done[0, 0] = True
+            moved[0] = True
+        elif active[0, 0]:
+            moved[0] = True
+        moved[2] = bool(active[2, 0])
+        return moved
+
+    loop.run(body)
+    assert loop.steps.tolist() == [2, 1, 3]
+    assert loop.deadlocked.tolist() == [False, True, False]
+    assert loop.hit_cap.tolist() == [False, False, True]
+    results = loop.results()
+    assert results[0].completion_times.tolist() == [2]
+    assert results[1].deadlocked and not results[1].hit_step_cap
+    assert results[2].hit_step_cap and not results[2].deadlocked
+
+
+def test_batchsteploop_jumps_shared_clock_over_idle_gap():
+    from repro.sim.engine import BatchStepLoop
+
+    release = np.array([50], dtype=np.int64)
+    loop = BatchStepLoop(2, 1, release, np.array([100, 100]))
+    seen = []
+
+    def body(t, active):
+        seen.append(t)
+        loop.completion[:, 0] = np.where(active[:, 0], t, loop.completion[:, 0])
+        loop.done[:, 0] |= active[:, 0]
+        return active[:, 0].copy()
+
+    loop.run(body)
+    assert seen == [51]  # the gap 1..50 was skipped, not stepped
+    assert loop.steps.tolist() == [51, 51]
+
+
+def test_batchsteploop_release_at_or_past_cap_sets_cap_flag():
+    from repro.sim.engine import BatchStepLoop
+
+    release = np.array([40], dtype=np.int64)
+    loop = BatchStepLoop(2, 1, release, np.array([10, 100]))
+
+    def body(t, active):
+        loop.completion[:, 0] = np.where(active[:, 0], t, loop.completion[:, 0])
+        loop.done[:, 0] |= active[:, 0]
+        return active[:, 0].copy()
+
+    loop.run(body)
+    # Trial 0's next release (40) is past its cap (10): finalized at the
+    # jump target with the cap flag, exactly like the serial exit.
+    assert loop.steps.tolist() == [40, 41]
+    assert loop.hit_cap.tolist() == [True, False]
+    assert loop.results()[1].completion_times.tolist() == [41]

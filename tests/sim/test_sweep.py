@@ -258,3 +258,122 @@ def test_registries_cover_the_documented_names():
         "adaptive",
         "schedule",
     } == set(SIMULATORS)
+
+
+# ----------------------------------------------------------------------
+# batched execution
+# ----------------------------------------------------------------------
+
+
+def wormhole_grid(repeats=3, Bs=(1, 2, 4), **sim_params):
+    return sweep_grid(
+        "chain-bundle",
+        "wormhole",
+        Bs,
+        workload_params=TINY_WL,
+        sim_params=sim_params or None,
+        message_length=8,
+        repeats=repeats,
+    )
+
+
+@pytest.mark.parametrize("batch_size", [2, 3, None])
+def test_batched_matches_serial_bit_exactly(batch_size):
+    specs = wormhole_grid()
+    serial = run_sweep(specs, root_seed=5, batch_size=1)
+    batched = run_sweep(specs, root_seed=5, batch_size=batch_size)
+    assert [t.metrics for t in serial] == [t.metrics for t in batched]
+    assert [t.spec for t in batched] == specs
+
+
+def test_batched_with_workers_and_cache(tmp_path):
+    specs = wormhole_grid(repeats=2)
+    serial = run_sweep(specs, root_seed=3, batch_size=1)
+    batched = run_sweep(specs, root_seed=3, workers=2, cache_dir=tmp_path)
+    assert [t.metrics for t in serial] == [t.metrics for t in batched]
+    # Batch-produced cache entries serve later serial runs unchanged.
+    again = run_sweep(specs, root_seed=3, batch_size=1, cache_dir=tmp_path)
+    assert again.num_cached == len(specs)
+    assert [t.metrics for t in again] == [t.metrics for t in serial]
+
+
+def test_batched_respects_sim_params():
+    for sim_params in ({"priority": "rank"}, {"seed": 7}):
+        specs = wormhole_grid(repeats=2, **sim_params)
+        serial = run_sweep(specs, batch_size=1)
+        batched = run_sweep(specs)
+        assert [t.metrics for t in serial] == [t.metrics for t in batched]
+
+
+def test_batching_only_groups_compatible_cells():
+    from repro.sim.sweep import _pack_units
+
+    specs = wormhole_grid(repeats=2) + tiny_grid(
+        simulators=("store_forward",), Bs=(1,)
+    )
+    units = _pack_units(specs, list(range(len(specs))), 0, batch_size=4)
+    kinds = sorted(kind for (kind, _, _) in (u for u, _ in units))
+    # 6 wormhole trials -> batches of 4 and 2; 1 store_forward single.
+    assert kinds == ["batch", "batch", "single"]
+    covered = sorted(i for _, idxs in units for i in idxs)
+    assert covered == list(range(len(specs)))
+    for (kind, payload, _), idxs in units:
+        if kind == "batch":
+            assert len(payload) == len(idxs) >= 2
+            assert all(s.simulator == "wormhole" for s in payload)
+
+
+def test_singleton_batch_tail_runs_as_single():
+    from repro.sim.sweep import _pack_units
+
+    specs = wormhole_grid(repeats=3, Bs=(1,))
+    units = _pack_units(specs, list(range(3)), 0, batch_size=2)
+    kinds = sorted(kind for (kind, _, _) in (u for u, _ in units))
+    assert kinds == ["batch", "single"]
+
+
+def test_batch_size_validation():
+    with pytest.raises(NetworkError, match="batch_size"):
+        run_sweep(wormhole_grid(repeats=1), batch_size=0)
+
+
+def test_workload_cache_reuses_instances():
+    from repro.sim.sweep import _WORKLOAD_CACHE, _build_workload
+
+    _WORKLOAD_CACHE.clear()
+    params = tuple(sorted(TINY_WL.items()))
+    a = _build_workload("chain-bundle", params)
+    b = _build_workload("chain-bundle", params)
+    assert a is b
+    assert a.padded_paths() is b.padded_paths()
+
+
+def test_workload_cache_keyed_on_builder_function():
+    from repro.sim.sweep import _WORKLOAD_CACHE, _build_workload
+
+    @register_workload("_test_cache")
+    def _v1() -> Workload:
+        from repro.network.random_networks import chain_bundle
+        from repro.routing.paths import paths_from_node_walks
+
+        net, walks = chain_bundle(1, 2, 1)
+        return Workload(net=net, paths=paths_from_node_walks(net, walks))
+
+    try:
+        first = _build_workload("_test_cache", ())
+
+        @register_workload("_test_cache")
+        def _v2() -> Workload:
+            from repro.network.random_networks import chain_bundle
+            from repro.routing.paths import paths_from_node_walks
+
+            net, walks = chain_bundle(2, 2, 1)
+            return Workload(net=net, paths=paths_from_node_walks(net, walks))
+
+        second = _build_workload("_test_cache", ())
+        # Re-registering the name must not serve the stale build.
+        assert second is not first
+        assert len(second.paths) == 2
+    finally:
+        del WORKLOADS["_test_cache"]
+        _WORKLOAD_CACHE.clear()

@@ -132,6 +132,48 @@ class TestCommands:
         with pytest.raises(SystemExit, match="KEY=VAL"):
             main(["sweep", "--param", "oops"])
 
+    def test_sweep_batch_size_matches_serial(self, capsys):
+        argv = [
+            "sweep",
+            "--workload", "chain-bundle",
+            "--param", "chains=2",
+            "--param", "depth=5",
+            "--param", "messages=3",
+            "--length", "8",
+            "--simulators", "wormhole",
+            "--channels", "1,2",
+            "--repeats", "2",
+        ]
+        assert main(argv + ["--batch-size", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--batch-size", "4"]) == 0
+        batched = capsys.readouterr().out
+        # Identical tables either way (the footer's wall time may jitter).
+        assert serial.splitlines()[:-1] == batched.splitlines()[:-1]
+        assert "4 trials (0 cached, 4 executed)" in batched
+
+    def test_sweep_rejects_bad_batch_size(self):
+        with pytest.raises(SystemExit, match="batch-size"):
+            main(["sweep", "--batch-size", "zero"])
+        with pytest.raises(SystemExit, match="batch-size"):
+            main(["sweep", "--batch-size", "0"])
+
+    def test_bench_quick_writes_report(self, capsys, tmp_path):
+        out_file = tmp_path / "bench.json"
+        assert main(
+            ["bench", "--quick", "--output", str(out_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical: True" in out
+        import json
+
+        payload = json.loads(out_file.read_text())
+        assert payload["bit_identical"] is True
+        assert payload["grid"]["trials"] == 18
+        assert payload["serial"]["trials_per_s"] > 0
+        assert payload["batched"]["trials_per_s"] > 0
+        assert "micro" not in payload  # --quick skips microbenchmarks
+
     def test_experiment_unknown_name(self):
         with pytest.raises(SystemExit, match="no benchmark"):
             main(["experiment", "zzz"])
