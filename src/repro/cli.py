@@ -23,6 +23,13 @@ Small, reproducible demonstrations of the package's main pipelines:
 ``bench``
     Time the batched lockstep sweep path against the per-trial path
     (plus the perf microbenchmarks) and record ``BENCH_sim.json``.
+``serve``
+    Run the :mod:`repro.service` asyncio trial server (dynamic request
+    batching, bounded admission, graceful drain on SIGINT/SIGTERM).
+``loadgen``
+    Drive a running server with concurrent traffic, verify every
+    response bit-identical to a serial replay, and record
+    ``BENCH_service.json``.
 
 Every command accepts ``--seed`` and prints deterministic output.
 """
@@ -156,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="wormhole trials per lockstep batch ('auto', or a positive "
         "integer; 1 disables batching — results are identical either way)",
     )
+    p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the packed batch plan (cells per batch, cache hits) "
+        "without executing any trial",
+    )
     p.add_argument("--seed", type=int, default=0, help="root seed")
 
     p = sub.add_parser(
@@ -193,6 +206,88 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0, help="root seed")
 
     p = sub.add_parser(
+        "serve",
+        help="run the asyncio trial service (dynamic batching, "
+        "backpressure, graceful drain)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7654, help="0 = ephemeral")
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="admission queue depth; a full queue rejects with Retry-After",
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="max compatible trials per lockstep batch",
+    )
+    p.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="max time the oldest queued request waits for batch company",
+    )
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive a running trial server; verify bit-exactness against "
+        "serial replays; write BENCH_service.json",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7654)
+    p.add_argument(
+        "--workload", default="chain-bundle", help="registered workload name"
+    )
+    p.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VAL",
+        help="workload parameter override (repeatable)",
+    )
+    p.add_argument(
+        "--channels", default="1,2,4", help="comma-separated B values to cycle"
+    )
+    p.add_argument(
+        "--length", type=int, default=0, help="flits per message (0 = auto)"
+    )
+    p.add_argument("--requests", type=int, default=32, help="total requests")
+    p.add_argument(
+        "--concurrency", type=int, default=8, help="concurrent connections"
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="aggregate request rate in req/s (0 = as fast as possible)",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request queueing deadline",
+    )
+    p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the serial-replay bit-exactness check",
+    )
+    p.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="send a graceful-shutdown op to the server when done",
+    )
+    p.add_argument(
+        "--output",
+        default="BENCH_service.json",
+        help="result file (default BENCH_service.json)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="root seed")
+
+    p = sub.add_parser(
         "experiment",
         help="regenerate one of the paper experiments (e1..e18, perf)",
     )
@@ -217,6 +312,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "profile": _cmd_profile,
         "sweep": _cmd_sweep,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "experiment": _cmd_experiment,
         "reproduce": _cmd_reproduce,
     }[args.command]
@@ -486,6 +583,9 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
             raise SystemExit(
                 "repro sweep: --batch-size must be >= 1"
             )
+    if args.dry_run:
+        _sweep_dry_run(specs, args.seed, batch_size, args.cache_dir, args.force)
+        return
     out = run_sweep(
         specs,
         root_seed=args.seed,
@@ -521,6 +621,125 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         f"{args.workers if args.workers >= 2 else 1} worker(s); "
         f"root seed {out.root_seed}"
     )
+
+
+def _sweep_dry_run(specs, root_seed, batch_size, cache_dir, force) -> None:
+    """Print the packed batch plan without executing any trial."""
+    from pathlib import Path
+
+    from repro import Table
+    from repro.sim.sweep import DEFAULT_BATCH_SIZE, _cache_load, _pack_units
+
+    if batch_size is None:
+        batch_size = DEFAULT_BATCH_SIZE
+    cache_path = Path(cache_dir) if cache_dir is not None else None
+    cached = 0
+    pending = []
+    for i, spec in enumerate(specs):
+        if cache_path is not None and not force:
+            entry = cache_path / f"{spec.cache_key(root_seed)}.json"
+            if _cache_load(entry, spec.key()) is not None:
+                cached += 1
+                continue
+        pending.append(i)
+    units = _pack_units(specs, pending, root_seed, batch_size)
+    table = Table(
+        f"sweep plan (dry run, batch size {batch_size})",
+        ["unit", "kind", "simulator", "workload", "trials", "B values"],
+    )
+    batches = singles = 0
+    for n, (unit, idxs) in enumerate(units):
+        kind = unit[0]
+        spec0 = specs[idxs[0]]
+        if kind == "batch":
+            batches += 1
+        else:
+            singles += 1
+        table.add_row(
+            [
+                n,
+                kind,
+                spec0.simulator,
+                spec0.workload,
+                len(idxs),
+                ",".join(str(specs[i].B) for i in idxs),
+            ]
+        )
+    print(table.render())
+    print(
+        f"{len(specs)} trials: {cached} cache hits, {len(pending)} to "
+        f"execute in {batches} lockstep batch(es) + {singles} single(s); "
+        f"nothing executed (dry run)"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from repro.service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+    )
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:
+        pass  # signal handler already drained; double-^C lands here
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> None:
+    import asyncio
+    import json
+    from pathlib import Path
+
+    from repro.service import LoadgenConfig, run_loadgen
+
+    channels = tuple(int(b) for b in args.channels.split(",") if b.strip())
+    if not channels:
+        raise SystemExit("repro loadgen: --channels must name at least one B")
+    config = LoadgenConfig(
+        workload=args.workload,
+        workload_params=dict(_parse_param(p) for p in args.param),
+        channels=channels,
+        message_length=args.length or None,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        rate=args.rate,
+        root_seed=args.seed,
+        deadline_ms=args.deadline_ms,
+        verify=not args.no_verify,
+        shutdown=args.shutdown,
+    )
+    try:
+        report = asyncio.run(run_loadgen(args.host, args.port, config))
+    except OSError as exc:
+        raise SystemExit(
+            f"repro loadgen: cannot reach {args.host}:{args.port}: {exc}"
+        )
+    Path(args.output).write_text(json.dumps(report, indent=1) + "\n")
+    lat = report["latency_ms"]
+    server = report.get("server") or {}
+    occupancy = (server.get("batches") or {}).get("mean_occupancy")
+    print(
+        f"loadgen: {report['ok']}/{config.requests} ok "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(report['statuses'].items()))}) "
+        f"in {report['wall_s']:.2f}s = {report['throughput_rps']} req/s\n"
+        f"  latency ms: p50={lat['p50']} p95={lat['p95']} p99={lat['p99']} "
+        f"max={lat['max']}\n"
+        f"  mean batch occupancy: client={report['client_mean_batch']}"
+        + (f" server={occupancy}" if occupancy is not None else "")
+        + f"\n  bit-exact vs serial replay: {report['bit_exact']} "
+        f"({report['verified']} verified)\n"
+        f"written to {args.output}"
+    )
+    if report["mismatches"]:
+        for line in report["mismatches"][:5]:
+            print(f"  MISMATCH: {line}")
+        raise SystemExit("repro loadgen: responses diverged from serial replay")
 
 
 def _bench_micro(bench_dir) -> list[dict]:

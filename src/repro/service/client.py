@@ -1,0 +1,301 @@
+"""Client and load generator for the simulation service.
+
+:class:`ServiceClient` is a minimal asyncio client: one TCP connection,
+one request/response in flight at a time (the server's per-connection
+discipline).  Concurrency comes from opening several clients, which is
+exactly what :func:`run_loadgen` does.
+
+The load generator is also the service's *correctness harness*: after
+driving ``concurrency`` connections at an optional request rate, it
+replays every accepted trial through the sweep runner's serial path
+(:func:`repro.sim.sweep._execute_trial` — a plain
+:class:`~repro.sim.wormhole.WormholeSimulator` run with the identical
+derived seed) and demands byte-identical metrics.  Any divergence —
+a batching bug, a seed-derivation drift, a cross-trial state leak —
+fails the run.  The latency/throughput/occupancy report it assembles
+is what ``repro loadgen`` writes to ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..sim.sweep import TrialSpec, _execute_trial
+from .protocol import (
+    STATUS_OK,
+    ProtocolError,
+    decode_message,
+    encode_message,
+)
+from .server import MAX_LINE_BYTES
+
+__all__ = ["LoadgenConfig", "ServiceClient", "run_loadgen"]
+
+
+class ServiceClient:
+    """One connection to a running service (async context manager)."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count()
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, *, retry_for_s: float = 0.0
+    ) -> "ServiceClient":
+        """Connect, optionally retrying while the server starts up."""
+        deadline = time.monotonic() + retry_for_s
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    host, port, limit=MAX_LINE_BYTES
+                )
+                return cls(reader, writer)
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                await asyncio.sleep(0.1)
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def request(self, msg: dict[str, Any]) -> dict[str, Any]:
+        """Send one message and await its response line."""
+        self._writer.write(encode_message(msg))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_message(line)
+
+    async def run_trial(
+        self,
+        spec: TrialSpec | dict[str, Any],
+        *,
+        root_seed: int = 0,
+        deadline_ms: float | None = None,
+        req_id: str | None = None,
+    ) -> dict[str, Any]:
+        if isinstance(spec, TrialSpec):
+            spec = _spec_payload(spec)
+        msg: dict[str, Any] = {
+            "op": "run",
+            "id": req_id if req_id is not None else f"c{next(self._ids)}",
+            "spec": spec,
+            "root_seed": int(root_seed),
+        }
+        if deadline_ms is not None:
+            msg["deadline_ms"] = deadline_ms
+        return await self.request(msg)
+
+    async def health(self) -> dict[str, Any]:
+        return await self.request({"op": "health", "id": "health"})
+
+    async def stats(self) -> dict[str, Any]:
+        return await self.request({"op": "stats", "id": "stats"})
+
+    async def shutdown(self) -> dict[str, Any]:
+        return await self.request({"op": "shutdown", "id": "shutdown"})
+
+
+def _spec_payload(spec: TrialSpec) -> dict[str, Any]:
+    """A :class:`TrialSpec` as the wire-format ``spec`` object."""
+    return {
+        "workload": spec.workload,
+        "simulator": spec.simulator,
+        "B": spec.B,
+        "workload_params": dict(spec.workload_params),
+        "sim_params": dict(spec.sim_params),
+        "message_length": spec.message_length,
+        "repeat": spec.repeat,
+    }
+
+
+# ----------------------------------------------------------------------
+# Load generation
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LoadgenConfig:
+    """What to throw at the server, and how hard."""
+
+    workload: str = "chain-bundle"
+    workload_params: dict[str, Any] = field(default_factory=dict)
+    simulator: str = "wormhole"
+    channels: tuple[int, ...] = (1, 2, 4)
+    message_length: int | None = None
+    requests: int = 32
+    concurrency: int = 8
+    #: Aggregate request rate in req/s; 0 = as fast as possible.
+    rate: float = 0.0
+    root_seed: int = 0
+    deadline_ms: float | None = None
+    #: Replay every accepted response against a serial run and compare.
+    verify: bool = True
+    #: Send a ``shutdown`` op once the run (and verification) is done.
+    shutdown: bool = False
+    connect_timeout_s: float = 5.0
+
+    def specs(self) -> list[TrialSpec]:
+        """One unique spec per request: channels cycle, repeats advance."""
+        return [
+            TrialSpec.make(
+                self.workload,
+                self.simulator,
+                B=self.channels[i % len(self.channels)],
+                workload_params=self.workload_params,
+                message_length=self.message_length,
+                repeat=i // len(self.channels),
+            )
+            for i in range(self.requests)
+        ]
+
+
+async def run_loadgen(
+    host: str, port: int, config: LoadgenConfig
+) -> dict[str, Any]:
+    """Drive a running server; return the ``BENCH_service.json`` payload.
+
+    Opens ``concurrency`` connections, issues ``requests`` unique trial
+    requests across them (paced to ``rate`` req/s when set), measures
+    client-side latency, fetches the server's ``stats`` snapshot, and —
+    unless ``verify`` is off — checks every accepted response
+    bit-identical against a local serial replay.
+    """
+    specs = config.specs()
+    started = time.monotonic()
+    work = asyncio.Queue()
+    for i, spec in enumerate(specs):
+        work.put_nowait((i, spec))
+    send_times: list[float | None] = [None] * len(specs)
+    responses: list[dict[str, Any] | None] = [None] * len(specs)
+    latencies: list[float] = []
+
+    def _pace(i: int) -> float:
+        """Seconds from start at which request ``i`` may be sent."""
+        return i / config.rate if config.rate > 0 else 0.0
+
+    async def worker() -> None:
+        client = await ServiceClient.connect(
+            host, port, retry_for_s=config.connect_timeout_s
+        )
+        try:
+            while True:
+                try:
+                    i, spec = work.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                delay = started + _pace(i) - time.monotonic()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                t0 = time.monotonic()
+                send_times[i] = t0
+                responses[i] = await client.run_trial(
+                    spec,
+                    root_seed=config.root_seed,
+                    deadline_ms=config.deadline_ms,
+                    req_id=f"lg{i}",
+                )
+                latencies.append(time.monotonic() - t0)
+        finally:
+            await client.close()
+
+    workers = [
+        asyncio.create_task(worker())
+        for _ in range(max(1, config.concurrency))
+    ]
+    await asyncio.gather(*workers)
+    wall_s = time.monotonic() - started
+
+    status_counts: dict[str, int] = {}
+    for resp in responses:
+        status = resp.get("status", "missing") if resp else "missing"
+        status_counts[status] = status_counts.get(status, 0) + 1
+    ok = status_counts.get(STATUS_OK, 0)
+
+    mismatches: list[str] = []
+    verified = 0
+    if config.verify:
+        for i, (spec, resp) in enumerate(zip(specs, responses)):
+            if not resp or resp.get("status") != STATUS_OK:
+                continue
+            local, _ = _execute_trial((spec, config.root_seed))
+            verified += 1
+            if resp["metrics"] != local:
+                mismatches.append(
+                    f"request lg{i} ({spec.label()}): served "
+                    f"{resp['metrics']} != serial replay {local}"
+                )
+
+    server_stats: dict[str, Any] | None = None
+    try:
+        async with await ServiceClient.connect(host, port) as client:
+            server_stats = await client.stats()
+            if config.shutdown:
+                await client.shutdown()
+    except (OSError, ConnectionError, ProtocolError):
+        pass  # server already gone; report client-side numbers only
+
+    batch_sizes = [
+        r["batched"] for r in responses if r and r.get("status") == STATUS_OK
+    ]
+    lat_ms = sorted(lat * 1000.0 for lat in latencies)
+
+    def q(fraction: float) -> float:
+        from ..telemetry.metrics import quantile
+
+        return round(quantile(lat_ms, fraction), 3)
+
+    return {
+        "config": {
+            "workload": config.workload,
+            "workload_params": dict(config.workload_params),
+            "simulator": config.simulator,
+            "channels": list(config.channels),
+            "message_length": config.message_length,
+            "requests": config.requests,
+            "concurrency": config.concurrency,
+            "rate_rps": config.rate,
+            "root_seed": config.root_seed,
+            "deadline_ms": config.deadline_ms,
+        },
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(len(latencies) / wall_s, 2) if wall_s else 0.0,
+        "statuses": status_counts,
+        "ok": ok,
+        "latency_ms": {
+            "count": len(lat_ms),
+            "mean": round(sum(lat_ms) / len(lat_ms), 3) if lat_ms else 0.0,
+            "p50": q(0.50),
+            "p95": q(0.95),
+            "p99": q(0.99),
+            "max": round(lat_ms[-1], 3) if lat_ms else 0.0,
+        },
+        "client_mean_batch": (
+            round(sum(batch_sizes) / len(batch_sizes), 3)
+            if batch_sizes
+            else 0.0
+        ),
+        "verified": verified,
+        "mismatches": mismatches,
+        "bit_exact": (not mismatches) if config.verify else None,
+        "server": server_stats,
+    }

@@ -1,0 +1,236 @@
+"""The newline-delimited-JSON wire protocol of the simulation service.
+
+One request or response per line, UTF-8 JSON, ``\\n``-terminated — the
+framing every language can speak with a socket and a JSON parser, and
+the one that keeps the asyncio server to ``readline()`` / ``write()``.
+
+Requests are ``{"op": ..., "id": ...}`` objects:
+
+``run``
+    Execute one trial.  Carries a ``spec`` (the :class:`~repro.sim
+    .sweep.TrialSpec` identity fields: ``workload``, ``simulator``,
+    ``B``, ``workload_params``, ``sim_params``, ``message_length``,
+    ``repeat``), a ``root_seed``, and an optional ``deadline_ms``
+    (maximum queueing delay before the request is abandoned).  The
+    trial's RNG seed derives from ``(spec, root_seed)`` exactly as in
+    :func:`repro.sim.sweep.trial_seed`, so a response is bit-identical
+    to the same spec run through ``run_sweep`` or a serial
+    :class:`~repro.sim.wormhole.WormholeSimulator` replay.
+``health`` / ``stats``
+    Liveness and metrics snapshots (always served, even while draining).
+``shutdown``
+    Ask the server to drain gracefully: in-flight and queued requests
+    finish, new admissions are rejected, then the server exits.
+
+Responses carry ``status``:
+
+``ok``
+    ``metrics`` holds the trial metrics (same dict as the sweep path,
+    including ``completion_digest``); ``batched`` reports how many
+    trials shared the request's lockstep batch and ``queue_ms`` how
+    long it waited for admission + batching.
+``rejected``
+    Admission backpressure (queue full, or draining).  ``error`` names
+    the reason and ``retry_after_ms`` hints when to retry — the
+    429-style contract.
+``deadline_exceeded``
+    The request's ``deadline_ms`` elapsed before its batch launched.
+``error``
+    Malformed request or execution failure; ``error`` has the message.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from ..network.graph import NetworkError
+from ..sim.sweep import SIMULATORS, WORKLOADS, TrialSpec
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "STATUS_ERROR",
+    "STATUS_EXPIRED",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "ProtocolError",
+    "RunRequest",
+    "decode_message",
+    "encode_message",
+    "error_response",
+    "expired_response",
+    "ok_response",
+    "parse_run_request",
+    "reject_response",
+]
+
+PROTOCOL_VERSION = 1
+
+STATUS_OK = "ok"
+STATUS_REJECTED = "rejected"
+STATUS_EXPIRED = "deadline_exceeded"
+STATUS_ERROR = "error"
+
+#: Ceiling on one encoded message (a line); guards the reader against
+#: an endless unterminated line from a confused client.
+MAX_LINE_BYTES = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A line that is not a valid protocol message."""
+
+
+def encode_message(msg: dict[str, Any]) -> bytes:
+    """One message as a compact, newline-terminated JSON line."""
+    return json.dumps(msg, sort_keys=True, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_message(line: bytes | str) -> dict[str, Any]:
+    """Parse one line into a message dict, or raise :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"message is not UTF-8: {exc}") from None
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty message line")
+    try:
+        msg = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"message is not valid JSON: {exc}") from None
+    if not isinstance(msg, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(msg).__name__}"
+        )
+    return msg
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """A validated ``run`` request, ready for admission."""
+
+    id: str
+    spec: TrialSpec
+    root_seed: int
+    deadline_ms: float | None = None
+
+
+def _require_int(msg: dict, key: str, default: int) -> int:
+    value = msg.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"{key!r} must be an integer, got {value!r}")
+    return value
+
+
+def parse_run_request(msg: dict[str, Any]) -> RunRequest:
+    """Validate a ``run`` message into a :class:`RunRequest`.
+
+    Raises :class:`ProtocolError` on any malformed field; spec
+    validation is delegated to :meth:`TrialSpec.make`, so the service
+    and the sweep runner accept exactly the same grid cells.
+    """
+    req_id = msg.get("id")
+    if req_id is None:
+        req_id = ""
+    if not isinstance(req_id, str):
+        raise ProtocolError(f"'id' must be a string, got {req_id!r}")
+    spec_dict = msg.get("spec")
+    if not isinstance(spec_dict, dict):
+        raise ProtocolError("'spec' must be an object with the trial fields")
+    unknown = set(spec_dict) - {
+        "workload",
+        "simulator",
+        "B",
+        "workload_params",
+        "sim_params",
+        "message_length",
+        "repeat",
+    }
+    if unknown:
+        raise ProtocolError(f"unknown spec fields: {sorted(unknown)}")
+    workload = spec_dict.get("workload")
+    if workload not in WORKLOADS:
+        raise ProtocolError(
+            f"unknown workload {workload!r}; "
+            f"registered: {', '.join(sorted(WORKLOADS))}"
+        )
+    simulator = spec_dict.get("simulator", "wormhole")
+    if simulator not in SIMULATORS:
+        raise ProtocolError(
+            f"unknown simulator {simulator!r}; "
+            f"registered: {', '.join(sorted(SIMULATORS))}"
+        )
+    try:
+        spec = TrialSpec.make(
+            workload,
+            simulator,
+            B=_require_int(spec_dict, "B", 1),
+            workload_params=spec_dict.get("workload_params"),
+            sim_params=spec_dict.get("sim_params"),
+            message_length=spec_dict.get("message_length"),
+            repeat=_require_int(spec_dict, "repeat", 0),
+        )
+    except (NetworkError, TypeError) as exc:
+        raise ProtocolError(f"invalid spec: {exc}") from None
+    root_seed = _require_int(msg, "root_seed", 0)
+    deadline_ms = msg.get("deadline_ms")
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) or not isinstance(
+            deadline_ms, (int, float)
+        ):
+            raise ProtocolError(
+                f"'deadline_ms' must be a number, got {deadline_ms!r}"
+            )
+        if deadline_ms < 0:
+            raise ProtocolError("'deadline_ms' must be >= 0")
+        deadline_ms = float(deadline_ms)
+    return RunRequest(
+        id=req_id, spec=spec, root_seed=root_seed, deadline_ms=deadline_ms
+    )
+
+
+# ----------------------------------------------------------------------
+# Response builders
+# ----------------------------------------------------------------------
+
+
+def ok_response(
+    req_id: str,
+    metrics: dict[str, Any],
+    *,
+    batched: int,
+    queue_ms: float,
+) -> dict[str, Any]:
+    return {
+        "id": req_id,
+        "status": STATUS_OK,
+        "metrics": metrics,
+        "batched": int(batched),
+        "queue_ms": round(float(queue_ms), 3),
+    }
+
+
+def reject_response(
+    req_id: str, reason: str, *, retry_after_ms: float
+) -> dict[str, Any]:
+    return {
+        "id": req_id,
+        "status": STATUS_REJECTED,
+        "error": reason,
+        "retry_after_ms": max(1, round(float(retry_after_ms))),
+    }
+
+
+def expired_response(req_id: str, *, waited_ms: float) -> dict[str, Any]:
+    return {
+        "id": req_id,
+        "status": STATUS_EXPIRED,
+        "error": "deadline expired before the request was dispatched",
+        "waited_ms": round(float(waited_ms), 3),
+    }
+
+
+def error_response(req_id: str | None, message: str) -> dict[str, Any]:
+    return {"id": req_id or "", "status": STATUS_ERROR, "error": message}

@@ -1,0 +1,366 @@
+"""The asyncio TCP server: acceptor, admission, stats, graceful drain.
+
+:class:`SimulationService` ties the pieces together:
+
+* an ``asyncio.start_server`` acceptor reading newline-delimited JSON
+  (:mod:`repro.service.protocol`) — one in-flight ``run`` per
+  connection (clients open several connections for concurrency, as
+  ``repro loadgen`` does);
+* a bounded :class:`~repro.service.admission.AdmissionQueue` — a full
+  queue answers ``rejected`` with a ``retry_after_ms`` drain estimate
+  instead of queueing unboundedly;
+* the :class:`~repro.service.batcher.DynamicBatcher` coalescing
+  compatible requests into lockstep batches;
+* :class:`ServiceStats` — :mod:`repro.telemetry.metrics` collectors
+  (request counters, queue-depth gauge, batch-occupancy histogram,
+  latency quantiles) behind the ``health`` / ``stats`` endpoints.
+
+Graceful shutdown (``shutdown`` op, or SIGINT/SIGTERM under ``repro
+serve``) follows the drain discipline: stop accepting connections,
+reject new ``run`` admissions with a ``draining`` backpressure
+response, let the batcher flush every queued and in-flight request,
+wait until every response has been written, then close.  No admitted
+request is ever dropped or answered partially.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass
+from typing import Any
+
+from ..telemetry.metrics import (
+    DepthGauge,
+    EventCounter,
+    LatencyRecorder,
+    SizeHistogram,
+)
+from .admission import AdmissionQueue, PendingRequest, QueueFullError
+from .batcher import BatchPolicy, DynamicBatcher, batch_compat_key
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    parse_run_request,
+    reject_response,
+)
+
+__all__ = ["ServiceConfig", "ServiceStats", "SimulationService", "serve"]
+
+MAX_LINE_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one service instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 7654
+    queue_limit: int = 64
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    #: Backpressure hint attached to ``draining`` rejects.
+    drain_retry_after_ms: float = 1000.0
+
+    def policy(self) -> BatchPolicy:
+        return BatchPolicy(max_batch=self.max_batch, max_wait_ms=self.max_wait_ms)
+
+
+class ServiceStats:
+    """Cross-request service metrics, snapshot-ready for ``stats``."""
+
+    def __init__(self) -> None:
+        self.counters = EventCounter(
+            "requests_total",
+            "completed",
+            "rejected_queue_full",
+            "rejected_draining",
+            "deadline_expired",
+            "errors",
+            "protocol_errors",
+        )
+        self.queue_depth = DepthGauge()
+        self.batches = SizeHistogram()
+        self.latency = LatencyRecorder()
+
+    # -- batcher callbacks --------------------------------------------
+    def note_completed(self, *, latency_s: float, batch_size: int) -> None:
+        self.counters.bump("completed")
+        self.latency.record(latency_s)
+
+    def note_batch(self, size: int) -> None:
+        if size:
+            self.batches.record(size)
+
+    def note_expired(self) -> None:
+        self.counters.bump("deadline_expired")
+
+    def note_errors(self, n: int) -> None:
+        self.counters.bump("errors", n)
+
+    # ------------------------------------------------------------------
+    def snapshot(
+        self, *, draining: bool, uptime_s: float, queue: AdmissionQueue,
+        in_flight: int,
+    ) -> dict[str, Any]:
+        self.queue_depth.set(len(queue))
+        return {
+            "status": "draining" if draining else "ok",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": round(uptime_s, 3),
+            "queue": {**self.queue_depth.snapshot(), "limit": queue.limit},
+            "in_flight": in_flight,
+            "counters": self.counters.snapshot(),
+            "batches": self.batches.snapshot(),
+            "latency_ms": self.latency.summary(),
+        }
+
+
+class SimulationService:
+    """One service instance: call :meth:`run` (blocks until drained)."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.stats = ServiceStats()
+        self.queue = AdmissionQueue(self.config.queue_limit)
+        self.batcher = DynamicBatcher(
+            self.queue, self.config.policy(), stats=self.stats
+        )
+        self.started = asyncio.Event()
+        self.port: int | None = None
+        self._shutdown = asyncio.Event()
+        self._draining = False
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._responses_pending = 0
+        self._all_flushed = asyncio.Event()
+        self._all_flushed.set()
+        self._started_at: float | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def request_shutdown(self) -> None:
+        """Begin the graceful drain (idempotent, callable from signals)."""
+        self._draining = True
+        self._shutdown.set()
+        self.batcher.begin_drain()
+
+    async def run(self) -> None:
+        """Listen, serve, drain; returns once fully shut down."""
+        loop = asyncio.get_running_loop()
+        self._started_at = loop.time()
+        batcher_task = asyncio.create_task(
+            self.batcher.run(), name="repro-batcher"
+        )
+        server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self.started.set()
+        try:
+            await self._shutdown.wait()
+        finally:
+            self.request_shutdown()
+            # 1. Stop accepting new connections.
+            server.close()
+            await server.wait_closed()
+            # 2. Drain: the batcher flushes every queued + in-flight
+            #    request (admissions are already rejected as draining).
+            await batcher_task
+            # 3. Wait until every resolved response has been written.
+            await self._all_flushed.wait()
+            # 4. Close lingering connections; handlers exit on EOF.
+            for writer in list(self._writers):
+                writer.close()
+            if self._conn_tasks:
+                await asyncio.gather(
+                    *self._conn_tasks, return_exceptions=True
+                )
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                ):
+                    break
+                if not line:
+                    break
+                await self._handle_line(line, writer)
+        except ConnectionResetError:
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _handle_line(
+        self, line: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            msg = decode_message(line)
+        except ProtocolError as exc:
+            self.stats.counters.bump("protocol_errors")
+            await self._send(writer, error_response(None, str(exc)))
+            return
+        op = msg.get("op")
+        req_id = msg.get("id") if isinstance(msg.get("id"), str) else ""
+        if op == "run":
+            await self._handle_run(msg, writer)
+        elif op == "health":
+            await self._send(writer, {"id": req_id, **self._health()})
+        elif op == "stats":
+            await self._send(writer, {"id": req_id, **self._stats_snapshot()})
+        elif op == "shutdown":
+            await self._send(
+                writer, {"id": req_id, "status": "ok", "draining": True}
+            )
+            self.request_shutdown()
+        else:
+            self.stats.counters.bump("protocol_errors")
+            await self._send(
+                writer, error_response(req_id, f"unknown op {op!r}")
+            )
+
+    async def _handle_run(
+        self, msg: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        self.stats.counters.bump("requests_total")
+        try:
+            request = parse_run_request(msg)
+        except ProtocolError as exc:
+            self.stats.counters.bump("protocol_errors")
+            await self._send(writer, error_response(msg.get("id"), str(exc)))
+            return
+        if self._draining:
+            self.stats.counters.bump("rejected_draining")
+            await self._send(
+                writer,
+                reject_response(
+                    request.id,
+                    "draining",
+                    retry_after_ms=self.config.drain_retry_after_ms,
+                ),
+            )
+            return
+        now = loop.time()
+        pending = PendingRequest(
+            request=request,
+            key=batch_compat_key(request.spec),
+            batchable=True,
+            enqueued_at=now,
+            expires_at=(
+                None
+                if request.deadline_ms is None
+                else now + request.deadline_ms / 1000.0
+            ),
+            future=loop.create_future(),
+        )
+        try:
+            self.queue.admit(pending)
+        except QueueFullError as exc:
+            self.stats.counters.bump("rejected_queue_full")
+            await self._send(
+                writer,
+                reject_response(
+                    request.id,
+                    "queue full",
+                    retry_after_ms=exc.retry_after_ms,
+                ),
+            )
+            return
+        self.stats.queue_depth.set(len(self.queue))
+        self._responses_pending += 1
+        self._all_flushed.clear()
+        try:
+            response = await pending.future
+            await self._send(writer, response)
+        finally:
+            self._responses_pending -= 1
+            if self._responses_pending == 0:
+                self._all_flushed.set()
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, msg: dict[str, Any]
+    ) -> None:
+        try:
+            writer.write(encode_message(msg))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            pass  # client went away; the drain ledger still balances
+
+    # -- introspection endpoints ---------------------------------------
+    def _uptime(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return asyncio.get_running_loop().time() - self._started_at
+
+    def _health(self) -> dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": round(self._uptime(), 3),
+            "queue_depth": len(self.queue),
+            "in_flight": self.batcher.in_flight,
+        }
+
+    def _stats_snapshot(self) -> dict[str, Any]:
+        return self.stats.snapshot(
+            draining=self._draining,
+            uptime_s=self._uptime(),
+            queue=self.queue,
+            in_flight=self.batcher.in_flight,
+        )
+
+
+async def serve(config: ServiceConfig | None = None, *, quiet: bool = False) -> None:
+    """Run a service until SIGINT/SIGTERM (or a ``shutdown`` op), then drain."""
+    import signal
+
+    service = SimulationService(config)
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(sig, service.request_shutdown)
+    runner = asyncio.create_task(service.run())
+    await service.started.wait()
+    if not quiet:
+        cfg = service.config
+        print(
+            f"repro service listening on {cfg.host}:{service.port} "
+            f"(queue limit {cfg.queue_limit}, max batch {cfg.max_batch}, "
+            f"max wait {cfg.max_wait_ms} ms)",
+            flush=True,
+        )
+    await runner
+    if not quiet:
+        counters = service.stats.counters
+        print(
+            f"repro service drained: {counters['completed']} completed, "
+            f"{counters['rejected_queue_full']} queue-full rejects, "
+            f"{counters['deadline_expired']} expired",
+            flush=True,
+        )

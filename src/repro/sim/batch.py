@@ -66,7 +66,32 @@ from .engine import (
 from .stats import SimulationResult
 from .wormhole import _EDGE_SIMPLE_WHAT, _PRIORITIES
 
-__all__ = ["run_wormhole_batch"]
+__all__ = ["batch_compat_key", "run_wormhole_batch"]
+
+
+def batch_compat_key(spec) -> tuple:
+    """What makes two sweep cells / service requests lockstep-compatible.
+
+    Trials sharing this key can ride in one :func:`run_wormhole_batch`
+    call: they share the workload (hence the path matrix), ``L``, and
+    the sim params (hence the priority discipline), while ``B`` varies
+    per trial via the batch engine's per-trial capacities and seeds stay
+    per-trial by construction.  ``repeat`` only separates derived seeds,
+    so it never splits a batch.
+
+    Both packers — :func:`repro.sim.sweep.run_sweep` and the
+    :class:`repro.service.batcher.DynamicBatcher` — key on this one
+    helper, so "compatible" cannot drift between the offline and online
+    paths.  ``spec`` is any object with the :class:`~repro.sim.sweep
+    .TrialSpec` identity fields.
+    """
+    return (
+        spec.simulator,
+        spec.workload,
+        spec.workload_params,
+        spec.message_length,
+        spec.sim_params,
+    )
 
 
 def _per_trial(value, T: int, name: str) -> np.ndarray:
@@ -75,7 +100,10 @@ def _per_trial(value, T: int, name: str) -> np.ndarray:
     if arr.ndim == 0:
         return np.full(T, int(arr), dtype=np.int64)
     if arr.shape != (T,):
-        raise NetworkError(f"{name} must be a scalar or have shape ({T},)")
+        raise NetworkError(
+            f"{name} must be a scalar or match the {T} seeds "
+            f"(one entry per trial), got shape {arr.shape}"
+        )
     return arr.copy()
 
 
@@ -105,9 +133,10 @@ def run_wormhole_batch(
     message_length:
         The paper's ``L`` (scalar or per-message), shared by all trials.
     seeds:
-        One entry per trial — anything ``np.random.default_rng``
-        accepts (int, ``SeedSequence``, ``Generator``, ``None``).  Each
-        trial draws from its own generator in serial order.
+        One entry per trial (at least one) — anything
+        ``np.random.default_rng`` accepts (int, ``SeedSequence``,
+        ``Generator``, ``None``).  Each trial draws from its own
+        generator in serial order.
     num_virtual_channels:
         The ``B`` of each trial — a scalar or a per-trial sequence, so
         one batch can cover a whole ``B`` sweep of a grid.
@@ -127,8 +156,13 @@ def run_wormhole_batch(
     """
     seeds = list(seeds)
     T = len(seeds)
+    if T == 0:
+        raise NetworkError(
+            "seeds is empty: a batch needs at least one trial "
+            "(run_wormhole_batch simulates one trial per seed)"
+        )
     B = _per_trial(num_virtual_channels, T, "num_virtual_channels")
-    if T and B.min() < 1:
+    if B.min() < 1:
         raise NetworkError(
             f"need at least one virtual channel, got {int(B.min())}"
         )
@@ -139,9 +173,15 @@ def run_wormhole_batch(
     pp = PaddedPaths.from_paths(paths)
     padded, D = pp.padded, pp.lengths
     M = int(D.size)
-    L = np.broadcast_to(
-        np.asarray(message_length, dtype=np.int64), (M,)
-    ).copy()
+    try:
+        L = np.broadcast_to(
+            np.asarray(message_length, dtype=np.int64), (M,)
+        ).copy()
+    except ValueError:
+        raise NetworkError(
+            f"message_length must be a scalar or have shape ({M},), got "
+            f"shape {np.asarray(message_length).shape}"
+        ) from None
     if M and L.min() < 1:
         raise NetworkError("message length L must be >= 1")
     pp.require_edge_simple(_EDGE_SIMPLE_WHAT)
@@ -155,8 +195,6 @@ def run_wormhole_batch(
     if M and release.min() < 0:
         raise NetworkError("release times must be >= 0")
 
-    if T == 0:
-        return []
     if M == 0:
         return [
             SimulationResult(

@@ -45,6 +45,7 @@ from typing import Any
 import numpy as np
 
 from ..network.graph import NetworkError
+from .batch import batch_compat_key
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
@@ -508,20 +509,10 @@ _BATCH_SIMULATORS = frozenset({"wormhole"})
 DEFAULT_BATCH_SIZE = 32
 
 
-def _batch_key(spec: TrialSpec) -> tuple:
-    """Grid cells batchable together: everything but ``B`` and ``repeat``.
-
-    Trials in one batch share the workload, ``L``, and sim params (hence
-    priority discipline); ``B`` varies per trial via the batch engine's
-    per-trial capacities, and seeds stay per-trial by construction.
-    """
-    return (
-        spec.simulator,
-        spec.workload,
-        spec.workload_params,
-        spec.message_length,
-        spec.sim_params,
-    )
+# Grid cells batchable together: everything but ``B`` and ``repeat``.
+# The definition of "compatible" is owned by ``repro.sim.batch`` and
+# shared with the online service batcher so the two cannot drift.
+_batch_key = batch_compat_key
 
 
 def _execute_batch(

@@ -7,6 +7,9 @@ A pluggable observability layer for every simulator in the package:
 * :mod:`~repro.telemetry.collectors` — channel utilization, buffer
   occupancy, stall attribution (head-of-line blame), throughput /
   backlog, plus the legacy trace-snapshot and edge-contention maps;
+* :mod:`~repro.telemetry.metrics` — generic cross-request service
+  metrics (counters, depth gauges, occupancy histograms, latency
+  quantiles) backing the :mod:`repro.service` ``stats`` endpoint;
 * :mod:`~repro.telemetry.trace` — versioned JSONL / NPZ event traces
   with a bit-exact :func:`replay_check`;
 * :mod:`~repro.telemetry.watchdog` — stall / low-delivery-rate alerts
@@ -33,6 +36,13 @@ from .collectors import (
     TraceSnapshotCollector,
     standard_collectors,
 )
+from .metrics import (
+    DepthGauge,
+    EventCounter,
+    LatencyRecorder,
+    SizeHistogram,
+    quantile,
+)
 from .probe import Probe, ProbeSet, RunMeta
 from .report import render_report
 from .trace import (
@@ -50,10 +60,14 @@ from .watchdog import Watchdog
 __all__ = [
     "BufferOccupancyCollector",
     "ChannelUtilizationCollector",
+    "DepthGauge",
     "EdgeContentionCollector",
+    "EventCounter",
+    "LatencyRecorder",
     "Probe",
     "ProbeSet",
     "RunMeta",
+    "SizeHistogram",
     "StallAttributionCollector",
     "ThroughputCollector",
     "TRACE_FORMAT",
@@ -64,6 +78,7 @@ __all__ = [
     "TraceSnapshotCollector",
     "Watchdog",
     "load_trace",
+    "quantile",
     "render_report",
     "replay_check",
     "standard_collectors",

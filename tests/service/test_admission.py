@@ -1,0 +1,127 @@
+"""Unit tests for the bounded admission queue (backpressure layer)."""
+
+import asyncio
+
+import pytest
+
+from repro.service.admission import AdmissionQueue, PendingRequest, QueueFullError
+
+
+def _pending(key=("k",), enqueued_at=0.0, expires_at=None):
+    return PendingRequest(
+        request=None,
+        key=key,
+        batchable=True,
+        enqueued_at=enqueued_at,
+        expires_at=expires_at,
+        future=None,
+    )
+
+
+def test_limit_must_be_positive():
+    with pytest.raises(ValueError, match="limit"):
+        AdmissionQueue(0)
+
+
+def test_admit_until_full_then_structured_reject():
+    async def scenario():
+        q = AdmissionQueue(2, default_service_ms=40.0)
+        q.admit(_pending())
+        q.admit(_pending())
+        assert len(q) == 2 and q.full
+        with pytest.raises(QueueFullError) as exc_info:
+            q.admit(_pending())
+        # Drain estimate: depth (2) x EWMA service time (40 ms).
+        assert exc_info.value.retry_after_ms == pytest.approx(80.0)
+        assert "retry after" in str(exc_info.value)
+        assert len(q) == 2  # the rejected request was never queued
+
+    asyncio.run(scenario())
+
+
+def test_retry_hint_tracks_ewma_service_time():
+    async def scenario():
+        q = AdmissionQueue(8, default_service_ms=50.0, ewma_alpha=0.5)
+        q.admit(_pending())
+        assert q.retry_after_ms() == pytest.approx(50.0)
+        # One batch of 4 requests took 0.8 s -> 200 ms/request observed;
+        # EWMA with alpha=0.5 moves 50 -> 125.
+        q.note_service_time(0.8, requests=4)
+        assert q.retry_after_ms() == pytest.approx(125.0)
+        q.note_service_time(0.0, requests=0)  # no-op guard
+        assert q.retry_after_ms() == pytest.approx(125.0)
+
+    asyncio.run(scenario())
+
+
+def test_retry_hint_floor_is_one_ms():
+    async def scenario():
+        q = AdmissionQueue(4, default_service_ms=0.0)
+        assert q.retry_after_ms() >= 1.0
+
+    asyncio.run(scenario())
+
+
+def test_take_compatible_is_fifo_and_keeps_others_in_place():
+    async def scenario():
+        q = AdmissionQueue(16)
+        a1, b1, a2, b2, a3 = (
+            _pending(key=("a",)),
+            _pending(key=("b",)),
+            _pending(key=("a",)),
+            _pending(key=("b",)),
+            _pending(key=("a",)),
+        )
+        for p in (a1, b1, a2, b2, a3):
+            q.admit(p)
+        assert q.peek() is a1
+        assert q.count_compatible(("a",)) == 3
+        assert q.count_compatible(("b",)) == 2
+
+        taken = q.take_compatible(("a",), max_batch=2)
+        assert taken == [a1, a2]  # FIFO among matches, capped at max_batch
+        # Non-matching requests kept their relative order; the surplus
+        # "a" rides a later batch.
+        assert q.peek() is b1
+        assert q.take_compatible(("b",), max_batch=8) == [b1, b2]
+        assert q.take_compatible(("a",), max_batch=8) == [a3]
+        assert len(q) == 0
+
+    asyncio.run(scenario())
+
+
+def test_wait_arrival_wakes_on_admit_and_on_kick():
+    async def scenario():
+        q = AdmissionQueue(4)
+
+        async def admit_later():
+            await asyncio.sleep(0.01)
+            q.admit(_pending())
+
+        task = asyncio.create_task(admit_later())
+        await asyncio.wait_for(q.wait_arrival(), 5)
+        await task
+        assert len(q) == 1
+
+        # kick() unblocks a waiter even with no arrival (drain path).
+        async def kick_later():
+            await asyncio.sleep(0.01)
+            q.kick()
+
+        q.take_compatible(("k",), 8)
+        task = asyncio.create_task(kick_later())
+        await asyncio.wait_for(q.wait_arrival(), 5)
+        await task
+
+        # With items queued and no timeout, wait_arrival returns at once.
+        q.admit(_pending())
+        await asyncio.wait_for(q.wait_arrival(), 5)
+
+    asyncio.run(scenario())
+
+
+def test_expiry_predicate():
+    p = _pending(expires_at=10.0)
+    assert not p.expired(9.9)
+    assert p.expired(10.0)
+    assert not _pending(expires_at=None).expired(1e9)

@@ -1,0 +1,54 @@
+"""The batch-compatibility key is defined once and shared everywhere.
+
+``repro.sim.batch.batch_compat_key`` owns the definition of "these
+trials may share a lockstep batch".  Both consumers — the offline sweep
+packer and the online service batcher — must use that exact function,
+so the two can never drift apart on what is batchable.
+"""
+
+from repro.sim import batch, sweep
+from repro.sim.sweep import TrialSpec
+from repro.service import batcher as service_batcher
+from repro.service.batcher import DynamicBatcher
+
+
+def _spec(**overrides):
+    kwargs = dict(
+        workload="chain-bundle",
+        simulator="wormhole",
+        B=2,
+        workload_params={"chains": 2, "depth": 4, "messages": 3},
+        message_length=8,
+        repeat=0,
+    )
+    kwargs.update(overrides)
+    return TrialSpec.make(**kwargs)
+
+
+def test_sweep_uses_the_shared_helper():
+    assert sweep._batch_key is batch.batch_compat_key
+
+
+def test_service_uses_the_shared_helper():
+    assert service_batcher.batch_compat_key is batch.batch_compat_key
+    spec = _spec()
+    assert DynamicBatcher.compat_key(spec) == batch.batch_compat_key(spec)
+
+
+def test_key_ignores_B_and_repeat_but_not_workload():
+    base = batch.batch_compat_key(_spec())
+    # B and repeat vary within a batch (per-trial vectors / fresh seeds).
+    assert batch.batch_compat_key(_spec(B=4)) == base
+    assert batch.batch_compat_key(_spec(repeat=3)) == base
+    # Anything shaping the shared lockstep state splits the batch.
+    assert batch.batch_compat_key(_spec(message_length=16)) != base
+    assert (
+        batch.batch_compat_key(
+            _spec(workload_params={"chains": 3, "depth": 4, "messages": 3})
+        )
+        != base
+    )
+    assert batch.batch_compat_key(_spec(simulator="store_forward")) != base
+    assert (
+        batch.batch_compat_key(_spec(sim_params={"priority": "index"})) != base
+    )

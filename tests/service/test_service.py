@@ -1,0 +1,289 @@
+"""End-to-end service tests: golden equivalence, backpressure, draining.
+
+These exercise a real :class:`SimulationService` on an ephemeral port
+inside ``asyncio.run`` (no event-loop plugin needed).  The headline
+test is the golden-equivalence run: a concurrent load generator whose
+every response must be bit-identical to a serial
+:class:`~repro.sim.wormhole.WormholeSimulator` replay, while the
+server's stats endpoint reports mean batch occupancy > 1 — i.e. the
+dynamic batcher really coalesced concurrent requests and really did
+not change a single answer.
+"""
+
+import asyncio
+import contextlib
+
+import pytest
+
+from repro.service import (
+    STATUS_EXPIRED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    LoadgenConfig,
+    ServiceClient,
+    ServiceConfig,
+    SimulationService,
+    run_loadgen,
+)
+from repro.sim.sweep import TrialSpec, _execute_trial
+
+WORKLOAD_PARAMS = {"chains": 2, "depth": 4, "messages": 3}
+
+
+def _spec(B=2, repeat=0):
+    return TrialSpec.make(
+        "chain-bundle",
+        "wormhole",
+        B=B,
+        workload_params=WORKLOAD_PARAMS,
+        message_length=8,
+        repeat=repeat,
+    )
+
+
+def run_async(coro, timeout=60):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+@contextlib.asynccontextmanager
+async def service(**overrides):
+    """A live service on an ephemeral port; drains cleanly on exit."""
+    overrides.setdefault("port", 0)
+    svc = SimulationService(ServiceConfig(**overrides))
+    task = asyncio.create_task(svc.run())
+    await svc.started.wait()
+    try:
+        yield svc
+    finally:
+        svc.request_shutdown()
+        await task
+
+
+async def _wait_for_depth(svc, depth):
+    """Poll until ``depth`` requests are queued (event-loop friendly)."""
+    while len(svc.queue) < depth:
+        await asyncio.sleep(0.005)
+
+
+def test_golden_equivalence_under_concurrent_load():
+    """Concurrent loadgen: batched answers bit-identical to serial runs.
+
+    Pins the acceptance criterion: at concurrency 8 the stats endpoint
+    must report mean batch occupancy > 1 while every response matches a
+    local serial replay byte for byte.
+    """
+
+    async def scenario():
+        async with service(max_wait_ms=60.0, max_batch=32) as svc:
+            config = LoadgenConfig(
+                workload="chain-bundle",
+                workload_params=WORKLOAD_PARAMS,
+                channels=(1, 2, 4),
+                message_length=8,
+                requests=24,
+                concurrency=8,
+                root_seed=3,
+                verify=True,
+            )
+            return await run_loadgen("127.0.0.1", svc.port, config)
+
+    report = run_async(scenario(), timeout=120)
+    assert report["statuses"] == {STATUS_OK: 24}
+    assert report["ok"] == 24
+    assert report["verified"] == 24
+    assert report["mismatches"] == []
+    assert report["bit_exact"] is True
+    batches = report["server"]["batches"]
+    assert batches["mean_occupancy"] > 1
+    assert batches["total"] == 24  # every request rode exactly one batch
+    assert report["client_mean_batch"] > 1
+    assert report["server"]["counters"]["completed"] == 24
+    assert report["server"]["counters"]["errors"] == 0
+
+
+def test_batch_composition_never_changes_answers():
+    """The same spec served solo and in a crowd yields identical metrics."""
+
+    async def scenario():
+        spec = _spec(B=2)
+        async with service(max_wait_ms=50.0) as svc:
+            # Solo: the only request, batch of one.
+            async with await ServiceClient.connect("127.0.0.1", svc.port) as c:
+                solo = await c.run_trial(spec, root_seed=11)
+            # Crowded: same spec sharing a batch with six neighbours.
+            clients = [
+                await ServiceClient.connect("127.0.0.1", svc.port)
+                for _ in range(7)
+            ]
+            try:
+                specs = [spec] + [_spec(B=b, repeat=r) for b, r in
+                                  [(1, 0), (4, 0), (2, 1), (1, 1), (4, 1), (2, 2)]]
+                crowd = await asyncio.gather(*(
+                    c.run_trial(s, root_seed=11)
+                    for c, s in zip(clients, specs)
+                ))
+            finally:
+                for c in clients:
+                    await c.close()
+        return solo, crowd
+
+    solo, crowd = run_async(scenario())
+    assert solo["status"] == STATUS_OK and crowd[0]["status"] == STATUS_OK
+    assert crowd[0]["batched"] > 1  # really shared a lockstep batch
+    assert crowd[0]["metrics"] == solo["metrics"]
+    serial, _ = _execute_trial((_spec(B=2), 11))
+    assert solo["metrics"] == serial
+
+
+def test_deadline_expiry_cancels_before_compute():
+    async def scenario():
+        async with service(max_wait_ms=30.0) as svc:
+            async with await ServiceClient.connect("127.0.0.1", svc.port) as c:
+                # deadline_ms=0 expires the instant the batch launches.
+                doomed = await c.run_trial(_spec(), deadline_ms=0)
+                # The connection stays usable; a later request succeeds.
+                fine = await c.run_trial(_spec(repeat=1))
+            stats = svc._stats_snapshot()
+        return doomed, fine, stats
+
+    doomed, fine, stats = run_async(scenario())
+    assert doomed["status"] == STATUS_EXPIRED
+    assert doomed["waited_ms"] >= 0
+    assert "deadline" in doomed["error"]
+    assert fine["status"] == STATUS_OK
+    assert stats["counters"]["deadline_expired"] == 1
+    assert stats["counters"]["completed"] == 1
+
+
+def test_queue_full_returns_structured_reject():
+    """With a depth-1 queue, a second concurrent request must bounce.
+
+    A queued request counts against the limit for the whole coalescing
+    window (max_batch=2 keeps the window open), so the second admission
+    finds the queue full and gets the 429-style reject with a
+    retry-after hint — it is never silently queued or dropped.
+    """
+
+    async def scenario():
+        async with service(
+            queue_limit=1, max_batch=2, max_wait_ms=1500.0
+        ) as svc:
+            c1 = await ServiceClient.connect("127.0.0.1", svc.port)
+            c2 = await ServiceClient.connect("127.0.0.1", svc.port)
+            try:
+                first = asyncio.create_task(c1.run_trial(_spec()))
+                await _wait_for_depth(svc, 1)
+                bounced = await c2.run_trial(_spec(repeat=1))
+                first_resp = await first
+            finally:
+                await c1.close()
+                await c2.close()
+            stats = svc._stats_snapshot()
+        return bounced, first_resp, stats
+
+    bounced, first_resp, stats = run_async(scenario())
+    assert bounced["status"] == STATUS_REJECTED
+    assert bounced["error"] == "queue full"
+    assert bounced["retry_after_ms"] >= 1
+    # The occupant of the queue was served normally, untouched.
+    assert first_resp["status"] == STATUS_OK
+    assert stats["counters"]["rejected_queue_full"] == 1
+    assert stats["counters"]["completed"] == 1
+
+
+def test_shutdown_drains_all_admitted_requests():
+    """Drain discipline: everything admitted is answered, nothing after.
+
+    Six requests sit in an open coalescing window (the max-wait is far
+    longer than the test); a ``shutdown`` op must (a) flush them all
+    with ``ok`` responses, (b) reject a subsequent ``run`` as
+    ``draining``, and (c) let the server task finish cleanly.
+    """
+
+    async def scenario():
+        svc = SimulationService(
+            ServiceConfig(port=0, max_wait_ms=60_000.0, max_batch=32)
+        )
+        server_task = asyncio.create_task(svc.run())
+        await svc.started.wait()
+        clients = [
+            await ServiceClient.connect("127.0.0.1", svc.port)
+            for _ in range(6)
+        ]
+        control = await ServiceClient.connect("127.0.0.1", svc.port)
+        try:
+            pending = [
+                asyncio.create_task(c.run_trial(_spec(B=1 + i % 3, repeat=i)))
+                for i, c in enumerate(clients)
+            ]
+            await _wait_for_depth(svc, 6)
+            ack = await control.shutdown()
+            # Same control connection, handled strictly after the
+            # shutdown op: the run must bounce as draining.
+            late = await control.run_trial(_spec(repeat=99))
+            responses = await asyncio.gather(*pending)
+        finally:
+            for c in [*clients, control]:
+                await c.close()
+        await asyncio.wait_for(server_task, 30)
+        return ack, late, responses, svc
+
+    ack, late, responses, svc = run_async(scenario())
+    assert ack["status"] == "ok" and ack["draining"] is True
+    assert late["status"] == STATUS_REJECTED
+    assert late["error"] == "draining"
+    assert late["retry_after_ms"] >= 1
+    assert [r["status"] for r in responses] == [STATUS_OK] * 6
+    # The drain flushed everything in one batch, skipping the window.
+    assert all(r["batched"] == 6 for r in responses)
+    assert svc.stats.counters["completed"] == 6
+    assert svc.stats.counters["rejected_draining"] == 1
+    assert len(svc.queue) == 0 and svc.batcher.in_flight == 0
+
+
+def test_health_stats_and_protocol_errors():
+    async def scenario():
+        async with service() as svc:
+            async with await ServiceClient.connect("127.0.0.1", svc.port) as c:
+                health = await c.health()
+                await c.run_trial(_spec())
+                stats = await c.stats()
+                garbage = await c.request({"op": "transmogrify", "id": "x"})
+                raw = await c.request({"op": "run", "id": "bad", "spec": {}})
+        return health, stats, garbage, raw
+
+    health, stats, garbage, raw = run_async(scenario())
+    assert health["status"] == "ok" and health["protocol"] == 1
+    assert health["queue_depth"] == 0
+    assert stats["counters"]["completed"] == 1
+    assert stats["batches"]["count"] == 1
+    assert stats["latency_ms"]["count"] == 1
+    assert stats["queue"]["limit"] == ServiceConfig().queue_limit
+    assert garbage["status"] == "error" and "unknown op" in garbage["error"]
+    assert raw["status"] == "error" and "workload" in raw["error"]
+
+
+def test_non_wormhole_trials_served_via_per_trial_path():
+    async def scenario():
+        spec = TrialSpec.make(
+            "chain-bundle",
+            "store_forward",
+            B=2,
+            workload_params=WORKLOAD_PARAMS,
+            message_length=8,
+        )
+        async with service(max_wait_ms=20.0) as svc:
+            async with await ServiceClient.connect("127.0.0.1", svc.port) as c:
+                resp = await c.run_trial(spec, root_seed=5)
+        serial, _ = _execute_trial((spec, 5))
+        return resp, serial
+
+    resp, serial = run_async(scenario())
+    assert resp["status"] == STATUS_OK
+    assert resp["metrics"] == serial
+
+
+@pytest.mark.parametrize("field, value", [("max_batch", 0), ("max_wait_ms", -1)])
+def test_bad_policy_rejected(field, value):
+    with pytest.raises(ValueError, match=field):
+        ServiceConfig(**{field: value}).policy()

@@ -127,9 +127,8 @@ def test_idle_trial_whose_release_exceeds_the_cap(layered):
     )
 
 
-def test_empty_batch_and_empty_workload(layered):
-    net, paths = layered
-    assert run_wormhole_batch(net, paths, 8, seeds=[]) == []
+def test_empty_workload(layered):
+    net, _ = layered
     out = run_wormhole_batch(net, [], 8, seeds=[0, 1])
     assert len(out) == 2
     for res in out:
@@ -147,14 +146,35 @@ def test_validation_errors(layered):
     net, paths = layered
     with pytest.raises(NetworkError, match="virtual channel"):
         run_wormhole_batch(net, paths, 8, seeds=[0], num_virtual_channels=0)
+    with pytest.raises(NetworkError, match="virtual channel"):
+        run_wormhole_batch(net, paths, 8, seeds=[0, 1], num_virtual_channels=[2, -1])
     with pytest.raises(NetworkError, match="priority"):
         run_wormhole_batch(net, paths, 8, seeds=[0], priority="nope")
     with pytest.raises(NetworkError, match="length L"):
         run_wormhole_batch(net, paths, 0, seeds=[0])
-    with pytest.raises(NetworkError, match="shape"):
+    with pytest.raises(NetworkError, match="seeds"):
+        run_wormhole_batch(net, paths, 8, seeds=[])
+    with pytest.raises(NetworkError, match="one entry per trial"):
         run_wormhole_batch(
             net, paths, 8, seeds=[0, 1], num_virtual_channels=[1, 2, 3]
         )
+    with pytest.raises(NetworkError, match="message_length"):
+        run_wormhole_batch(
+            net, paths, np.arange(1, len(paths) + 2), seeds=[0]
+        )
+
+
+def test_validation_errors_are_valueerrors(layered):
+    """Up-front validation surfaces as ValueError (NetworkError subclasses
+    it), never as a deep engine/numpy shape error."""
+    net, paths = layered
+    for kwargs in (
+        dict(seeds=[]),
+        dict(seeds=[0], num_virtual_channels=0),
+        dict(seeds=[0, 1], num_virtual_channels=[1, 2, 3]),
+    ):
+        with pytest.raises(ValueError):
+            run_wormhole_batch(net, paths, 8, **kwargs)
 
 
 # ----------------------------------------------------------------------

@@ -158,6 +158,74 @@ class TestCommands:
         with pytest.raises(SystemExit, match="batch-size"):
             main(["sweep", "--batch-size", "0"])
 
+    def test_sweep_dry_run_prints_plan_without_executing(self, capsys):
+        assert main(
+            [
+                "sweep",
+                "--workload", "chain-bundle",
+                "--param", "chains=2",
+                "--param", "depth=5",
+                "--param", "messages=3",
+                "--length", "8",
+                "--simulators", "wormhole,store_forward",
+                "--channels", "1,2,4",
+                "--dry-run",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sweep plan (dry run" in out
+        # 3 wormhole trials pack into one lockstep batch; the 3
+        # store_forward trials stay singles.
+        assert "batch" in out and "single" in out
+        assert (
+            "6 trials: 0 cache hits, 6 to execute in 1 lockstep batch(es) "
+            "+ 3 single(s); nothing executed (dry run)" in out
+        )
+        # No trial ran: no result table, no wall time footer.
+        assert "makespan" not in out
+        assert "executed)" not in out
+
+    def test_sweep_dry_run_sees_cache_hits(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--workload", "chain-bundle",
+            "--param", "chains=2",
+            "--param", "depth=5",
+            "--param", "messages=3",
+            "--length", "8",
+            "--simulators", "wormhole",
+            "--channels", "1,2",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "2 trials: 2 cache hits, 0 to execute" in out
+        # --force plans a full re-run even with a warm cache.
+        assert main(argv + ["--dry-run", "--force"]) == 0
+        out = capsys.readouterr().out
+        assert "2 trials: 0 cache hits, 2 to execute" in out
+
+    def test_serve_and_loadgen_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7654 and args.queue_limit == 64
+        assert args.max_batch == 32 and args.max_wait_ms == 2.0
+        args = build_parser().parse_args(["loadgen"])
+        assert args.requests == 32 and args.concurrency == 8
+        assert args.channels == "1,2,4" and args.rate == 0.0
+        assert args.output == "BENCH_service.json"
+        assert not args.no_verify and not args.shutdown
+
+    def test_loadgen_rejects_empty_channels(self):
+        with pytest.raises(SystemExit, match="channels"):
+            main(["loadgen", "--channels", ","])
+
+    def test_loadgen_unreachable_server_is_a_clean_error(self):
+        # Port 1 on loopback is never listening; connect fails fast.
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main(["loadgen", "--port", "1", "--requests", "1"])
+
     def test_bench_quick_writes_report(self, capsys, tmp_path):
         out_file = tmp_path / "bench.json"
         assert main(
