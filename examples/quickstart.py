@@ -6,12 +6,14 @@ permutation as 8 worms of 16 flits each, and shows how virtual channels
 change the outcome: with B = 1 worms serialize wherever their greedy
 paths share an edge; with B = 2 most conflicts vanish.
 
+Everything goes through :func:`repro.simulate`, the unified facade —
+one call per (model, B) point, bit-identical to constructing the
+simulator directly.
+
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro import Butterfly, Table, WormholeSimulator, bit_reversal_permutation
+from repro import Butterfly, Table, bit_reversal_permutation, simulate
 
 N = 8
 L = 16  # flits per message
@@ -30,8 +32,9 @@ def main() -> None:
         ["virtual channels B", "makespan (flit steps)", "blocked flit steps"],
     )
     for B in (1, 2, 4):
-        sim = WormholeSimulator(bf, num_virtual_channels=B, seed=0)
-        result = sim.run(paths, message_length=L)
+        result = simulate(
+            (bf, paths), model="wormhole", B=B, seed=0, message_length=L
+        )
         assert result.all_delivered
         table.add_row([B, result.makespan, result.total_blocked_steps])
     print(table.render())

@@ -21,8 +21,10 @@ Quickstart
 True
 """
 
+from . import exec  # noqa: A004 - the subpackage is deliberately ``repro.exec``
 from . import telemetry
 from .analysis.balls_bins import lemma_3_2_3_bound, prob_no_bin_exceeds
+from .facade import MODELS, simulate
 from .analysis.lll import chernoff_upper_tail, lll_condition
 from .analysis.fitting import PowerLawFit, fit_power_law, loglog_slope
 from .analysis.render import render_butterfly, render_route, render_spacetime
@@ -126,6 +128,7 @@ __all__ = [
     "Hypercube",
     "HypercubeRoutingResult",
     "KAryNCube",
+    "MODELS",
     "MessageEdgeIncidence",
     "Multibutterfly",
     "MultibutterflyRouter",
@@ -159,6 +162,7 @@ __all__ = [
     "decompose_q_relation",
     "dilation",
     "dimension_order_path",
+    "exec",
     "execute_schedule",
     "fit_power_law",
     "hard_instance_lower_bound",
@@ -193,6 +197,7 @@ __all__ = [
     "route_q_relation_benes",
     "select_paths",
     "shortest_paths",
+    "simulate",
     "subset_collision_rate",
     "telemetry",
     "transpose_permutation",

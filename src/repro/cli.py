@@ -150,6 +150,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (0 = serial; results are identical)",
     )
     p.add_argument(
+        "--backend",
+        choices=("inline", "thread", "process"),
+        default=None,
+        help="execution backend (default: process when --workers >= 2, "
+        "inline otherwise; results are identical)",
+    )
+    p.add_argument(
         "--cache-dir",
         default=None,
         help="reuse/populate a per-trial result cache in this directory",
@@ -178,8 +185,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--output",
-        default="BENCH_sim.json",
-        help="result file (default BENCH_sim.json)",
+        default=None,
+        help="result file (default BENCH_sim.json, or BENCH_exec.json "
+        "with --backend)",
     )
     p.add_argument(
         "--repeats",
@@ -202,6 +210,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="worker processes for both timed paths (0 = serial)",
+    )
+    p.add_argument(
+        "--backend",
+        action="store_true",
+        help="compare execution backends (inline vs thread vs process) "
+        "on one grid instead of batched-vs-serial; writes BENCH_exec.json",
     )
     p.add_argument("--seed", type=int, default=0, help="root seed")
 
@@ -229,6 +243,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=2.0,
         help="max time the oldest queued request waits for batch company",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("inline", "thread", "process"),
+        default="thread",
+        help="batch execution backend (process = fault-isolated workers "
+        "with crash recovery)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker threads/processes for the batch backend",
+    )
+    p.add_argument(
+        "--batch-timeout-s",
+        type=float,
+        default=None,
+        help="per-batch execution timeout (process backend only)",
     )
 
     p = sub.add_parser(
@@ -593,6 +626,7 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         cache_dir=args.cache_dir,
         force=args.force,
         batch_size=batch_size,
+        backend=args.backend,
     )
 
     params = ", ".join(f"{k}={v}" for k, v in sorted(workload_params.items()))
@@ -684,6 +718,9 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         queue_limit=args.queue_limit,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
+        backend=args.backend,
+        workers=args.workers,
+        batch_timeout_s=args.batch_timeout_s,
     )
     try:
         asyncio.run(serve(config))
@@ -780,15 +817,126 @@ def _bench_micro(bench_dir) -> list[dict]:
     ]
 
 
+def _machine_info() -> dict:
+    """JSON-safe host provenance shared by the bench payloads."""
+    import os
+    import platform
+
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": os.cpu_count(),
+    }
+
+
+def _bench_backends(args: argparse.Namespace) -> None:
+    """Time the same sweep grid on each exec backend; write BENCH_exec.json.
+
+    Units are single trials (``batch_size=1``) — the granularity the
+    simulation service dispatches — so the comparison isolates backend
+    overhead: GIL hand-offs between worker threads versus pickle
+    round-trips to isolated worker processes.
+    """
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.exec import BACKENDS, create_backend
+    from repro.sim.sweep import run_sweep, sweep_grid
+
+    repeats = 6 if args.quick else max(args.repeats, 12)
+    workers = max(args.workers, 2)
+    rounds = 2 if args.quick else 4
+    channels = (1, 2, 4)
+    workload_params = {"chains": 4, "depth": 12, "messages": 8}
+    specs = sweep_grid(
+        "chain-bundle",
+        "wormhole",
+        channels,
+        workload_params=workload_params,
+        message_length=24,
+        repeats=repeats,
+    )
+    trials = len(specs)
+
+    # Interleave timing rounds across backends (and keep the best of
+    # each) so ambient machine noise drifts across all of them alike
+    # instead of biasing whichever ran last.
+    backends = {n: create_backend(n, workers=workers) for n in BACKENDS}
+    walls = {n: float("inf") for n in BACKENDS}
+    metrics_by: dict[str, list] = {}
+    try:
+        for _ in range(rounds):
+            for name, backend in backends.items():
+                t0 = time.perf_counter()
+                out = run_sweep(
+                    specs,
+                    root_seed=args.seed,
+                    workers=workers,
+                    backend=backend,
+                    batch_size=1,
+                )
+                walls[name] = min(walls[name], time.perf_counter() - t0)
+                metrics_by[name] = [t.metrics for t in out]
+    finally:
+        for backend in backends.values():
+            backend.close()
+    baseline = metrics_by["inline"]
+    results = {
+        name: {
+            "wall_s": round(walls[name], 6),
+            "trials_per_s": round(trials / walls[name], 2),
+            "bit_identical": metrics_by[name] == baseline,
+        }
+        for name in BACKENDS
+    }
+
+    output = args.output or "BENCH_exec.json"
+    payload = {
+        "machine": _machine_info(),
+        "grid": {
+            "workload": "chain-bundle",
+            "workload_params": workload_params,
+            "message_length": 24,
+            "channels": list(channels),
+            "repeats": repeats,
+            "trials": trials,
+            "workers": workers,
+            "batch_size": 1,
+        },
+        "backends": results,
+        "process_vs_thread_speedup": round(
+            results["thread"]["wall_s"] / results["process"]["wall_s"], 2
+        ),
+    }
+    Path(output).write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"bench: {trials} wormhole trials on each backend, {workers} workers")
+    for name in BACKENDS:
+        r = results[name]
+        print(
+            f"  {name:8s} {r['wall_s']:.3f}s  {r['trials_per_s']:8.1f} "
+            f"trials/s  bit-identical: {r['bit_identical']}"
+        )
+    print(
+        f"  process vs thread speedup: "
+        f"{payload['process_vs_thread_speedup']}x\nwritten to {output}"
+    )
+    if not all(r["bit_identical"] for r in results.values()):
+        raise SystemExit("repro bench: backends diverged")
+
+
 def _cmd_bench(args: argparse.Namespace) -> None:
     """Time batched vs per-trial sweep execution; write BENCH_sim.json."""
     import json
-    import os
-    import platform
     import time
     from pathlib import Path
 
     from repro.sim.sweep import DEFAULT_BATCH_SIZE, run_sweep, sweep_grid
+
+    if args.backend:
+        _bench_backends(args)
+        return
 
     repeats = 6 if args.quick else args.repeats
     channels = (1, 2, 4)
@@ -824,12 +972,7 @@ def _cmd_bench(args: argparse.Namespace) -> None:
     speedup = serial_wall / batched_wall
     trials = len(specs)
     payload = {
-        "machine": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "cpus": os.cpu_count(),
-        },
+        "machine": _machine_info(),
         "grid": {
             "workload": "chain-bundle",
             "workload_params": workload_params,
@@ -854,7 +997,8 @@ def _cmd_bench(args: argparse.Namespace) -> None:
     }
     if not (args.quick or args.no_micro):
         payload["micro"] = _bench_micro(_find_bench_dir())
-    Path(args.output).write_text(json.dumps(payload, indent=1) + "\n")
+    output = args.output or "BENCH_sim.json"
+    Path(output).write_text(json.dumps(payload, indent=1) + "\n")
     print(
         f"bench: {trials} wormhole trials (C=8, D=12, L=24, B={channels})\n"
         f"  serial  (batch_size=1):  {serial_wall:.3f}s  "
@@ -862,7 +1006,7 @@ def _cmd_bench(args: argparse.Namespace) -> None:
         f"  batched (batch_size={DEFAULT_BATCH_SIZE}): {batched_wall:.3f}s  "
         f"{trials / batched_wall:8.1f} trials/s\n"
         f"  speedup {speedup:.2f}x, bit-identical: {identical}\n"
-        f"written to {args.output}"
+        f"written to {output}"
     )
     if not identical:
         raise SystemExit("repro bench: batched metrics diverged from serial")

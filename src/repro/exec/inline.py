@@ -1,0 +1,31 @@
+"""In-process execution: the zero-machinery reference backend."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from .base import _StatsMixin
+
+__all__ = ["InlineBackend"]
+
+
+class InlineBackend(_StatsMixin):
+    """Run every unit in the calling thread, one after another.
+
+    The reference implementation the others must match bit for bit:
+    no pools, no pickling, no recovery paths — which is exactly what
+    tests and debugging want, and what the process backend degrades to
+    when its workers keep dying.
+    """
+
+    name = "inline"
+
+    def run(self, fn: Callable[[Any], Any], arg: Any) -> Any:
+        self.stats.counters.bump("submitted")
+        result = fn(arg)
+        self.stats.counters.bump("completed")
+        return result
+
+    def map(self, fn: Callable[[Any], Any], args: Sequence[Any]) -> list[Any]:
+        return [self.run(fn, arg) for arg in args]

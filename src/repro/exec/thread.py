@@ -1,0 +1,54 @@
+"""Thread-pool execution: the service's historical substrate.
+
+Threads share the interpreter, so CPU-bound simulation work is
+GIL-bound — ``map`` overlaps only NumPy's internal no-GIL windows.
+The backend still earns its keep in two places: it keeps blocking
+work off the asyncio event loop, and it is crash-proof (a worker
+thread cannot die out from under the pool the way a process can).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from .base import _StatsMixin
+
+__all__ = ["ThreadBackend"]
+
+
+class ThreadBackend(_StatsMixin):
+    """Run units on a shared :class:`ThreadPoolExecutor`."""
+
+    name = "thread"
+
+    def __init__(self, workers: int = 2) -> None:
+        super().__init__()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-exec"
+        )
+
+    def run(self, fn: Callable[[Any], Any], arg: Any) -> Any:
+        self.stats.counters.bump("submitted")
+        result = self._pool.submit(fn, arg).result()
+        self.stats.counters.bump("completed")
+        return result
+
+    def map(self, fn: Callable[[Any], Any], args: Sequence[Any]) -> list[Any]:
+        args = list(args)
+        self.stats.counters.bump("submitted", len(args))
+        futures = [self._pool.submit(fn, arg) for arg in args]
+        results = []
+        for future in futures:
+            results.append(future.result())
+            self.stats.counters.bump("completed")
+        return results
+
+    def close(self) -> None:
+        if not self._closed:
+            self._pool.shutdown(wait=True)
+        super().close()

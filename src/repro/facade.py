@@ -1,0 +1,349 @@
+"""One front door for the router simulators: :func:`repro.simulate`.
+
+The package grew five flit-level router models, each with its own
+constructor knob for "buffering per physical channel" (virtual
+channels, buffer flits, link bandwidth, buffer slots) and its own
+``run`` shape.  :func:`simulate` is the unified entry point: one
+``problem``, one ``model`` name, one ``B``, and per-model defaults that
+match what the sweep runner uses — so a facade call is bit-identical
+to constructing the simulator directly with the same seed.
+
+Migration table — legacy entry point to facade call:
+
+=====================================================  =====================================
+Legacy                                                 Facade
+=====================================================  =====================================
+``WormholeSimulator(net, B, p, s).run(paths, L)``      ``simulate((net, paths), model="wormhole", B=B, priority=p, seed=s, message_length=L)``
+``CutThroughSimulator(net, B, p, s).run(paths, L)``    ``simulate((net, paths), model="cut_through", B=B, priority=p, seed=s, message_length=L)``
+``StoreForwardSimulator(net, B, p, s).run(paths, L)``  ``simulate((net, paths), model="store_forward", B=B, priority=p, seed=s, message_length=L)``
+``RestrictedWormholeSimulator(net, B, s).run(p, L)``   ``simulate((net, paths), model="restricted", B=B, seed=s, message_length=L)``
+``AdaptiveMeshRouter(cube, B, pol, s).run(d, L)``      ``simulate((cube, demands), model="adaptive", B=B, policy=pol, seed=s, message_length=L)``
+``ContinuousWormholeSimulator(net, n, B, s).run(...)`` ``simulate((net, n, path_of), model="continuous", B=B, seed=s, message_length=L, rate=r, horizon=h)``
+``repro.sim.wormhole.pad_paths`` (deprecated)          ``repro.sim.engine.pad_paths``
+``repro.sim.wormhole.check_edge_simple`` (deprecated)  ``repro.sim.engine.check_edge_simple``
+=====================================================  =====================================
+
+``problem`` may be:
+
+* a ``(net, paths)`` tuple — the network (or cube + demands for the
+  adaptive model, or ``(net, num_sources, path_of)`` for the continuous
+  model) plus the routes;
+* a :class:`~repro.sim.sweep.Workload` instance;
+* a registered workload name (see ``repro.sim.sweep.WORKLOADS``), with
+  ``workload_params`` — this form is picklable, so it is the one that
+  can execute on a :mod:`repro.exec` process backend.
+
+Every model returns a :class:`~repro.sim.stats.SimulationResult` (the
+adaptive router's chosen routes are dropped — use
+:class:`~repro.sim.adaptive.AdaptiveMeshRouter` directly if you need
+``taken_paths``) except ``"continuous"``, which returns its
+:class:`~repro.sim.continuous.ContinuousResult` rate report.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .network.graph import NetworkError
+from .sim.sweep import WORKLOADS, Workload, _build_workload
+
+__all__ = ["MODELS", "simulate"]
+
+#: The models :func:`simulate` dispatches across, in paper order.
+MODELS = (
+    "wormhole",
+    "cut_through",
+    "store_forward",
+    "restricted",
+    "adaptive",
+    "continuous",
+)
+
+#: Models whose ``run`` accepts :mod:`repro.telemetry` probes.
+_TELEMETRY_MODELS = frozenset(
+    {"wormhole", "cut_through", "store_forward", "adaptive"}
+)
+
+#: Per-model arbitration default — the sweep runner's choices, so the
+#: facade and ``run_sweep`` agree on what an unadorned trial means.
+_PRIORITY_DEFAULTS = {
+    "wormhole": "random",
+    "cut_through": "random",
+    "store_forward": "farthest",
+}
+
+
+def _as_workload(problem: Any, model: str, workload_params) -> Workload:
+    """Coerce any accepted ``problem`` form into a :class:`Workload`."""
+    if isinstance(problem, Workload):
+        return problem
+    if isinstance(problem, str):
+        if problem not in WORKLOADS:
+            raise NetworkError(
+                f"unknown workload {problem!r}; "
+                f"registered: {', '.join(sorted(WORKLOADS))}"
+            )
+        params = dict(workload_params or {})
+        return _build_workload(problem, tuple(sorted(params.items())))
+    if isinstance(problem, tuple) and len(problem) == 2:
+        first, second = problem
+        if model == "adaptive":
+            return Workload(
+                net=getattr(first, "network", first),
+                cube=first,
+                demands=list(second),
+            )
+        return Workload(net=first, paths=list(second))
+    raise TypeError(
+        f"problem must be a workload name, a Workload, or a (net, paths) "
+        f"tuple; got {type(problem).__name__}"
+    )
+
+
+def _run_wormhole(wl, *, B, L, seed, priority, telemetry, max_steps, release):
+    from .sim.wormhole import WormholeSimulator
+
+    sim = WormholeSimulator(
+        wl.net, num_virtual_channels=B, priority=priority, seed=seed
+    )
+    return sim.run(
+        wl.paths,
+        message_length=L,
+        release_times=release,
+        max_steps=max_steps,
+        telemetry=telemetry,
+    )
+
+
+def _run_cut_through(wl, *, B, L, seed, priority, telemetry, max_steps, release):
+    from .sim.cut_through import CutThroughSimulator
+
+    sim = CutThroughSimulator(
+        wl.net, buffer_flits=B, priority=priority, seed=seed
+    )
+    return sim.run(
+        wl.paths,
+        message_length=L,
+        release_times=release,
+        max_steps=max_steps,
+        telemetry=telemetry,
+    )
+
+
+def _run_store_forward(wl, *, B, L, seed, priority, telemetry, max_steps, release):
+    from .sim.store_forward import StoreForwardSimulator
+
+    sim = StoreForwardSimulator(
+        wl.net, bandwidth_flits_per_step=B, priority=priority, seed=seed
+    )
+    return sim.run(
+        wl.paths,
+        message_length=L,
+        release_times=release,
+        max_steps=max_steps,
+        telemetry=telemetry,
+    )
+
+
+def _run_restricted(wl, *, B, L, seed, priority, telemetry, max_steps, release):
+    from .sim.restricted import RestrictedWormholeSimulator
+
+    sim = RestrictedWormholeSimulator(wl.net, num_buffers=B, seed=seed)
+    return sim.run(
+        wl.paths, message_length=L, release_times=release, max_steps=max_steps
+    )
+
+
+_PATH_RUNNERS = {
+    "wormhole": _run_wormhole,
+    "cut_through": _run_cut_through,
+    "store_forward": _run_store_forward,
+    "restricted": _run_restricted,
+}
+
+
+def _simulate_local(problem: Any, kwargs: dict[str, Any]):
+    """The in-process execution path (also the process-backend payload)."""
+    model = kwargs["model"]
+    B = int(kwargs["B"])
+    seed = kwargs["seed"]
+    telemetry = kwargs.get("telemetry")
+    max_steps = kwargs.get("max_steps")
+    release = kwargs.get("release_times")
+
+    if model == "continuous":
+        from .sim.continuous import ContinuousWormholeSimulator
+
+        if not (isinstance(problem, tuple) and len(problem) == 3):
+            raise TypeError(
+                "the continuous model takes problem=(net, num_sources, "
+                "path_of)"
+            )
+        net, num_sources, path_of = problem
+        rate, horizon = kwargs.get("rate"), kwargs.get("horizon")
+        if rate is None or horizon is None:
+            raise TypeError(
+                "the continuous model needs rate=... and horizon=..."
+            )
+        L = kwargs.get("message_length")
+        if L is None:
+            raise NetworkError("the continuous model needs message_length")
+        sim = ContinuousWormholeSimulator(
+            net, num_sources, num_virtual_channels=B, seed=seed
+        )
+        return sim.run(
+            rate,
+            L,
+            path_of,
+            horizon=int(horizon),
+            sample_every=int(kwargs.get("sample_every", 50)),
+        )
+
+    wl = _as_workload(problem, model, kwargs.get("workload_params"))
+    L = kwargs.get("message_length")
+    if L is None:
+        if isinstance(problem, (str, Workload)):
+            L = wl.default_length
+        else:
+            raise NetworkError(
+                "message_length is required with a (net, paths) problem"
+            )
+
+    if model == "adaptive":
+        from .sim.adaptive import AdaptiveMeshRouter
+
+        if wl.cube is None or wl.demands is None:
+            raise NetworkError(
+                f"the adaptive model needs a mesh problem (a (cube, demands)"
+                f" tuple or a mesh workload), got {problem!r}"
+            )
+        router = AdaptiveMeshRouter(
+            wl.cube,
+            num_virtual_channels=B,
+            policy=kwargs.get("policy") or "west-first",
+            seed=seed,
+        )
+        return router.run(
+            wl.demands,
+            message_length=L,
+            release_times=release,
+            max_steps=max_steps,
+            telemetry=telemetry,
+        ).result
+
+    priority = kwargs.get("priority") or _PRIORITY_DEFAULTS.get(model)
+    return _PATH_RUNNERS[model](
+        wl,
+        B=B,
+        L=L,
+        seed=seed,
+        priority=priority,
+        telemetry=telemetry,
+        max_steps=max_steps,
+        release=release,
+    )
+
+
+def _simulate_payload(payload: tuple[Any, dict[str, Any]]):
+    """Top-level (hence picklable) unit for :mod:`repro.exec` backends."""
+    problem, kwargs = payload
+    return _simulate_local(problem, kwargs)
+
+
+def simulate(
+    problem: Any,
+    *,
+    model: str = "wormhole",
+    B: int = 1,
+    message_length: int | None = None,
+    seed: int | None = 0,
+    priority: str | None = None,
+    policy: str | None = None,
+    telemetry: Any = None,
+    backend: Any = None,
+    max_steps: int | None = None,
+    release_times: Any = None,
+    workload_params: dict[str, Any] | None = None,
+    rate: float | None = None,
+    horizon: int | None = None,
+    sample_every: int = 50,
+):
+    """Simulate ``problem`` under ``model`` with ``B`` channel buffers.
+
+    Parameters
+    ----------
+    problem:
+        A ``(net, paths)`` tuple, a :class:`~repro.sim.sweep.Workload`,
+        or a registered workload name (see the module docstring for the
+        per-model tuple shapes).
+    model:
+        One of :data:`MODELS`.  ``B`` maps onto each model's buffering
+        knob: virtual channels (wormhole / adaptive / continuous),
+        buffer flits (cut-through), link bandwidth (store-and-forward),
+        or buffer slots (restricted).
+    message_length:
+        Flits per message; defaults to the workload's recommended
+        length for name/:class:`Workload` problems, required otherwise.
+    seed / priority / policy:
+        Passed to the model's constructor exactly as a direct call
+        would, so facade results are bit-identical to constructing the
+        simulator yourself.  ``priority`` defaults per model to the
+        sweep runner's choice; ``policy`` is the adaptive turn model.
+    telemetry:
+        :mod:`repro.telemetry` probes, for the models that accept them
+        (wormhole, cut-through, store-and-forward, adaptive).
+    backend:
+        A :mod:`repro.exec` backend name or instance; the trial runs
+        through it (problem and result travel by pickle for the
+        process backend, so prefer the workload-name problem form).
+        Incompatible with ``telemetry`` (probes are in-process).
+    max_steps / release_times:
+        Forwarded to the model's ``run``.
+    workload_params:
+        Builder parameters when ``problem`` is a workload name.
+    rate / horizon / sample_every:
+        Continuous-model load parameters (ignored otherwise).
+
+    Returns
+    -------
+    :class:`~repro.sim.stats.SimulationResult` — or the continuous
+    model's :class:`~repro.sim.continuous.ContinuousResult`.
+    """
+    if model not in MODELS:
+        raise NetworkError(
+            f"unknown model {model!r}; supported: {', '.join(MODELS)}"
+        )
+    if telemetry is not None and model not in _TELEMETRY_MODELS:
+        raise NetworkError(
+            f"model {model!r} does not support telemetry probes"
+        )
+    kwargs: dict[str, Any] = {
+        "model": model,
+        "B": B,
+        "message_length": message_length,
+        "seed": seed,
+        "priority": priority,
+        "policy": policy,
+        "telemetry": telemetry,
+        "max_steps": max_steps,
+        "release_times": release_times,
+        "workload_params": workload_params,
+        "rate": rate,
+        "horizon": horizon,
+        "sample_every": sample_every,
+    }
+    if backend is None:
+        return _simulate_local(problem, kwargs)
+    if telemetry is not None:
+        raise NetworkError(
+            "telemetry probes are in-process; run with backend=None"
+        )
+    from .exec import create_backend
+
+    owned = isinstance(backend, str)
+    exec_backend = create_backend(backend) if owned else backend
+    try:
+        return exec_backend.run(_simulate_payload, (problem, kwargs))
+    finally:
+        if owned:
+            exec_backend.close()

@@ -45,6 +45,8 @@ from .protocol import (
     STATUS_REJECTED,
     ProtocolError,
     RunRequest,
+    UnsupportedVersionError,
+    check_version,
     decode_message,
     encode_message,
 )
@@ -68,6 +70,8 @@ __all__ = [
     "ServiceConfig",
     "ServiceStats",
     "SimulationService",
+    "UnsupportedVersionError",
+    "check_version",
     "decode_message",
     "encode_message",
     "execute_compatible",

@@ -16,10 +16,19 @@ inference servers use.  One asyncio task loops forever:
 3. take the compatible requests out of the queue, drop any whose
    deadline expired while queued (they get ``deadline_exceeded``
    responses — cancellation before compute is wasted on them), and run
-   the rest in a worker thread: one
+   the rest through the configured :mod:`repro.exec` backend: one
    :func:`repro.sim.batch.run_wormhole_batch` call for wormhole trials
    (mixed ``B`` / seeds / root seeds in one lockstep grid), the sweep's
    per-trial path for everything else.
+
+The batcher never blocks the event loop: a single dispatch thread hosts
+the backend's (blocking, fault-tolerant) ``run`` call, so batches
+execute in admission order whatever the substrate.  With the
+:class:`~repro.exec.process.ProcessPoolBackend` the compute itself
+leaves the server process — worker crashes are retried and the pool
+restarted without any admitted request being dropped, and after
+repeated failures the backend degrades to in-process execution rather
+than going dark.
 
 Because every trial's seed derives from ``(spec, root_seed)`` exactly
 as in :func:`repro.sim.sweep.trial_seed` and the lockstep engine is
@@ -120,17 +129,22 @@ class DynamicBatcher:
         policy: BatchPolicy,
         *,
         stats=None,
-        executor: ThreadPoolExecutor | None = None,
+        backend=None,
+        own_backend: bool = True,
     ) -> None:
+        from ..exec import InlineBackend
+
         self._queue = queue
         self._policy = policy
         self._stats = stats
-        # One worker thread: batches execute in admission order, and the
-        # shared per-process workload memo is never touched concurrently.
-        self._executor = executor or ThreadPoolExecutor(
+        self.backend = backend if backend is not None else InlineBackend()
+        self._own_backend = own_backend if backend is not None else True
+        # One dispatch thread: batches execute in admission order, the
+        # shared per-process workload memo is never touched concurrently,
+        # and the backend's blocking run() stays off the event loop.
+        self._dispatch = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-batch"
         )
-        self._own_executor = executor is None
         self._draining = False
         self.in_flight = 0
         self.batches_executed = 0
@@ -158,10 +172,11 @@ class DynamicBatcher:
                 await self._coalesce(loop)
                 batch = self._take_batch(loop)
                 if batch:
-                    await self._dispatch(loop, batch)
+                    await self._dispatch_batch(loop, batch)
         finally:
-            if self._own_executor:
-                self._executor.shutdown(wait=True)
+            self._dispatch.shutdown(wait=True)
+            if self._own_backend:
+                self.backend.close()
 
     # ------------------------------------------------------------------
     async def _coalesce(self, loop) -> None:
@@ -203,13 +218,13 @@ class DynamicBatcher:
                 live.append(p)
         return live
 
-    async def _dispatch(self, loop, batch: list[PendingRequest]) -> None:
+    async def _dispatch_batch(self, loop, batch: list[PendingRequest]) -> None:
         items = [(p.request.spec, p.request.root_seed) for p in batch]
         self.in_flight = len(batch)
         started = loop.time()
         try:
             metrics = await loop.run_in_executor(
-                self._executor, execute_compatible, items
+                self._dispatch, self.backend.run, execute_compatible, items
             )
         except Exception as exc:  # noqa: BLE001 - reported to the client
             for p in batch:

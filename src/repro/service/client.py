@@ -26,6 +26,7 @@ from typing import Any
 
 from ..sim.sweep import TrialSpec, _execute_trial
 from .protocol import (
+    PROTOCOL_VERSION,
     STATUS_OK,
     ProtocolError,
     decode_message,
@@ -77,7 +78,8 @@ class ServiceClient:
             pass
 
     async def request(self, msg: dict[str, Any]) -> dict[str, Any]:
-        """Send one message and await its response line."""
+        """Send one message (stamped ``v: 1``) and await its response."""
+        msg.setdefault("v", PROTOCOL_VERSION)
         self._writer.write(encode_message(msg))
         await self._writer.drain()
         line = await self._reader.readline()

@@ -4,7 +4,14 @@ One request or response per line, UTF-8 JSON, ``\\n``-terminated — the
 framing every language can speak with a socket and a JSON parser, and
 the one that keeps the asyncio server to ``readline()`` / ``write()``.
 
-Requests are ``{"op": ..., "id": ...}`` objects:
+The protocol is versioned: every request and response carries
+``"v": 1`` (:data:`PROTOCOL_VERSION`).  A request may omit ``v`` —
+version-1 clients predate the field — but a request carrying an
+*unknown* version is rejected with a structured ``error`` response
+naming the supported version, so a future v2 client failing against a
+v1 server sees exactly why instead of a confusing spec error.
+
+Requests are ``{"op": ..., "id": ..., "v": 1}`` objects:
 
 ``run``
     Execute one trial.  Carries a ``spec`` (the :class:`~repro.sim
@@ -56,6 +63,8 @@ __all__ = [
     "STATUS_REJECTED",
     "ProtocolError",
     "RunRequest",
+    "UnsupportedVersionError",
+    "check_version",
     "decode_message",
     "encode_message",
     "error_response",
@@ -63,6 +72,7 @@ __all__ = [
     "ok_response",
     "parse_run_request",
     "reject_response",
+    "unsupported_version_response",
 ]
 
 PROTOCOL_VERSION = 1
@@ -79,6 +89,30 @@ MAX_LINE_BYTES = 1 << 20
 
 class ProtocolError(ValueError):
     """A line that is not a valid protocol message."""
+
+
+class UnsupportedVersionError(ProtocolError):
+    """A message declaring a protocol version this server cannot speak."""
+
+    def __init__(self, got: Any) -> None:
+        super().__init__(
+            f"unsupported protocol version {got!r}; this server speaks "
+            f"v{PROTOCOL_VERSION}"
+        )
+        self.got = got
+
+
+def check_version(msg: dict[str, Any]) -> int:
+    """Validate a message's ``v`` field; returns the effective version.
+
+    A missing ``v`` means version 1 (pre-versioning clients); anything
+    other than :data:`PROTOCOL_VERSION` raises
+    :class:`UnsupportedVersionError`.
+    """
+    v = msg.get("v", PROTOCOL_VERSION)
+    if v != PROTOCOL_VERSION:
+        raise UnsupportedVersionError(v)
+    return v
 
 
 def encode_message(msg: dict[str, Any]) -> bytes:
@@ -204,6 +238,7 @@ def ok_response(
     queue_ms: float,
 ) -> dict[str, Any]:
     return {
+        "v": PROTOCOL_VERSION,
         "id": req_id,
         "status": STATUS_OK,
         "metrics": metrics,
@@ -216,6 +251,7 @@ def reject_response(
     req_id: str, reason: str, *, retry_after_ms: float
 ) -> dict[str, Any]:
     return {
+        "v": PROTOCOL_VERSION,
         "id": req_id,
         "status": STATUS_REJECTED,
         "error": reason,
@@ -225,6 +261,7 @@ def reject_response(
 
 def expired_response(req_id: str, *, waited_ms: float) -> dict[str, Any]:
     return {
+        "v": PROTOCOL_VERSION,
         "id": req_id,
         "status": STATUS_EXPIRED,
         "error": "deadline expired before the request was dispatched",
@@ -233,4 +270,21 @@ def expired_response(req_id: str, *, waited_ms: float) -> dict[str, Any]:
 
 
 def error_response(req_id: str | None, message: str) -> dict[str, Any]:
-    return {"id": req_id or "", "status": STATUS_ERROR, "error": message}
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": req_id or "",
+        "status": STATUS_ERROR,
+        "error": message,
+    }
+
+
+def unsupported_version_response(req_id: str | None, got: Any) -> dict[str, Any]:
+    """The structured reject for a message with an unknown ``v``."""
+    return {
+        **error_response(
+            req_id,
+            f"unsupported protocol version {got!r}; this server speaks "
+            f"v{PROTOCOL_VERSION}",
+        ),
+        "supported_versions": [PROTOCOL_VERSION],
+    }

@@ -41,11 +41,14 @@ from .batcher import BatchPolicy, DynamicBatcher, batch_compat_key
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
+    UnsupportedVersionError,
+    check_version,
     decode_message,
     encode_message,
     error_response,
     parse_run_request,
     reject_response,
+    unsupported_version_response,
 )
 
 __all__ = ["ServiceConfig", "ServiceStats", "SimulationService", "serve"]
@@ -55,7 +58,15 @@ MAX_LINE_BYTES = 1 << 20
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Tunables for one service instance."""
+    """Tunables for one service instance.
+
+    This is the one config schema shared by the server, the ``repro
+    serve`` CLI, and embedding tests: execution substrate
+    (``backend``/``workers``/``batch_timeout_s``) rides next to
+    batching policy (``max_batch``/``max_wait_ms``) and admission
+    (``queue_limit``), so the two axes are configured together but
+    vary independently.
+    """
 
     host: str = "127.0.0.1"
     port: int = 7654
@@ -64,9 +75,32 @@ class ServiceConfig:
     max_wait_ms: float = 2.0
     #: Backpressure hint attached to ``draining`` rejects.
     drain_retry_after_ms: float = 1000.0
+    #: Execution substrate for batch compute: ``"inline"`` (event-loop
+    #: adjacent dispatch thread), ``"thread"`` (worker thread pool), or
+    #: ``"process"`` (fault-tolerant worker processes).
+    backend: str = "thread"
+    #: Pool width for thread/process backends.
+    workers: int = 2
+    #: Optional per-batch wall-clock budget (process backend only); a
+    #: stalled worker is terminated and the batch retried.
+    batch_timeout_s: float | None = None
 
     def policy(self) -> BatchPolicy:
         return BatchPolicy(max_batch=self.max_batch, max_wait_ms=self.max_wait_ms)
+
+    def make_backend(self):
+        """Build the configured :mod:`repro.exec` backend instance."""
+        from ..exec import BACKENDS, create_backend
+
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from "
+                f"{', '.join(BACKENDS)}"
+            )
+        options = {}
+        if self.backend == "process" and self.batch_timeout_s is not None:
+            options["timeout_s"] = self.batch_timeout_s
+        return create_backend(self.backend, workers=self.workers, **options)
 
 
 class ServiceStats:
@@ -104,7 +138,7 @@ class ServiceStats:
     # ------------------------------------------------------------------
     def snapshot(
         self, *, draining: bool, uptime_s: float, queue: AdmissionQueue,
-        in_flight: int,
+        in_flight: int, exec_stats: dict[str, Any] | None = None,
     ) -> dict[str, Any]:
         self.queue_depth.set(len(queue))
         return {
@@ -116,6 +150,7 @@ class ServiceStats:
             "counters": self.counters.snapshot(),
             "batches": self.batches.snapshot(),
             "latency_ms": self.latency.summary(),
+            "exec": exec_stats or {},
         }
 
 
@@ -126,8 +161,12 @@ class SimulationService:
         self.config = config or ServiceConfig()
         self.stats = ServiceStats()
         self.queue = AdmissionQueue(self.config.queue_limit)
+        self.backend = self.config.make_backend()
         self.batcher = DynamicBatcher(
-            self.queue, self.config.policy(), stats=self.stats
+            self.queue,
+            self.config.policy(),
+            stats=self.stats,
+            backend=self.backend,
         )
         self.started = asyncio.Event()
         self.port: int | None = None
@@ -227,15 +266,34 @@ class SimulationService:
             return
         op = msg.get("op")
         req_id = msg.get("id") if isinstance(msg.get("id"), str) else ""
+        try:
+            check_version(msg)
+        except UnsupportedVersionError as exc:
+            self.stats.counters.bump("protocol_errors")
+            await self._send(
+                writer, unsupported_version_response(req_id, exc.got)
+            )
+            return
         if op == "run":
             await self._handle_run(msg, writer)
         elif op == "health":
-            await self._send(writer, {"id": req_id, **self._health()})
+            await self._send(
+                writer, {"v": PROTOCOL_VERSION, "id": req_id, **self._health()}
+            )
         elif op == "stats":
-            await self._send(writer, {"id": req_id, **self._stats_snapshot()})
+            await self._send(
+                writer,
+                {"v": PROTOCOL_VERSION, "id": req_id, **self._stats_snapshot()},
+            )
         elif op == "shutdown":
             await self._send(
-                writer, {"id": req_id, "status": "ok", "draining": True}
+                writer,
+                {
+                    "v": PROTOCOL_VERSION,
+                    "id": req_id,
+                    "status": "ok",
+                    "draining": True,
+                },
             )
             self.request_shutdown()
         else:
@@ -319,12 +377,16 @@ class SimulationService:
         return asyncio.get_running_loop().time() - self._started_at
 
     def _health(self) -> dict[str, Any]:
+        exec_stats = self.backend.stats_snapshot()
         return {
             "status": "draining" if self._draining else "ok",
             "protocol": PROTOCOL_VERSION,
             "uptime_s": round(self._uptime(), 3),
             "queue_depth": len(self.queue),
             "in_flight": self.batcher.in_flight,
+            "backend": exec_stats["backend"],
+            "backend_mode": exec_stats["mode"],
+            "worker_restarts": exec_stats["worker_restarts"],
         }
 
     def _stats_snapshot(self) -> dict[str, Any]:
@@ -333,6 +395,7 @@ class SimulationService:
             uptime_s=self._uptime(),
             queue=self.queue,
             in_flight=self.batcher.in_flight,
+            exec_stats=self.backend.stats_snapshot(),
         )
 
 
@@ -352,7 +415,13 @@ async def serve(config: ServiceConfig | None = None, *, quiet: bool = False) -> 
         print(
             f"repro service listening on {cfg.host}:{service.port} "
             f"(queue limit {cfg.queue_limit}, max batch {cfg.max_batch}, "
-            f"max wait {cfg.max_wait_ms} ms)",
+            f"max wait {cfg.max_wait_ms} ms, backend {cfg.backend}"
+            + (
+                f" x{cfg.workers}"
+                if cfg.backend in ("thread", "process")
+                else ""
+            )
+            + ")",
             flush=True,
         )
     await runner

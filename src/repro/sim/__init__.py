@@ -18,15 +18,17 @@ from .engine import (
     PaddedPaths,
     SlotArbiter,
     StepLoop,
+    check_edge_simple,
     default_step_cap,
     grant_free_slots,
+    pad_paths,
     resolve_step_cap,
 )
 from .restricted import RestrictedWormholeSimulator
 from .stats import SimulationResult, summarize_latencies
 from .store_forward import StoreForwardSimulator
 from .sweep import SweepResult, TrialResult, TrialSpec, run_sweep, sweep_grid
-from .wormhole import WormholeSimulator, check_edge_simple, pad_paths
+from .wormhole import WormholeSimulator
 
 __all__ = [
     "AdaptiveMeshRouter",

@@ -43,13 +43,31 @@ from .engine import (
     PaddedPaths,
     StepLoop,
     compat_check_edge_simple,
-    pad_paths,  # noqa: F401  (back-compat re-export)
     resolve_step_cap,
 )
 from .stats import SimulationResult
-from .wormhole import check_edge_simple  # noqa: F401  (back-compat re-export)
 
 __all__ = ["CutThroughSimulator"]
+
+#: Back-compat re-exports now served lazily with a deprecation warning;
+#: their canonical home is :mod:`repro.sim.engine`.
+_MOVED_TO_ENGINE = ("check_edge_simple", "pad_paths")
+
+
+def __getattr__(name: str):
+    if name in _MOVED_TO_ENGINE:
+        import warnings
+
+        warnings.warn(
+            f"importing {name!r} from repro.sim.cut_through is deprecated; "
+            f"use repro.sim.engine.{name}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from . import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class CutThroughSimulator:

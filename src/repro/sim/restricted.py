@@ -41,13 +41,31 @@ from ..routing.paths import Path
 from .engine import (
     PaddedPaths,
     StepLoop,
-    check_edge_simple,  # noqa: F401  (back-compat re-export)
-    pad_paths,  # noqa: F401  (back-compat re-export)
     resolve_step_cap,
 )
 from .stats import SimulationResult
 
 __all__ = ["RestrictedWormholeSimulator"]
+
+#: Back-compat re-exports now served lazily with a deprecation warning;
+#: their canonical home is :mod:`repro.sim.engine`.
+_MOVED_TO_ENGINE = ("check_edge_simple", "pad_paths")
+
+
+def __getattr__(name: str):
+    if name in _MOVED_TO_ENGINE:
+        import warnings
+
+        warnings.warn(
+            f"importing {name!r} from repro.sim.restricted is deprecated; "
+            f"use repro.sim.engine.{name}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from . import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class RestrictedWormholeSimulator:

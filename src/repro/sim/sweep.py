@@ -7,10 +7,12 @@ handful of scalars.  This module centralizes that loop as a *trial grid*:
 * a :class:`TrialSpec` names one (workload, simulator, ``B``, repeat)
   cell declaratively — everything needed to run the trial is in the spec,
   so trials can be shipped to worker processes or keyed into a cache;
-* :func:`run_sweep` executes a list of specs either serially or fanned
-  out over a :class:`~concurrent.futures.ProcessPoolExecutor`, with a
-  content-hash on-disk result cache (change one axis of a grid and only
-  the delta is recomputed);
+* :func:`run_sweep` executes a list of specs on any
+  :mod:`repro.exec` backend — inline, thread pool, or the
+  fault-tolerant :class:`~repro.exec.process.ProcessPoolBackend`
+  (``workers``/``backend`` arguments) — with a content-hash on-disk
+  result cache (change one axis of a grid and only the delta is
+  recomputed);
 * wormhole cells that share a workload shape (same workload, params,
   ``L``, and sim params) are packed into *batches* and run in lockstep
   by :func:`repro.sim.batch.run_wormhole_batch` — bit-identical to the
@@ -697,6 +699,23 @@ def _cache_store(
     os.replace(tmp, path)
 
 
+def _resolve_backend(backend, workers: int):
+    """Map ``run_sweep``'s (backend, workers) surface to an exec backend.
+
+    Returns ``(backend, owned)``; an instance created here is closed by
+    the caller, a caller-supplied instance is left alone.  ``backend=
+    None`` keeps the historical contract: ``workers >= 2`` fans out
+    over worker processes, anything else runs inline.
+    """
+    from ..exec import create_backend
+
+    if backend is None:
+        backend = "process" if workers >= 2 else "inline"
+    if not isinstance(backend, str):
+        return backend, False  # a ready ExecutionBackend instance
+    return create_backend(backend, workers=max(workers, 2)), True
+
+
 def run_sweep(
     specs: Sequence[TrialSpec],
     *,
@@ -705,6 +724,7 @@ def run_sweep(
     cache_dir: str | os.PathLike | None = None,
     force: bool = False,
     batch_size: int | None = None,
+    backend=None,
 ) -> SweepResult:
     """Execute a list of trial specs; returns results in input order.
 
@@ -716,9 +736,11 @@ def run_sweep(
         Root entropy for :func:`trial_seed`; one sweep at two different
         root seeds is two independent replications of the whole grid.
     workers:
-        ``0`` or ``1`` runs serially in-process; ``>= 2`` fans trials out
-        over a :class:`~concurrent.futures.ProcessPoolExecutor`.  Results
-        are bit-identical either way.
+        Pool width for thread/process backends.  With the default
+        ``backend=None``, ``0`` or ``1`` runs serially in-process and
+        ``>= 2`` fans work units out over a fault-tolerant
+        :class:`~repro.exec.process.ProcessPoolBackend`.  Results are
+        bit-identical either way.
     cache_dir:
         Optional directory of per-trial JSON results keyed by a content
         hash of (spec, root_seed).  Cached trials are served without
@@ -732,6 +754,13 @@ def run_sweep(
         :data:`DEFAULT_BATCH_SIZE`; ``1`` disables batching and runs
         every trial through the per-trial path.  Results, seeds, and
         cache entries are bit-identical at every setting.
+    backend:
+        Execution substrate: ``None`` (derive from ``workers`` as
+        above), an :mod:`repro.exec` backend name (``"inline"``,
+        ``"thread"``, ``"process"``), or a ready
+        :class:`~repro.exec.ExecutionBackend` instance (useful to share
+        one pre-warmed pool across sweeps; the caller keeps ownership).
+        The substrate never changes any trial's metrics.
     """
     specs = list(specs)
     if batch_size is None:
@@ -758,13 +787,12 @@ def run_sweep(
     if pending:
         units = _pack_units(specs, pending, root_seed, batch_size)
         payloads = [unit for unit, _ in units]
-        if workers >= 2:
-            from concurrent.futures import ProcessPoolExecutor
-
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(pool.map(_execute_unit, payloads))
-        else:
-            outcomes = [_execute_unit(unit) for unit in payloads]
+        exec_backend, owned = _resolve_backend(backend, workers)
+        try:
+            outcomes = exec_backend.map(_execute_unit, payloads)
+        finally:
+            if owned:
+                exec_backend.close()
         for (_, idxs), unit_results in zip(units, outcomes):
             for i, (metrics, elapsed) in zip(idxs, unit_results):
                 results[i] = TrialResult(

@@ -44,6 +44,7 @@ deadlock declaration, and result assembly.
 from __future__ import annotations
 
 import functools
+import warnings
 from collections.abc import Iterable, Sequence
 
 import numpy as np
@@ -56,16 +57,34 @@ from .engine import (
     SlotArbiter,
     StepLoop,
     age_priorities,
-    check_edge_simple,
     compat_check_edge_simple,
     legacy_extra,
     legacy_record_probes,
-    pad_paths,
     resolve_step_cap,
 )
+from .engine import pad_paths as _pad_paths
 from .stats import SimulationResult
 
 __all__ = ["PaddedPaths", "WormholeSimulator", "check_edge_simple", "pad_paths"]
+
+#: Helpers that used to live here; importing them from this module is
+#: deprecated — their canonical home is :mod:`repro.sim.engine` (see the
+#: migration table in :mod:`repro.facade`).
+_MOVED_TO_ENGINE = ("check_edge_simple", "pad_paths")
+
+
+def __getattr__(name: str):
+    if name in _MOVED_TO_ENGINE:
+        warnings.warn(
+            f"importing {name!r} from repro.sim.wormhole is deprecated; "
+            f"use repro.sim.engine.{name}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from . import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 _PRIORITIES = ("random", "age", "index", "rank")
 
@@ -251,7 +270,7 @@ class WormholeSimulator:
             slot_keys = padded
             arbiter = SlotArbiter(self.num_edges, capacity=self.B)
         else:
-            vc_padded, vc_lengths = pad_paths([list(v) for v in vc_ids])
+            vc_padded, vc_lengths = _pad_paths([list(v) for v in vc_ids])
             if not np.array_equal(vc_lengths, D):
                 raise NetworkError("vc_ids must match the path lengths")
             valid = padded >= 0

@@ -41,6 +41,7 @@ from .metrics import (
     EventCounter,
     LatencyRecorder,
     SizeHistogram,
+    StateGauge,
     quantile,
 )
 from .probe import Probe, ProbeSet, RunMeta
@@ -69,6 +70,7 @@ __all__ = [
     "RunMeta",
     "SizeHistogram",
     "StallAttributionCollector",
+    "StateGauge",
     "ThroughputCollector",
     "TRACE_FORMAT",
     "TRACE_VERSION",

@@ -23,6 +23,7 @@ __all__ = [
     "EventCounter",
     "LatencyRecorder",
     "SizeHistogram",
+    "StateGauge",
     "quantile",
 ]
 
@@ -82,6 +83,29 @@ class DepthGauge:
 
     def snapshot(self) -> dict[str, int]:
         return {"depth": self.value, "peak": self.peak}
+
+
+class StateGauge:
+    """A named-state gauge that counts transitions.
+
+    Tracks which discrete state a component is in (e.g. an execution
+    backend running as ``"process"`` vs degraded to ``"inline"``) and
+    how many times it has changed state — a cheap way to surface "this
+    fell over and recovered N times" without keeping an event log.
+    """
+
+    def __init__(self, initial: str) -> None:
+        self.state = str(initial)
+        self.transitions = 0
+
+    def set(self, state: str) -> None:
+        state = str(state)
+        if state != self.state:
+            self.state = state
+            self.transitions += 1
+
+    def snapshot(self) -> dict:
+        return {"state": self.state, "transitions": self.transitions}
 
 
 class SizeHistogram:

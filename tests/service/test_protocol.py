@@ -9,6 +9,8 @@ from repro.service.protocol import (
     STATUS_OK,
     STATUS_REJECTED,
     ProtocolError,
+    UnsupportedVersionError,
+    check_version,
     decode_message,
     encode_message,
     error_response,
@@ -16,6 +18,7 @@ from repro.service.protocol import (
     ok_response,
     parse_run_request,
     reject_response,
+    unsupported_version_response,
 )
 from repro.sim.sweep import TrialSpec
 
@@ -139,3 +142,41 @@ class TestResponses:
         assert expired_response("a", waited_ms=9.0)["status"] == STATUS_EXPIRED
         err = error_response(None, "boom")
         assert err["status"] == STATUS_ERROR and err["id"] == ""
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: ok_response("a", {"makespan": 3}, batched=1, queue_ms=0.0),
+            lambda: reject_response("a", "queue full", retry_after_ms=5),
+            lambda: expired_response("a", waited_ms=1.0),
+            lambda: error_response("a", "boom"),
+        ],
+    )
+    def test_every_response_is_versioned(self, build):
+        assert build()["v"] == PROTOCOL_VERSION
+
+
+class TestVersioning:
+    def test_missing_v_means_version_one(self):
+        # Pre-versioning clients never sent ``v``; they stay compatible.
+        assert check_version({"op": "health"}) == 1
+
+    def test_current_version_accepted(self):
+        assert check_version({"op": "run", "v": PROTOCOL_VERSION}) == 1
+
+    @pytest.mark.parametrize("bad", [0, 2, 99, "1", None])
+    def test_unknown_version_raises(self, bad):
+        with pytest.raises(UnsupportedVersionError, match="unsupported"):
+            check_version({"op": "run", "v": bad})
+        try:
+            check_version({"v": bad})
+        except UnsupportedVersionError as exc:
+            assert exc.got == bad
+
+    def test_structured_reject_names_supported_versions(self):
+        resp = unsupported_version_response("r9", 42)
+        assert resp["status"] == STATUS_ERROR
+        assert resp["id"] == "r9"
+        assert resp["supported_versions"] == [PROTOCOL_VERSION]
+        assert "42" in resp["error"]
+        decode_message(encode_message(resp))  # JSON-safe

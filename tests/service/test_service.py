@@ -287,3 +287,107 @@ def test_non_wormhole_trials_served_via_per_trial_path():
 def test_bad_policy_rejected(field, value):
     with pytest.raises(ValueError, match=field):
         ServiceConfig(**{field: value}).policy()
+
+
+def test_unknown_protocol_version_gets_structured_reject():
+    """A ``v`` the server does not speak bounces without touching the op."""
+
+    async def scenario():
+        async with service() as svc:
+            async with await ServiceClient.connect("127.0.0.1", svc.port) as c:
+                bad = await c.request(
+                    {"op": "run", "id": "vfuture", "v": 99}
+                )
+                # The connection survives; a current-version op still works.
+                health = await c.health()
+            stats = svc._stats_snapshot()
+        return bad, health, stats
+
+    bad, health, stats = run_async(scenario())
+    assert bad["status"] == "error"
+    assert bad["id"] == "vfuture"
+    assert bad["supported_versions"] == [1]
+    assert "unsupported protocol version" in bad["error"]
+    assert health["status"] == "ok"
+    assert stats["counters"]["protocol_errors"] == 1
+    assert stats["counters"]["completed"] == 0
+
+
+def test_responses_carry_protocol_version():
+    async def scenario():
+        async with service(max_wait_ms=10.0) as svc:
+            async with await ServiceClient.connect("127.0.0.1", svc.port) as c:
+                ok = await c.run_trial(_spec())
+                health = await c.health()
+        return ok, health
+
+    ok, health = run_async(scenario())
+    assert ok["v"] == 1
+    assert health["v"] == 1
+
+
+class TestProcessBackendService:
+    """The service on the fault-tolerant process backend.
+
+    Answers must stay bit-identical to serial replays, and killing a
+    worker mid-service must cost retries — never dropped requests or
+    changed metrics.
+    """
+
+    def test_process_backend_bit_exact(self):
+        async def scenario():
+            async with service(
+                backend="process", workers=2, max_wait_ms=40.0
+            ) as svc:
+                config = LoadgenConfig(
+                    workload="chain-bundle",
+                    workload_params=WORKLOAD_PARAMS,
+                    channels=(1, 2),
+                    message_length=8,
+                    requests=8,
+                    concurrency=4,
+                    root_seed=9,
+                    verify=True,
+                )
+                report = await run_loadgen("127.0.0.1", svc.port, config)
+                health = svc._health()
+            return report, health
+
+        report, health = run_async(scenario(), timeout=120)
+        assert report["bit_exact"] is True
+        assert report["ok"] == 8
+        assert health["backend"] == "process"
+        assert health["backend_mode"] == "process"
+
+    def test_worker_kill_recovers_without_dropping_requests(self):
+        import os
+        import signal
+
+        async def scenario():
+            async with service(
+                backend="process", workers=2, max_wait_ms=10.0
+            ) as svc:
+                async with await ServiceClient.connect(
+                    "127.0.0.1", svc.port
+                ) as c:
+                    before = await c.run_trial(_spec(), root_seed=13)
+                    os.kill(svc.backend.worker_pids()[0], signal.SIGKILL)
+                    # Every request after the murder still gets served.
+                    after = [
+                        await c.run_trial(_spec(repeat=r), root_seed=13)
+                        for r in range(3)
+                    ]
+                    stats = await c.stats()
+                    health = await c.health()
+            return before, after, stats, health
+
+        before, after, stats, health = run_async(scenario(), timeout=120)
+        assert before["status"] == STATUS_OK
+        assert [r["status"] for r in after] == [STATUS_OK] * 3
+        # Bit-exactness survives the crash: replay each spec serially.
+        serial, _ = _execute_trial((_spec(repeat=0), 13))
+        assert after[0]["metrics"] == serial
+        assert stats["exec"]["worker_restarts"] >= 1
+        assert health["worker_restarts"] >= 1
+        assert health["backend_mode"] == "process"  # never degraded
+        assert stats["counters"]["errors"] == 0

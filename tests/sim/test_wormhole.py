@@ -6,7 +6,8 @@ import pytest
 from repro.network.graph import Network, NetworkError
 from repro.network.random_networks import chain_bundle
 from repro.routing.paths import paths_from_node_walks
-from repro.sim.wormhole import WormholeSimulator, pad_paths
+from repro.sim.engine import pad_paths
+from repro.sim.wormhole import WormholeSimulator
 from repro.telemetry import EdgeContentionCollector
 
 

@@ -7,8 +7,10 @@ import pytest
 SUBPACKAGES = [
     "repro",
     "repro.core",
+    "repro.exec",
     "repro.network",
     "repro.routing",
+    "repro.service",
     "repro.sim",
     "repro.analysis",
 ]

@@ -1,0 +1,220 @@
+"""Facade tests: ``repro.simulate`` dispatch, bit-identity, deprecations.
+
+The facade's contract is that it adds *nothing* to the models: a
+``simulate(...)`` call with the same seed is bit-identical to building
+the simulator directly, for every model it dispatches to.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Butterfly, KAryNCube, simulate
+from repro.network.graph import NetworkError
+from repro.routing.problems import bit_reversal_permutation
+from repro.sim.adaptive import AdaptiveMeshRouter
+from repro.sim.cut_through import CutThroughSimulator
+from repro.sim.restricted import RestrictedWormholeSimulator
+from repro.sim.store_forward import StoreForwardSimulator
+from repro.sim.wormhole import WormholeSimulator
+
+L = 8
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def butterfly_problem():
+    bf = Butterfly(8)
+    inst = bit_reversal_permutation(8)
+    paths = [list(r) for r in bf.path_edges_batch(inst.sources, inst.dests)]
+    return bf, paths
+
+
+@pytest.fixture(scope="module")
+def mesh_problem():
+    cube = KAryNCube(5, 2, wrap=False)
+    perm = np.random.default_rng(0).permutation(25)
+    demands = [(i, int(d)) for i, d in enumerate(perm) if i != int(d)]
+    return cube, demands
+
+
+def _same(a, b):
+    assert a.makespan == b.makespan
+    assert np.array_equal(a.completion_times, b.completion_times)
+    assert a.total_blocked_steps == b.total_blocked_steps
+
+
+class TestBitIdentity:
+    """simulate() == direct constructor call, per model."""
+
+    def test_wormhole(self, butterfly_problem):
+        bf, paths = butterfly_problem
+        direct = WormholeSimulator(
+            bf, num_virtual_channels=2, seed=SEED
+        ).run(paths, message_length=L)
+        _same(direct, simulate(
+            (bf, paths), model="wormhole", B=2, seed=SEED, message_length=L
+        ))
+
+    def test_cut_through(self, butterfly_problem):
+        bf, paths = butterfly_problem
+        direct = CutThroughSimulator(bf, buffer_flits=2, seed=SEED).run(
+            paths, message_length=L
+        )
+        _same(direct, simulate(
+            (bf, paths), model="cut_through", B=2, seed=SEED, message_length=L
+        ))
+
+    def test_store_forward(self, butterfly_problem):
+        bf, paths = butterfly_problem
+        direct = StoreForwardSimulator(
+            bf, bandwidth_flits_per_step=2, seed=SEED
+        ).run(paths, message_length=L)
+        _same(direct, simulate(
+            (bf, paths),
+            model="store_forward",
+            B=2,
+            seed=SEED,
+            message_length=L,
+        ))
+
+    def test_restricted(self, butterfly_problem):
+        bf, paths = butterfly_problem
+        direct = RestrictedWormholeSimulator(
+            bf, num_buffers=2, seed=SEED
+        ).run(paths, message_length=L)
+        _same(direct, simulate(
+            (bf, paths), model="restricted", B=2, seed=SEED, message_length=L
+        ))
+
+    def test_adaptive(self, mesh_problem):
+        cube, demands = mesh_problem
+        direct = AdaptiveMeshRouter(
+            cube, num_virtual_channels=2, policy="west-first", seed=SEED
+        ).run(demands, message_length=5)
+        _same(direct.result, simulate(
+            (cube, demands), model="adaptive", B=2, seed=SEED, message_length=5
+        ))
+
+    def test_priority_override_forwarded(self, butterfly_problem):
+        bf, paths = butterfly_problem
+        direct = WormholeSimulator(
+            bf, num_virtual_channels=1, priority="index", seed=SEED
+        ).run(paths, message_length=L)
+        _same(direct, simulate(
+            (bf, paths),
+            model="wormhole",
+            B=1,
+            seed=SEED,
+            priority="index",
+            message_length=L,
+        ))
+
+
+class TestProblemForms:
+    def test_named_workload_defaults_length(self):
+        res = simulate("chain-bundle", model="wormhole", B=2, seed=5)
+        assert res.all_delivered
+
+    def test_workload_params_forwarded(self):
+        small = simulate(
+            "chain-bundle",
+            model="wormhole",
+            B=1,
+            workload_params={"chains": 2, "depth": 4, "messages": 2},
+        )
+        assert small.num_messages == 4  # 2 chains * 2 messages
+
+    def test_backend_execution_bit_identical(self):
+        local = simulate("chain-bundle", model="wormhole", B=2, seed=5)
+        via = simulate(
+            "chain-bundle", model="wormhole", B=2, seed=5, backend="process"
+        )
+        _same(local, via)
+
+    def test_continuous_model(self):
+        bf = Butterfly(8)
+
+        def path_of(source, rng):
+            return list(bf.path_edges(source, int(rng.integers(8))))
+
+        res = simulate(
+            (bf, 8, path_of),
+            model="continuous",
+            B=2,
+            seed=11,
+            message_length=4,
+            rate=0.05,
+            horizon=100,
+        )
+        assert res.throughput >= 0.0
+
+    def test_exported_from_top_level(self):
+        assert repro.simulate is simulate
+        assert "wormhole" in repro.MODELS
+
+
+class TestErrors:
+    def test_unknown_model(self, butterfly_problem):
+        with pytest.raises(NetworkError, match="unknown model"):
+            simulate(butterfly_problem, model="teleport", message_length=4)
+
+    def test_unknown_workload_name(self):
+        with pytest.raises(NetworkError, match="unknown workload"):
+            simulate("no-such-workload")
+
+    def test_tuple_problem_requires_length(self, butterfly_problem):
+        with pytest.raises(NetworkError, match="message_length"):
+            simulate(butterfly_problem, model="wormhole")
+
+    def test_telemetry_rejected_for_restricted(self, butterfly_problem):
+        with pytest.raises(NetworkError, match="telemetry"):
+            simulate(
+                butterfly_problem,
+                model="restricted",
+                message_length=4,
+                telemetry=object(),
+            )
+
+    def test_adaptive_needs_mesh_problem(self):
+        with pytest.raises(NetworkError, match="mesh"):
+            simulate("chain-bundle", model="adaptive")
+
+    def test_bad_problem_type(self):
+        with pytest.raises(TypeError, match="problem"):
+            simulate(12345, model="wormhole", message_length=4)
+
+
+class TestDeprecations:
+    """The legacy helper re-exports warn but keep working."""
+
+    @pytest.mark.parametrize(
+        "module", ["wormhole", "cut_through", "restricted"]
+    )
+    @pytest.mark.parametrize("name", ["pad_paths", "check_edge_simple"])
+    def test_shim_warns_and_delegates(self, module, name):
+        import importlib
+
+        from repro.sim import engine
+
+        mod = importlib.import_module(f"repro.sim.{module}")
+        with pytest.warns(DeprecationWarning, match=name):
+            shimmed = getattr(mod, name)
+        assert shimmed is getattr(engine, name)
+
+    def test_package_import_does_not_warn(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-W",
+                "error::DeprecationWarning",
+                "-c",
+                "import repro, repro.sim",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
