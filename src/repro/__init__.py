@@ -108,6 +108,13 @@ from .sim.stats import SimulationResult
 from .sim.store_forward import StoreForwardSimulator
 from .sim.wormhole import WormholeSimulator
 
+# Imported last: scenarios build on the facade and the sweep registry,
+# and importing them registers every ``scenario:<name>`` sweep workload
+# (including in the process-backend workers, which import ``repro`` when
+# they unpickle a trial spec).
+from . import fuzz  # noqa: E402
+from . import scenarios  # noqa: E402
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -165,6 +172,7 @@ __all__ = [
     "exec",
     "execute_schedule",
     "fit_power_law",
+    "fuzz",
     "hard_instance_lower_bound",
     "is_deadlock_free",
     "layered_network",
@@ -195,6 +203,7 @@ __all__ = [
     "route_online_random_delays",
     "route_permutation_benes",
     "route_q_relation_benes",
+    "scenarios",
     "select_paths",
     "shortest_paths",
     "simulate",

@@ -97,6 +97,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="hard-instance",
         help="what to instrument (default: the Theorem 2.2.1 instance)",
     )
+    p.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="instrument a registered adversarial scenario instead of "
+        "--workload",
+    )
+    p.add_argument(
+        "--artifact",
+        default=None,
+        metavar="PATH",
+        help="instrument the case stored in a fuzz repro artifact "
+        "instead of --workload",
+    )
     p.add_argument("--congestion", type=int, default=8, help="C (hard-instance)")
     p.add_argument("--dilation", type=int, default=15, help="D (hard-instance)")
     p.add_argument("--channels", type=int, default=1, help="B")
@@ -275,6 +289,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload", default="chain-bundle", help="registered workload name"
     )
     p.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="replay a registered adversarial scenario instead of "
+        "--workload (arrival-trace scenarios also pace the request "
+        "stream)",
+    )
+    p.add_argument(
         "--param",
         action="append",
         default=[],
@@ -321,6 +343,62 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0, help="root seed")
 
     p = sub.add_parser(
+        "scenario",
+        help="adversarial scenario library: curated hard cases with "
+        "declared invariant expectations",
+    )
+    ssub = p.add_subparsers(dest="scenario_command", required=True)
+    ssub.add_parser("list", help="registered scenarios, one line each")
+    ps = ssub.add_parser("show", help="one scenario's parameters and checks")
+    ps.add_argument("name", help="scenario name (see 'repro scenario list')")
+    pr = ssub.add_parser(
+        "run", help="build and simulate a scenario; verify its expectations"
+    )
+    pr.add_argument("name", help="scenario name (see 'repro scenario list')")
+    pr.add_argument(
+        "--model",
+        default=None,
+        help="model to run under (default: the scenario's first declared)",
+    )
+    pr.add_argument(
+        "--channels", default="1,2,4", help="comma-separated B values"
+    )
+    pr.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VAL",
+        help="builder parameter override (repeatable)",
+    )
+    pr.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="seeded cross-model invariant fuzzer; writes a shrunk "
+        "replayable artifact per violation",
+    )
+    p.add_argument("--rounds", type=int, default=50, help="cases to generate")
+    p.add_argument("--seed", type=int, default=0, help="root seed")
+    p.add_argument(
+        "--families",
+        default=None,
+        help="comma-separated case families (default: all; see "
+        "repro.fuzz.FAMILIES)",
+    )
+    p.add_argument(
+        "--artifact-dir",
+        default="fuzz-artifacts",
+        help="where violation repro artifacts are written",
+    )
+    p.add_argument(
+        "--replay",
+        metavar="PATH",
+        default=None,
+        help="re-run the exact case stored in a repro artifact instead "
+        "of fuzzing",
+    )
+
+    p = sub.add_parser(
         "experiment",
         help="regenerate one of the paper experiments (e1..e18, perf)",
     )
@@ -347,6 +425,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench": _cmd_bench,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
+        "scenario": _cmd_scenario,
+        "fuzz": _cmd_fuzz,
         "experiment": _cmd_experiment,
         "reproduce": _cmd_reproduce,
     }[args.command]
@@ -507,7 +587,15 @@ def _cmd_profile(args: argparse.Namespace) -> None:
 
     from repro import WormholeSimulator
 
-    if args.workload == "hard-instance":
+    if args.scenario is not None and args.artifact is not None:
+        raise SystemExit(
+            "repro profile: choose --scenario or --artifact, not both"
+        )
+    if args.scenario is not None:
+        result, title = _profile_scenario(args, probes)
+    elif args.artifact is not None:
+        result, title = _profile_artifact(args, probes)
+    elif args.workload == "hard-instance":
         from repro import build_hard_instance
 
         inst = build_hard_instance(
@@ -567,6 +655,210 @@ def _cmd_profile(args: argparse.Namespace) -> None:
         except OSError as exc:
             raise SystemExit(f"repro profile: cannot write trace: {exc}")
         print(f"trace written to {args.trace}")
+
+
+def _profile_scenario(args: argparse.Namespace, probes):
+    """Instrument a registered scenario run for the profile report."""
+    from repro.network.graph import NetworkError
+    from repro.scenarios import get_scenario
+
+    try:
+        scen = get_scenario(args.scenario)
+    except NetworkError as exc:
+        raise SystemExit(f"repro profile: {exc}")
+    model = next(
+        (
+            m
+            for m in scen.models
+            if m in ("wormhole", "cut_through", "store_forward", "adaptive")
+        ),
+        None,
+    )
+    if model is None:
+        raise SystemExit(
+            f"repro profile: scenario {args.scenario!r} has no "
+            f"telemetry-capable model (declared: {', '.join(scen.models)})"
+        )
+    try:
+        run = scen.run(
+            B=args.channels, model=model, seed=args.seed, telemetry=probes
+        )
+    except NetworkError as exc:
+        raise SystemExit(f"repro profile: {exc}")
+    if not run.ok:
+        for v in run.violations:
+            print(f"WARNING expectation violated: {v.detail}")
+    title = (
+        f"scenario {scen.name} ({scen.theorem}): "
+        f"model={model}, B={args.channels}"
+    )
+    return run.outcome, title
+
+
+def _profile_artifact(args: argparse.Namespace, probes):
+    """Instrument the routed case stored in a fuzz repro artifact."""
+    import json
+    from pathlib import Path
+
+    from repro.facade import simulate
+    from repro.fuzz.fuzzer import case_from_artifact
+
+    try:
+        payload = json.loads(Path(args.artifact).read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro profile: cannot read artifact: {exc}")
+    case = case_from_artifact(payload)
+    if not case.paths:
+        raise SystemExit(
+            "repro profile: continuous-family artifacts carry no routed "
+            "paths to instrument"
+        )
+    result = simulate(
+        (case.network, case.paths),
+        model="wormhole",
+        B=case.channels[0],
+        message_length=case.message_length,
+        seed=case.sim_seed,
+        priority=case.priority,
+        telemetry=probes,
+        max_steps=200_000,
+    )
+    return result, f"fuzz artifact: {case.describe()}"
+
+
+def _cmd_scenario(args: argparse.Namespace) -> None:
+    from repro import Table
+    from repro.network.graph import NetworkError
+    from repro.scenarios import SCENARIOS, get_scenario
+
+    if args.scenario_command == "list":
+        table = Table(
+            f"{len(SCENARIOS)} registered scenarios",
+            ["name", "family", "kind", "models", "stresses"],
+        )
+        for name in sorted(SCENARIOS):
+            s = SCENARIOS[name]
+            table.add_row(
+                [s.name, s.family, s.kind, ",".join(s.models), s.theorem]
+            )
+        print(table.render())
+        return
+
+    try:
+        scen = get_scenario(args.name)
+    except NetworkError as exc:
+        raise SystemExit(f"repro scenario: {exc}")
+
+    if args.scenario_command == "show":
+        print(f"{scen.name}  [{scen.family} / {scen.kind}]")
+        print(f"stresses: {scen.theorem}")
+        print(f"models:   {', '.join(scen.models)}")
+        print()
+        print(scen.description)
+        print()
+        print("parameters (defaults):")
+        for k, v in scen.defaults().items():
+            print(f"  {k} = {v}")
+        case = scen.build_case()
+        print("expectations:")
+        for label, _ in case.checks:
+            print(f"  - {label}")
+        return
+
+    # run
+    try:
+        params = dict(_parse_param(p) for p in args.param)
+        channels = [int(b) for b in args.channels.split(",") if b.strip()]
+        if not channels:
+            raise SystemExit(
+                "repro scenario: --channels must name at least one B"
+            )
+        runs = [
+            scen.run(B=B, model=args.model, seed=args.seed, **params)
+            for B in channels
+        ]
+    except NetworkError as exc:
+        raise SystemExit(f"repro scenario: {exc}")
+    columns = sorted({k for r in runs for k in r.summary()})
+    table = Table(
+        f"scenario {scen.name}: model={runs[0].model}, "
+        f"stresses {scen.theorem}",
+        ["B", *columns, "checks", "verdict"],
+    )
+    for r in runs:
+        summary = r.summary()
+        table.add_row(
+            [
+                r.B,
+                *[summary.get(c, "-") for c in columns],
+                len(r.checked),
+                "ok" if r.ok else f"{len(r.violations)} VIOLATED",
+            ]
+        )
+    print(table.render())
+    info = runs[0].case.info
+    if info:
+        print(
+            "case: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(info.items()))
+        )
+    bad = [v for r in runs for v in r.violations]
+    if bad:
+        for v in bad:
+            print(f"VIOLATION [{v.invariant}] {v.detail}")
+        raise SystemExit(
+            f"repro scenario: {len(bad)} expectation(s) violated"
+        )
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> None:
+    from repro.fuzz import replay_artifact, run_fuzz
+    from repro.network.graph import NetworkError
+
+    if args.replay is not None:
+        try:
+            violations = replay_artifact(args.replay)
+        except (OSError, ValueError, KeyError, NetworkError) as exc:
+            raise SystemExit(f"repro fuzz: cannot replay: {exc}")
+        if not violations:
+            print(f"replay of {args.replay}: clean (violation not reproduced)")
+            return
+        for v in violations:
+            print(f"VIOLATION [{v.invariant}] {v.detail}")
+        raise SystemExit(
+            f"repro fuzz: replay reproduced {len(violations)} violation(s)"
+        )
+
+    families = None
+    if args.families:
+        families = tuple(
+            f.strip() for f in args.families.split(",") if f.strip()
+        )
+    try:
+        report = run_fuzz(
+            args.rounds,
+            seed=args.seed,
+            families=families,
+            artifact_dir=args.artifact_dir,
+        )
+    except NetworkError as exc:
+        raise SystemExit(f"repro fuzz: {exc}")
+    mix = ", ".join(
+        f"{k}={v}" for k, v in sorted(report.cases_by_family.items())
+    )
+    print(
+        f"fuzz: {report.rounds} rounds from seed {report.seed} ({mix})"
+    )
+    if report.ok:
+        print("all invariants held")
+        return
+    for path, payload in zip(report.artifact_paths, report.failures):
+        for v in payload["violations"]:
+            print(f"VIOLATION [{v['invariant']}] {v['detail']}")
+        print(f"  shrunk repro artifact: {path}")
+    raise SystemExit(
+        f"repro fuzz: {len(report.failures)} case(s) violated invariants"
+    )
 
 
 def _parse_param(text: str):
@@ -738,9 +1030,18 @@ def _cmd_loadgen(args: argparse.Namespace) -> None:
     channels = tuple(int(b) for b in args.channels.split(",") if b.strip())
     if not channels:
         raise SystemExit("repro loadgen: --channels must name at least one B")
+    if args.scenario is not None:
+        from repro.network.graph import NetworkError
+        from repro.scenarios import get_scenario
+
+        try:
+            get_scenario(args.scenario)
+        except NetworkError as exc:
+            raise SystemExit(f"repro loadgen: {exc}")
     config = LoadgenConfig(
         workload=args.workload,
         workload_params=dict(_parse_param(p) for p in args.param),
+        scenario=args.scenario,
         channels=channels,
         message_length=args.length or None,
         requests=args.requests,

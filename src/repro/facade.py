@@ -31,7 +31,8 @@ Legacy                                                 Facade
 * a :class:`~repro.sim.sweep.Workload` instance;
 * a registered workload name (see ``repro.sim.sweep.WORKLOADS``), with
   ``workload_params`` — this form is picklable, so it is the one that
-  can execute on a :mod:`repro.exec` process backend.
+  can execute on a :mod:`repro.exec` process backend.  Registered
+  scenarios (``repro.scenarios``) appear here as ``scenario:<name>``.
 
 Every model returns a :class:`~repro.sim.stats.SimulationResult` (the
 adaptive router's chosen routes are dropped — use
@@ -100,7 +101,9 @@ def _as_workload(problem: Any, model: str, workload_params) -> Workload:
     )
 
 
-def _run_wormhole(wl, *, B, L, seed, priority, telemetry, max_steps, release):
+def _run_wormhole(
+    wl, *, B, L, seed, priority, telemetry, max_steps, release, vc_ids=None
+):
     from .sim.wormhole import WormholeSimulator
 
     sim = WormholeSimulator(
@@ -111,6 +114,7 @@ def _run_wormhole(wl, *, B, L, seed, priority, telemetry, max_steps, release):
         message_length=L,
         release_times=release,
         max_steps=max_steps,
+        vc_ids=vc_ids,
         telemetry=telemetry,
     )
 
@@ -232,6 +236,13 @@ def _simulate_local(problem: Any, kwargs: dict[str, Any]):
         ).result
 
     priority = kwargs.get("priority") or _PRIORITY_DEFAULTS.get(model)
+    vc_ids = kwargs.get("vc_ids")
+    if vc_ids is not None and model != "wormhole":
+        raise NetworkError(
+            f"vc_ids (per-hop virtual-channel classes) are a wormhole-model "
+            f"feature; model {model!r} does not accept them"
+        )
+    extra = {"vc_ids": vc_ids} if model == "wormhole" else {}
     return _PATH_RUNNERS[model](
         wl,
         B=B,
@@ -241,6 +252,7 @@ def _simulate_local(problem: Any, kwargs: dict[str, Any]):
         telemetry=telemetry,
         max_steps=max_steps,
         release=release,
+        **extra,
     )
 
 
@@ -259,12 +271,13 @@ def simulate(
     seed: int | None = 0,
     priority: str | None = None,
     policy: str | None = None,
+    vc_ids: Any = None,
     telemetry: Any = None,
     backend: Any = None,
     max_steps: int | None = None,
     release_times: Any = None,
     workload_params: dict[str, Any] | None = None,
-    rate: float | None = None,
+    rate: Any = None,
     horizon: int | None = None,
     sample_every: int = 50,
 ):
@@ -289,6 +302,9 @@ def simulate(
         would, so facade results are bit-identical to constructing the
         simulator yourself.  ``priority`` defaults per model to the
         sweep runner's choice; ``policy`` is the adaptive turn model.
+    vc_ids:
+        Per-hop virtual-channel class assignment (e.g. a Dally–Seitz
+        dateline), wormhole model only.
     telemetry:
         :mod:`repro.telemetry` probes, for the models that accept them
         (wormhole, cut-through, store-and-forward, adaptive).
@@ -302,7 +318,9 @@ def simulate(
     workload_params:
         Builder parameters when ``problem`` is a workload name.
     rate / horizon / sample_every:
-        Continuous-model load parameters (ignored otherwise).
+        Continuous-model load parameters (ignored otherwise); ``rate``
+        is a scalar arrival probability or a ``(horizon,)`` per-step
+        trace.
 
     Returns
     -------
@@ -324,6 +342,7 @@ def simulate(
         "seed": seed,
         "priority": priority,
         "policy": policy,
+        "vc_ids": vc_ids,
         "telemetry": telemetry,
         "max_steps": max_steps,
         "release_times": release_times,

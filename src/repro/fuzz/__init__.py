@@ -1,0 +1,64 @@
+"""Property-based invariant fuzzing for the router models.
+
+Two layers:
+
+* :mod:`repro.fuzz.invariants` — pure oracle functions for every
+  invariant the paper (and the batch/continuous subsystems) guarantee;
+* :mod:`repro.fuzz.fuzzer` — the seeded case generator, cross-model
+  checker, shrinker, and replayable-artifact machinery behind
+  ``repro fuzz``.
+
+>>> from repro.fuzz import run_fuzz
+>>> run_fuzz(rounds=3, seed=0).ok
+True
+"""
+
+from .invariants import (
+    STORE_FORWARD_SLACK,
+    Violation,
+    check_b_monotonicity,
+    check_batch_matches_serial,
+    check_congestion_bound,
+    check_conservation,
+    check_deadlock_consistency,
+    check_delivery,
+    check_full_vs_restricted,
+    check_gadget_bound,
+    check_schedule_bound,
+    check_store_forward_envelope,
+    check_unobstructed,
+)
+from .fuzzer import (
+    FAMILIES,
+    FuzzCase,
+    FuzzReport,
+    generate_case,
+    replay_artifact,
+    run_case,
+    run_fuzz,
+    shrink_case,
+)
+
+__all__ = [
+    "FAMILIES",
+    "FuzzCase",
+    "FuzzReport",
+    "STORE_FORWARD_SLACK",
+    "Violation",
+    "check_b_monotonicity",
+    "check_batch_matches_serial",
+    "check_congestion_bound",
+    "check_conservation",
+    "check_deadlock_consistency",
+    "check_delivery",
+    "check_full_vs_restricted",
+    "check_gadget_bound",
+    "check_schedule_bound",
+    "check_store_forward_envelope",
+    "check_unobstructed",
+    "generate_case",
+    "replay_artifact",
+    "run_case",
+    "run_fuzz",
+    "shrink_case",
+]

@@ -1,0 +1,373 @@
+"""Scenario registry: named adversarial workloads with declared expectations.
+
+A *scenario* is a curated hard case from the paper (or the interconnect
+literature around it) packaged three ways at once:
+
+* a **builder** — ``build(B=..., **params) -> ScenarioCase`` producing a
+  concrete :class:`~repro.sim.sweep.Workload` (or an open-loop arrival
+  trace) for the requested virtual-channel count;
+* a set of **expectations** — labelled invariant checks from
+  :mod:`repro.fuzz.invariants` that the outcome must satisfy (the
+  Theorem 2.2.1 lower bound, the Theorem 2.1.6 length bound,
+  deadlock determinism, message conservation, ...);
+* a **sweep workload** — every trial-shaped scenario auto-registers as
+  ``scenario:<name>`` in :data:`repro.sim.sweep.WORKLOADS`, so scenario
+  cells drop into ``repro sweep``, the service loadgen, and the process
+  backends unchanged.
+
+Registration mirrors :func:`repro.sim.sweep.register_workload`::
+
+    @register_scenario(
+        "chain-contention",
+        family="contention",
+        theorem="Theorem 2.1.2",
+        models=("wormhole", "cut_through", "store_forward", "restricted"),
+    )
+    def _build(B=1, chains=4, depth=12, messages=8):
+        ...
+        return ScenarioCase(workload=wl, message_length=L, checks=[...])
+
+Run one with :meth:`Scenario.run` (dispatches through
+:func:`repro.simulate`, so any model/backend the scenario declares works,
+and :mod:`repro.telemetry` probes attach unchanged), or from the CLI:
+``repro scenario list | show <name> | run <name>``.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..fuzz.invariants import Violation
+from ..network.graph import NetworkError
+from ..sim.sweep import Workload, register_workload
+
+__all__ = [
+    "CheckFn",
+    "Scenario",
+    "ScenarioCase",
+    "ScenarioRun",
+    "SCENARIOS",
+    "get_scenario",
+    "register_scenario",
+]
+
+CheckFn = Callable[[Any, dict[str, Any]], "Violation | list[Violation] | None"]
+"""An expectation: ``fn(outcome, ctx)`` returning violation(s) or None.
+
+``outcome`` is the model's result object (a
+:class:`~repro.sim.stats.SimulationResult`, a
+:class:`~repro.sim.continuous.ContinuousResult`, or the schedule
+pipeline's metrics dict); ``ctx`` carries ``model``, ``B``, ``L``,
+``seed`` and the built :class:`ScenarioCase`.
+"""
+
+
+@dataclass
+class ScenarioCase:
+    """One built instance of a scenario, ready to simulate.
+
+    ``kind`` selects the execution shape:
+
+    * ``"trial"`` — ``workload`` routes through :func:`repro.simulate`
+      on any of the scenario's declared models;
+    * ``"schedule"`` — the Theorem 2.1.6 pipeline (LLL schedule build +
+      validated execution) over ``workload.paths``;
+    * ``"continuous"`` — the open-loop simulator over ``num_sources``
+      injectors with per-step arrival probabilities ``rate`` (scalar or
+      a ``(horizon,)`` trace).
+    """
+
+    kind: str = "trial"
+    workload: Workload | None = None
+    message_length: int | None = None
+    priority: str | None = None
+    policy: str | None = None
+    vc_ids: Any = None
+    release_times: Any = None
+    num_sources: int | None = None
+    path_of: Any = None
+    rate: Any = None
+    horizon: int | None = None
+    checks: list[tuple[str, CheckFn]] = field(default_factory=list)
+    info: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ScenarioRun:
+    """Outcome of :meth:`Scenario.run`: the result plus its verdicts."""
+
+    scenario: str
+    model: str
+    B: int
+    case: ScenarioCase
+    outcome: Any
+    violations: list[Violation]
+    checked: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> dict[str, Any]:
+        """Display scalars for tables (model-shape aware)."""
+        out = self.outcome
+        if isinstance(out, dict):  # schedule pipeline metrics
+            return {
+                "makespan": out["makespan"],
+                "length_bound": out["length_bound"],
+                "classes": out["classes"],
+                "delivered": f"{out['delivered']}/{out['messages']}",
+            }
+        if hasattr(out, "final_backlog"):  # ContinuousResult
+            return {
+                "generated": out.generated,
+                "delivered": out.delivered,
+                "backlog": out.final_backlog,
+                "throughput": round(out.throughput, 4),
+            }
+        return {
+            "makespan": int(out.makespan),
+            "delivered": f"{out.num_delivered}/{out.num_messages}",
+            "blocked": int(out.total_blocked_steps),
+            "deadlocked": bool(out.deadlocked),
+        }
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A registered scenario: builder + metadata + expectations."""
+
+    name: str
+    family: str
+    theorem: str
+    description: str
+    kind: str
+    models: tuple[str, ...]
+    build: Callable[..., ScenarioCase]
+
+    def defaults(self) -> dict[str, Any]:
+        """The builder's keyword defaults (for ``repro scenario show``)."""
+        return {
+            k: p.default
+            for k, p in inspect.signature(self.build).parameters.items()
+            if p.default is not inspect.Parameter.empty
+        }
+
+    def build_case(self, *, B: int = 1, **params: Any) -> ScenarioCase:
+        return self.build(B=B, **params)
+
+    def run(
+        self,
+        *,
+        B: int = 1,
+        model: str | None = None,
+        seed: int | None = 0,
+        telemetry: Any = None,
+        backend: Any = None,
+        max_steps: int | None = None,
+        **params: Any,
+    ) -> ScenarioRun:
+        """Build the case for ``B`` and simulate it under ``model``.
+
+        ``model`` defaults to the scenario's first declared model; any
+        declared model is accepted.  ``telemetry`` / ``backend`` /
+        ``max_steps`` forward to :func:`repro.simulate` (telemetry only
+        where the model supports probes).
+        """
+        if model is None:
+            model = self.models[0]
+        if model not in self.models:
+            raise NetworkError(
+                f"scenario {self.name!r} does not support model {model!r}; "
+                f"declared: {', '.join(self.models)}"
+            )
+        case = self.build_case(B=B, **params)
+        outcome = _execute_case(
+            self,
+            case,
+            model=model,
+            B=B,
+            seed=seed,
+            telemetry=telemetry,
+            backend=backend,
+            max_steps=max_steps,
+        )
+        ctx = {
+            "model": model,
+            "B": int(B),
+            "L": case.message_length,
+            "seed": seed,
+            "case": case,
+        }
+        violations: list[Violation] = []
+        checked: list[str] = []
+        for label, check in case.checks:
+            checked.append(label)
+            got = check(outcome, ctx)
+            if got is None:
+                continue
+            violations.extend(got if isinstance(got, list) else [got])
+        return ScenarioRun(
+            scenario=self.name,
+            model=model,
+            B=int(B),
+            case=case,
+            outcome=outcome,
+            violations=violations,
+            checked=checked,
+        )
+
+
+def _execute_case(
+    scen: Scenario,
+    case: ScenarioCase,
+    *,
+    model: str,
+    B: int,
+    seed,
+    telemetry,
+    backend,
+    max_steps,
+):
+    from ..facade import simulate
+
+    if case.kind == "continuous":
+        if backend is not None:
+            raise NetworkError(
+                "continuous scenarios run in-process (path generators "
+                "are not picklable); use backend=None"
+            )
+        return simulate(
+            (case.workload.net, case.num_sources, case.path_of),
+            model="continuous",
+            B=B,
+            message_length=case.message_length,
+            seed=seed,
+            rate=case.rate,
+            horizon=case.horizon,
+        )
+
+    if case.kind == "schedule" and model == "schedule":
+        return _run_schedule_case(case, B=B, seed=seed, telemetry=telemetry)
+
+    return simulate(
+        case.workload,
+        model=model,
+        B=B,
+        message_length=case.message_length,
+        seed=seed,
+        priority=case.priority,
+        policy=case.policy,
+        vc_ids=case.vc_ids,
+        release_times=case.release_times,
+        telemetry=telemetry,
+        backend=backend,
+        max_steps=max_steps,
+    )
+
+
+def _run_schedule_case(case: ScenarioCase, *, B: int, seed, telemetry):
+    """The Theorem 2.1.6 pipeline, reported as the sweep runner's metrics."""
+    from ..core.schedule import execute_schedule
+    from ..core.scheduler import lll_schedule
+
+    build = lll_schedule(
+        case.workload.paths,
+        message_length=case.message_length,
+        B=B,
+        rng=np.random.default_rng(seed),
+        mode="direct",
+    )
+    res = execute_schedule(
+        case.workload.net,
+        case.workload.paths,
+        build.schedule,
+        B=B,
+        require_unblocked=False,
+        telemetry=telemetry,
+    )
+    return {
+        "makespan": int(res.makespan),
+        "messages": int(res.num_messages),
+        "delivered": int(res.num_delivered),
+        "deadlocked": bool(res.deadlocked),
+        "hit_step_cap": bool(res.hit_step_cap),
+        "classes": int(build.num_classes),
+        "congestion": int(build.congestion),
+        "dilation": int(build.dilation),
+        "length_bound": int(build.length_bound),
+    }
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(
+    name: str,
+    *,
+    family: str,
+    theorem: str,
+    kind: str = "trial",
+    models: Sequence[str] = ("wormhole",),
+    description: str | None = None,
+) -> Callable:
+    """Register ``build(B=..., **params) -> ScenarioCase`` under ``name``.
+
+    Trial- and schedule-shaped scenarios also register their workload as
+    ``scenario:<name>`` in the sweep registry, so they are addressable
+    from :class:`~repro.sim.sweep.TrialSpec`, ``repro sweep``, the
+    facade's workload-name problem form, and the service loadgen.  The
+    builder's ``B`` rides along as an ordinary workload parameter there
+    (gadget instances must be built *for* the ``B`` they run at).
+    """
+    if kind not in ("trial", "schedule", "continuous"):
+        raise NetworkError(f"unknown scenario kind {kind!r}")
+
+    def deco(build_fn: Callable[..., ScenarioCase]) -> Scenario:
+        scen = Scenario(
+            name=name,
+            family=family,
+            theorem=theorem,
+            description=(
+                description
+                if description is not None
+                else inspect.getdoc(build_fn) or ""
+            ).strip(),
+            kind=kind,
+            models=tuple(models),
+            build=build_fn,
+        )
+        SCENARIOS[name] = scen
+        if kind in ("trial", "schedule"):
+
+            def _workload(**params: Any) -> Workload:
+                case = build_fn(**params)
+                wl = case.workload
+                if case.message_length is not None:
+                    wl.default_length = int(case.message_length)
+                return wl
+
+            _workload.__name__ = f"_wl_scenario_{name.replace('-', '_')}"
+            register_workload(f"scenario:{name}")(_workload)
+        return scen
+
+    return deco
+
+
+def get_scenario(name: str) -> Scenario:
+    scen = SCENARIOS.get(name)
+    if scen is None:
+        raise NetworkError(
+            f"unknown scenario {name!r}; "
+            f"registered: {', '.join(sorted(SCENARIOS))}"
+        )
+    return scen

@@ -150,17 +150,34 @@ class LoadgenConfig:
     rate: float = 0.0
     root_seed: int = 0
     deadline_ms: float | None = None
+    #: Replay a registered adversarial scenario (``repro.scenarios``)
+    #: instead of ``workload``: trial-shaped scenarios substitute their
+    #: ``scenario:<name>`` sweep workload; arrival-trace scenarios keep
+    #: ``workload`` but pace the request stream to the scenario's
+    #: per-step rate trace (see :meth:`arrival_offsets`).
+    scenario: str | None = None
     #: Replay every accepted response against a serial run and compare.
     verify: bool = True
     #: Send a ``shutdown`` op once the run (and verification) is done.
     shutdown: bool = False
     connect_timeout_s: float = 5.0
 
+    def effective_workload(self) -> str:
+        if self.scenario is not None and self._scenario().kind != "continuous":
+            return f"scenario:{self.scenario}"
+        return self.workload
+
+    def _scenario(self):
+        from ..scenarios import get_scenario
+
+        return get_scenario(self.scenario)
+
     def specs(self) -> list[TrialSpec]:
         """One unique spec per request: channels cycle, repeats advance."""
+        workload = self.effective_workload()
         return [
             TrialSpec.make(
-                self.workload,
+                workload,
                 self.simulator,
                 B=self.channels[i % len(self.channels)],
                 workload_params=self.workload_params,
@@ -169,6 +186,33 @@ class LoadgenConfig:
             )
             for i in range(self.requests)
         ]
+
+    def arrival_offsets(self) -> list[float] | None:
+        """Per-request send offsets (seconds) from an arrival scenario.
+
+        ``None`` unless ``scenario`` names a continuous-kind scenario.
+        The scenario's per-step rate trace becomes a cumulative arrival
+        curve; request ``i`` is placed where the curve crosses
+        ``(i + 0.5) / requests`` of its total mass, so bursts in the
+        trace become bursts on the wire.  One trace *step* maps to
+        ``1 / rate`` seconds when ``rate`` is set, else 10 ms.
+        """
+        if self.scenario is None:
+            return None
+        scen = self._scenario()
+        if scen.kind != "continuous":
+            return None
+        import numpy as np
+
+        case = scen.build_case(B=self.channels[0], **self.workload_params)
+        rates = np.asarray(case.rate, dtype=np.float64)
+        cum = np.cumsum(rates)
+        if cum[-1] <= 0:
+            return [0.0] * self.requests
+        targets = (np.arange(self.requests) + 0.5) * cum[-1] / self.requests
+        steps = np.searchsorted(cum, targets)
+        step_s = (1.0 / self.rate) if self.rate > 0 else 0.01
+        return [float(s) * step_s for s in steps]
 
 
 async def run_loadgen(
@@ -183,6 +227,7 @@ async def run_loadgen(
     bit-identical against a local serial replay.
     """
     specs = config.specs()
+    offsets = config.arrival_offsets()
     started = time.monotonic()
     work = asyncio.Queue()
     for i, spec in enumerate(specs):
@@ -193,6 +238,8 @@ async def run_loadgen(
 
     def _pace(i: int) -> float:
         """Seconds from start at which request ``i`` may be sent."""
+        if offsets is not None:
+            return offsets[i]
         return i / config.rate if config.rate > 0 else 0.0
 
     async def worker() -> None:
@@ -268,7 +315,8 @@ async def run_loadgen(
 
     return {
         "config": {
-            "workload": config.workload,
+            "workload": config.effective_workload(),
+            "scenario": config.scenario,
             "workload_params": dict(config.workload_params),
             "simulator": config.simulator,
             "channels": list(config.channels),

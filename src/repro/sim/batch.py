@@ -38,7 +38,7 @@ deadlock flags, and step-cap flags.  The load-bearing facts:
   serial loop's idle-gap skipping (see :class:`BatchStepLoop`).
 
 The batch-vs-serial equivalence suite (``tests/sim/test_batch.py``)
-pins this contract over the golden scenario shapes and a randomized
+pins this contract over the golden-case shapes and a randomized
 property sweep.
 
 Telemetry probes are deliberately **not** supported here: per-trial

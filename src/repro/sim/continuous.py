@@ -111,7 +111,7 @@ class ContinuousWormholeSimulator:
 
     def run(
         self,
-        rate: float,
+        rate: float | np.ndarray | Sequence[float],
         message_length: int,
         path_of: PathGenerator,
         horizon: int,
@@ -121,17 +121,29 @@ class ContinuousWormholeSimulator:
 
         Each flit step, each source independently generates a new message
         with probability ``rate``; its route comes from ``path_of``.
+        ``rate`` may also be a ``(horizon,)`` array giving the arrival
+        probability of each step — bursty or heavy-tailed open-loop
+        traces — with a scalar run being bit-identical to the equivalent
+        constant trace (the RNG draw schedule does not change).
         Sources inject FIFO: a source's next message contends for its
         path's first edge only once all earlier messages from that source
         have fully left the injection buffer (entered the network).
         """
-        if not 0.0 <= rate <= 1.0:
+        if horizon < 1:
+            raise NetworkError("horizon must be >= 1")
+        rates = np.asarray(rate, dtype=np.float64)
+        if rates.ndim == 0:
+            rates = np.full(int(horizon), float(rates))
+        elif rates.shape != (int(horizon),):
+            raise NetworkError(
+                f"per-step rate must have shape ({int(horizon)},), "
+                f"got {rates.shape}"
+            )
+        if not (np.all(rates >= 0.0) and np.all(rates <= 1.0)):
             raise NetworkError("rate must be in [0, 1]")
         L = int(message_length)
         if L < 1:
             raise NetworkError("message length L must be >= 1")
-        if horizon < 1:
-            raise NetworkError("horizon must be >= 1")
 
         occupancy = np.zeros(self.num_edges, dtype=np.int64)
         # Per-message dynamic state (lists; the population is unbounded).
@@ -199,7 +211,9 @@ class ContinuousWormholeSimulator:
                     active.remove(m)
 
             # Arrivals for this step.
-            arrivals = np.flatnonzero(self._rng.random(self.num_sources) < rate)
+            arrivals = np.flatnonzero(
+                self._rng.random(self.num_sources) < rates[t - 1]
+            )
             for s in arrivals:
                 path = np.asarray(path_of(int(s), self._rng), dtype=np.int64)
                 m = len(paths)

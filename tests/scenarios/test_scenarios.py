@@ -1,0 +1,305 @@
+"""The adversarial scenario library: registry, runs, and integration."""
+
+import pytest
+
+from repro.facade import simulate
+from repro.network.graph import NetworkError
+from repro.scenarios import SCENARIOS, get_scenario, register_scenario
+from repro.sim.sweep import WORKLOADS, TrialSpec, _execute_trial
+
+
+class TestRegistry:
+    def test_builtin_scenarios_registered(self):
+        assert {
+            "lower-bound-gadget",
+            "gadget-hotspot",
+            "chain-contention",
+            "hotspot-mesh",
+            "layered-schedule",
+            "ring-deadlock",
+            "ring-dateline",
+            "bursty-arrivals",
+            "heavy-tail-arrivals",
+        } <= set(SCENARIOS)
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(NetworkError, match="unknown scenario"):
+            get_scenario("zzz")
+
+    def test_trial_scenarios_become_sweep_workloads(self):
+        for name, scen in SCENARIOS.items():
+            if scen.kind in ("trial", "schedule"):
+                assert f"scenario:{name}" in WORKLOADS
+            else:
+                assert f"scenario:{name}" not in WORKLOADS
+
+    def test_register_rejects_unknown_kind(self):
+        with pytest.raises(NetworkError, match="unknown scenario kind"):
+            register_scenario(
+                "x", family="f", theorem="t", kind="bogus"
+            )
+
+    def test_defaults_reflect_builder_signature(self):
+        d = get_scenario("lower-bound-gadget").defaults()
+        assert d["C"] == 8 and d["D"] == 15 and d["B"] == 1
+
+    def test_undeclared_model_rejected(self):
+        with pytest.raises(NetworkError, match="does not support model"):
+            get_scenario("ring-deadlock").run(B=1, model="store_forward")
+
+
+class TestRunsClean:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_default_run_satisfies_expectations(self, name):
+        run = get_scenario(name).run()
+        assert run.ok, [v.detail for v in run.violations]
+        assert run.checked  # every scenario declares expectations
+
+    def test_checked_labels_match_case_checks(self):
+        run = get_scenario("chain-contention").run(B=2)
+        assert run.checked == [label for label, _ in run.case.checks]
+
+
+class TestGadgetLowerBound:
+    @pytest.mark.parametrize("B", [1, 2, 4])
+    def test_theorem_221_bound_reproduced(self, B):
+        run = get_scenario("lower-bound-gadget").run(B=B)
+        assert run.ok
+        assert run.summary()["makespan"] >= run.case.info["lower_bound"]
+
+    def test_bound_scales_inversely_with_B(self):
+        bounds = {
+            B: get_scenario("lower-bound-gadget")
+            .build_case(B=B)
+            .info["lower_bound"]
+            for B in (1, 2)
+        }
+        assert bounds[1] > bounds[2]
+
+    def test_hotspot_variant_inflates_M_and_holds(self):
+        scen = get_scenario("gadget-hotspot")
+        run = run_plain = scen.run(B=1)
+        assert run.ok
+        plain = get_scenario("lower-bound-gadget").build_case(B=1)
+        assert run_plain.case.info["M"] > plain.info["M"]
+
+
+class TestDeadlockFamily:
+    @pytest.mark.parametrize(
+        "B,expect", [(1, True), (2, True), (6, False), (8, False)]
+    )
+    def test_ring_deadlock_is_deterministic(self, B, expect):
+        run = get_scenario("ring-deadlock").run(B=B)
+        assert run.ok
+        assert run.outcome.deadlocked is expect  # hops defaults to 6
+
+    def test_dateline_restores_delivery_at_B2(self):
+        run = get_scenario("ring-dateline").run(B=2)
+        assert run.ok
+        assert not run.outcome.deadlocked
+        assert run.case.info["cdg_acyclic"] is True
+
+    def test_dateline_at_B1_degrades_to_deadlock(self):
+        run = get_scenario("ring-dateline").run(B=1)
+        assert run.ok  # the B=1 case *expects* the deadlock
+        assert run.outcome.deadlocked
+
+    def test_hotspot_mesh_west_first_delivers(self):
+        run = get_scenario("hotspot-mesh").run(B=2)
+        assert run.ok and not run.outcome.deadlocked
+
+
+class TestScheduleFamily:
+    def test_schedule_model_meets_length_bound(self):
+        run = get_scenario("layered-schedule").run(B=2, model="schedule")
+        assert run.ok
+        assert run.outcome["makespan"] <= run.outcome["length_bound"]
+
+    def test_same_case_runs_greedy_models_too(self):
+        run = get_scenario("layered-schedule").run(B=2, model="wormhole")
+        assert run.ok
+        assert run.outcome.all_delivered
+
+
+class TestArrivalFamily:
+    def test_bursty_trace_conserves_messages(self):
+        run = get_scenario("bursty-arrivals").run(B=2)
+        assert run.ok
+        out = run.outcome
+        assert out.generated == out.delivered + out.final_backlog
+
+    def test_continuous_rejects_backend(self):
+        with pytest.raises(NetworkError, match="in-process"):
+            get_scenario("bursty-arrivals").run(B=1, backend="inline")
+
+    def test_heavy_tail_trace_is_seeded_deterministic(self):
+        a = get_scenario("heavy-tail-arrivals").run(B=1)
+        b = get_scenario("heavy-tail-arrivals").run(B=1)
+        assert a.outcome.generated == b.outcome.generated
+        assert a.outcome.delivered == b.outcome.delivered
+
+
+class TestIntegration:
+    def test_facade_runs_scenario_workload_by_name(self):
+        res = simulate(
+            "scenario:chain-contention",
+            model="wormhole",
+            B=2,
+            workload_params={"chains": 2, "depth": 5, "messages": 3},
+        )
+        assert res.all_delivered
+
+    def test_sweep_trial_spec_executes_scenario_cell(self):
+        spec = TrialSpec.make(
+            "scenario:chain-contention",
+            "wormhole",
+            B=2,
+            workload_params={"chains": 2, "depth": 5, "messages": 3},
+        )
+        metrics, _ = _execute_trial((spec, 0))
+        assert metrics["delivered"] == metrics["messages"]
+
+    def test_scenario_workload_riding_B_param(self):
+        # Gadget instances must be built FOR the B they run at: the
+        # builder's B travels as an ordinary workload parameter.
+        spec = TrialSpec.make(
+            "scenario:lower-bound-gadget",
+            "wormhole",
+            B=2,
+            workload_params={"B": 2, "C": 6, "D": 7},
+        )
+        metrics, _ = _execute_trial((spec, 0))
+        assert metrics["delivered"] == metrics["messages"]
+
+    def test_loadgen_config_substitutes_scenario_workload(self):
+        from repro.service import LoadgenConfig
+
+        config = LoadgenConfig(
+            scenario="chain-contention", requests=4, channels=(1, 2)
+        )
+        specs = config.specs()
+        assert all(
+            s.workload == "scenario:chain-contention" for s in specs
+        )
+        assert config.arrival_offsets() is None
+
+    def test_loadgen_config_paces_arrival_scenario(self):
+        from repro.service import LoadgenConfig
+
+        config = LoadgenConfig(
+            scenario="bursty-arrivals", requests=8, channels=(1,)
+        )
+        # Arrival-trace scenarios keep the synthetic workload...
+        assert config.effective_workload() == config.workload
+        offsets = config.arrival_offsets()
+        # ...but pace requests along the cumulative rate trace.
+        assert len(offsets) == 8
+        assert offsets == sorted(offsets)
+        assert offsets[-1] > offsets[0]
+
+    def test_telemetry_probes_attach_to_scenario_runs(self):
+        from repro.telemetry import standard_collectors
+
+        probes = standard_collectors()
+        run = get_scenario("chain-contention").run(B=2, telemetry=probes)
+        assert run.ok
+        assert any(getattr(p, "total_flits", 0) > 0 for p in probes)
+
+    def test_run_summary_shapes(self):
+        trial = get_scenario("chain-contention").run(B=1)
+        assert set(trial.summary()) == {
+            "makespan",
+            "delivered",
+            "blocked",
+            "deadlocked",
+        }
+        sched = get_scenario("layered-schedule").run(B=1, model="schedule")
+        assert "length_bound" in sched.summary()
+        cont = get_scenario("bursty-arrivals").run(B=1)
+        assert "backlog" in cont.summary()
+
+
+class TestContinuousArrayRate:
+    def test_scalar_and_constant_trace_bit_identical(self):
+        import numpy as np
+
+        from repro.network.random_networks import layered_network
+
+        rng = np.random.default_rng(0)
+        net = layered_network(4, 3, 2, rng)
+
+        def path_of(source, prng):
+            node = int(source)
+            edges = []
+            for _ in range(3):
+                out = net.out_edges(node)
+                e = out[int(prng.integers(len(out)))]
+                edges.append(e)
+                node = net.head(e)
+            return edges
+
+        kwargs = dict(
+            model="continuous",
+            B=2,
+            message_length=4,
+            seed=5,
+            horizon=120,
+        )
+        a = simulate((net, 4, path_of), rate=0.2, **kwargs)
+        b = simulate((net, 4, path_of), rate=np.full(120, 0.2), **kwargs)
+        assert a.generated == b.generated
+        assert a.delivered == b.delivered
+        assert a.final_backlog == b.final_backlog
+        assert a.mean_latency == b.mean_latency
+
+    def test_bad_trace_shape_rejected(self):
+        from repro.sim.continuous import ContinuousWormholeSimulator
+
+        import numpy as np
+
+        from repro.network.graph import Network
+
+        net = Network()
+        a, b = net.add_nodes("ab")
+        net.add_edge(a, b)
+        sim = ContinuousWormholeSimulator(net, 1)
+        with pytest.raises(NetworkError, match="shape"):
+            sim.run(np.full(5, 0.1), 4, lambda s, r: [0], horizon=10)
+
+    def test_out_of_range_trace_rejected(self):
+        import numpy as np
+
+        from repro.network.graph import Network
+        from repro.sim.continuous import ContinuousWormholeSimulator
+
+        net = Network()
+        a, b = net.add_nodes("ab")
+        net.add_edge(a, b)
+        sim = ContinuousWormholeSimulator(net, 1)
+        with pytest.raises(NetworkError, match="rate"):
+            sim.run(np.array([0.1] * 9 + [1.5]), 4, lambda s, r: [0], horizon=10)
+
+
+class TestVcIdsFacade:
+    def test_vc_ids_rejected_off_wormhole(self):
+        case = get_scenario("ring-dateline").build_case(B=2)
+        with pytest.raises(NetworkError, match="wormhole"):
+            simulate(
+                case.workload,
+                model="store_forward",
+                B=2,
+                message_length=case.message_length,
+                vc_ids=case.vc_ids,
+            )
+
+    def test_vc_ids_forwarded_to_wormhole(self):
+        case = get_scenario("ring-dateline").build_case(B=2)
+        res = simulate(
+            case.workload,
+            model="wormhole",
+            B=2,
+            message_length=case.message_length,
+            priority="index",
+            vc_ids=case.vc_ids,
+        )
+        assert res.all_delivered

@@ -24,7 +24,7 @@ def test_limit_must_be_positive():
 
 
 def test_admit_until_full_then_structured_reject():
-    async def scenario():
+    async def drive():
         q = AdmissionQueue(2, default_service_ms=40.0)
         q.admit(_pending())
         q.admit(_pending())
@@ -36,11 +36,11 @@ def test_admit_until_full_then_structured_reject():
         assert "retry after" in str(exc_info.value)
         assert len(q) == 2  # the rejected request was never queued
 
-    asyncio.run(scenario())
+    asyncio.run(drive())
 
 
 def test_retry_hint_tracks_ewma_service_time():
-    async def scenario():
+    async def drive():
         q = AdmissionQueue(8, default_service_ms=50.0, ewma_alpha=0.5)
         q.admit(_pending())
         assert q.retry_after_ms() == pytest.approx(50.0)
@@ -51,19 +51,19 @@ def test_retry_hint_tracks_ewma_service_time():
         q.note_service_time(0.0, requests=0)  # no-op guard
         assert q.retry_after_ms() == pytest.approx(125.0)
 
-    asyncio.run(scenario())
+    asyncio.run(drive())
 
 
 def test_retry_hint_floor_is_one_ms():
-    async def scenario():
+    async def drive():
         q = AdmissionQueue(4, default_service_ms=0.0)
         assert q.retry_after_ms() >= 1.0
 
-    asyncio.run(scenario())
+    asyncio.run(drive())
 
 
 def test_take_compatible_is_fifo_and_keeps_others_in_place():
-    async def scenario():
+    async def drive():
         q = AdmissionQueue(16)
         a1, b1, a2, b2, a3 = (
             _pending(key=("a",)),
@@ -87,11 +87,11 @@ def test_take_compatible_is_fifo_and_keeps_others_in_place():
         assert q.take_compatible(("a",), max_batch=8) == [a3]
         assert len(q) == 0
 
-    asyncio.run(scenario())
+    asyncio.run(drive())
 
 
 def test_wait_arrival_wakes_on_admit_and_on_kick():
-    async def scenario():
+    async def drive():
         q = AdmissionQueue(4)
 
         async def admit_later():
@@ -117,7 +117,7 @@ def test_wait_arrival_wakes_on_admit_and_on_kick():
         q.admit(_pending())
         await asyncio.wait_for(q.wait_arrival(), 5)
 
-    asyncio.run(scenario())
+    asyncio.run(drive())
 
 
 def test_expiry_predicate():

@@ -73,7 +73,7 @@ def test_golden_equivalence_under_concurrent_load():
     local serial replay byte for byte.
     """
 
-    async def scenario():
+    async def drive():
         async with service(max_wait_ms=60.0, max_batch=32) as svc:
             config = LoadgenConfig(
                 workload="chain-bundle",
@@ -87,7 +87,7 @@ def test_golden_equivalence_under_concurrent_load():
             )
             return await run_loadgen("127.0.0.1", svc.port, config)
 
-    report = run_async(scenario(), timeout=120)
+    report = run_async(drive(), timeout=120)
     assert report["statuses"] == {STATUS_OK: 24}
     assert report["ok"] == 24
     assert report["verified"] == 24
@@ -104,7 +104,7 @@ def test_golden_equivalence_under_concurrent_load():
 def test_batch_composition_never_changes_answers():
     """The same spec served solo and in a crowd yields identical metrics."""
 
-    async def scenario():
+    async def drive():
         spec = _spec(B=2)
         async with service(max_wait_ms=50.0) as svc:
             # Solo: the only request, batch of one.
@@ -127,7 +127,7 @@ def test_batch_composition_never_changes_answers():
                     await c.close()
         return solo, crowd
 
-    solo, crowd = run_async(scenario())
+    solo, crowd = run_async(drive())
     assert solo["status"] == STATUS_OK and crowd[0]["status"] == STATUS_OK
     assert crowd[0]["batched"] > 1  # really shared a lockstep batch
     assert crowd[0]["metrics"] == solo["metrics"]
@@ -136,7 +136,7 @@ def test_batch_composition_never_changes_answers():
 
 
 def test_deadline_expiry_cancels_before_compute():
-    async def scenario():
+    async def drive():
         async with service(max_wait_ms=30.0) as svc:
             async with await ServiceClient.connect("127.0.0.1", svc.port) as c:
                 # deadline_ms=0 expires the instant the batch launches.
@@ -146,7 +146,7 @@ def test_deadline_expiry_cancels_before_compute():
             stats = svc._stats_snapshot()
         return doomed, fine, stats
 
-    doomed, fine, stats = run_async(scenario())
+    doomed, fine, stats = run_async(drive())
     assert doomed["status"] == STATUS_EXPIRED
     assert doomed["waited_ms"] >= 0
     assert "deadline" in doomed["error"]
@@ -164,7 +164,7 @@ def test_queue_full_returns_structured_reject():
     retry-after hint — it is never silently queued or dropped.
     """
 
-    async def scenario():
+    async def drive():
         async with service(
             queue_limit=1, max_batch=2, max_wait_ms=1500.0
         ) as svc:
@@ -181,7 +181,7 @@ def test_queue_full_returns_structured_reject():
             stats = svc._stats_snapshot()
         return bounced, first_resp, stats
 
-    bounced, first_resp, stats = run_async(scenario())
+    bounced, first_resp, stats = run_async(drive())
     assert bounced["status"] == STATUS_REJECTED
     assert bounced["error"] == "queue full"
     assert bounced["retry_after_ms"] >= 1
@@ -200,7 +200,7 @@ def test_shutdown_drains_all_admitted_requests():
     ``draining``, and (c) let the server task finish cleanly.
     """
 
-    async def scenario():
+    async def drive():
         svc = SimulationService(
             ServiceConfig(port=0, max_wait_ms=60_000.0, max_batch=32)
         )
@@ -228,7 +228,7 @@ def test_shutdown_drains_all_admitted_requests():
         await asyncio.wait_for(server_task, 30)
         return ack, late, responses, svc
 
-    ack, late, responses, svc = run_async(scenario())
+    ack, late, responses, svc = run_async(drive())
     assert ack["status"] == "ok" and ack["draining"] is True
     assert late["status"] == STATUS_REJECTED
     assert late["error"] == "draining"
@@ -242,7 +242,7 @@ def test_shutdown_drains_all_admitted_requests():
 
 
 def test_health_stats_and_protocol_errors():
-    async def scenario():
+    async def drive():
         async with service() as svc:
             async with await ServiceClient.connect("127.0.0.1", svc.port) as c:
                 health = await c.health()
@@ -252,7 +252,7 @@ def test_health_stats_and_protocol_errors():
                 raw = await c.request({"op": "run", "id": "bad", "spec": {}})
         return health, stats, garbage, raw
 
-    health, stats, garbage, raw = run_async(scenario())
+    health, stats, garbage, raw = run_async(drive())
     assert health["status"] == "ok" and health["protocol"] == 1
     assert health["queue_depth"] == 0
     assert stats["counters"]["completed"] == 1
@@ -264,7 +264,7 @@ def test_health_stats_and_protocol_errors():
 
 
 def test_non_wormhole_trials_served_via_per_trial_path():
-    async def scenario():
+    async def drive():
         spec = TrialSpec.make(
             "chain-bundle",
             "store_forward",
@@ -278,7 +278,7 @@ def test_non_wormhole_trials_served_via_per_trial_path():
         serial, _ = _execute_trial((spec, 5))
         return resp, serial
 
-    resp, serial = run_async(scenario())
+    resp, serial = run_async(drive())
     assert resp["status"] == STATUS_OK
     assert resp["metrics"] == serial
 
@@ -292,7 +292,7 @@ def test_bad_policy_rejected(field, value):
 def test_unknown_protocol_version_gets_structured_reject():
     """A ``v`` the server does not speak bounces without touching the op."""
 
-    async def scenario():
+    async def drive():
         async with service() as svc:
             async with await ServiceClient.connect("127.0.0.1", svc.port) as c:
                 bad = await c.request(
@@ -303,7 +303,7 @@ def test_unknown_protocol_version_gets_structured_reject():
             stats = svc._stats_snapshot()
         return bad, health, stats
 
-    bad, health, stats = run_async(scenario())
+    bad, health, stats = run_async(drive())
     assert bad["status"] == "error"
     assert bad["id"] == "vfuture"
     assert bad["supported_versions"] == [1]
@@ -314,14 +314,14 @@ def test_unknown_protocol_version_gets_structured_reject():
 
 
 def test_responses_carry_protocol_version():
-    async def scenario():
+    async def drive():
         async with service(max_wait_ms=10.0) as svc:
             async with await ServiceClient.connect("127.0.0.1", svc.port) as c:
                 ok = await c.run_trial(_spec())
                 health = await c.health()
         return ok, health
 
-    ok, health = run_async(scenario())
+    ok, health = run_async(drive())
     assert ok["v"] == 1
     assert health["v"] == 1
 
@@ -335,7 +335,7 @@ class TestProcessBackendService:
     """
 
     def test_process_backend_bit_exact(self):
-        async def scenario():
+        async def drive():
             async with service(
                 backend="process", workers=2, max_wait_ms=40.0
             ) as svc:
@@ -353,7 +353,7 @@ class TestProcessBackendService:
                 health = svc._health()
             return report, health
 
-        report, health = run_async(scenario(), timeout=120)
+        report, health = run_async(drive(), timeout=120)
         assert report["bit_exact"] is True
         assert report["ok"] == 8
         assert health["backend"] == "process"
@@ -363,7 +363,7 @@ class TestProcessBackendService:
         import os
         import signal
 
-        async def scenario():
+        async def drive():
             async with service(
                 backend="process", workers=2, max_wait_ms=10.0
             ) as svc:
@@ -381,7 +381,7 @@ class TestProcessBackendService:
                     health = await c.health()
             return before, after, stats, health
 
-        before, after, stats, health = run_async(scenario(), timeout=120)
+        before, after, stats, health = run_async(drive(), timeout=120)
         assert before["status"] == STATUS_OK
         assert [r["status"] for r in after] == [STATUS_OK] * 3
         # Bit-exactness survives the crash: replay each spec serially.

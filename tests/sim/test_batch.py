@@ -4,7 +4,7 @@ The batch engine's contract is that trial ``i`` of a batch is
 *bit-identical* to the serial ``WormholeSimulator`` run with the same
 ``(B, seed)`` — completion times, makespan, executed steps, blocked
 counts, deadlock flags, and step-cap flags.  These tests pin that over
-the golden-scenario shapes (priority disciplines, staggered releases,
+the golden-case shapes (priority disciplines, staggered releases,
 deadlock rings, VC classes, mixed path lengths) and a randomized
 hypothesis sweep over workloads, seeds, and batch compositions.
 """
@@ -14,7 +14,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from golden_scenarios import _layered_workload, _ring, _stagger
+from golden_cases import _layered_workload, _ring, _stagger
 from repro.network.graph import Network, NetworkError
 from repro.sim.batch import run_wormhole_batch
 from repro.sim.wormhole import WormholeSimulator

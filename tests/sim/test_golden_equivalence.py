@@ -2,35 +2,35 @@
 
 ``golden.json`` records seeded completion times, makespans, blocked
 counts, deadlock flags, and telemetry digests for all five routers,
-captured by running ``golden_scenarios.py`` against the *pre-refactor*
-simulators.  These tests re-run every scenario on the current code and
+captured by running ``golden_cases.py`` against the *pre-refactor*
+simulators.  These tests re-run every case on the current code and
 assert equality — any drift in RNG draw order, arbitration, probe event
 ordering, step caps, or deadlock declaration fails loudly.
 
 Regenerate (only when an intentional behavior change is being made):
 
-    PYTHONPATH=src:tests python tests/sim/golden_scenarios.py --write
+    PYTHONPATH=src:tests python tests/sim/golden_cases.py --write
 """
 
 import json
 
 import pytest
 
-from golden_scenarios import GOLDEN_PATH, SCENARIOS
+from golden_cases import GOLDEN_PATH, CASES
 
 GOLDEN = json.loads(GOLDEN_PATH.read_text())
 
 
-def test_golden_covers_every_scenario():
-    assert sorted(GOLDEN) == sorted(SCENARIOS)
+def test_golden_covers_every_case():
+    assert sorted(GOLDEN) == sorted(CASES)
 
 
-@pytest.mark.parametrize("name", sorted(SCENARIOS))
+@pytest.mark.parametrize("name", sorted(CASES))
 def test_bit_exact_vs_pre_refactor(name):
-    got = SCENARIOS[name]()
+    got = CASES[name]()
     want = GOLDEN[name]
     assert got == want, (
-        f"scenario {name!r} drifted from the pre-refactor baseline; "
+        f"case {name!r} drifted from the pre-refactor baseline; "
         "first differing keys: "
         + ", ".join(
             k for k in want if got.get(k) != want.get(k)

@@ -269,3 +269,125 @@ class TestCommands:
         )
         assert proc.returncode == 0
         assert "repro" in proc.stdout
+
+
+class TestScenarioCommand:
+    def test_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "lower-bound-gadget" in out
+        assert "ring-dateline" in out
+        assert "continuous" in out
+
+    def test_show(self, capsys):
+        assert main(["scenario", "show", "lower-bound-gadget"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 2.2.1" in out
+        assert "C" in out and "D" in out
+        assert "expect" in out.lower()
+
+    def test_run_gadget_across_channels(self, capsys):
+        assert main(
+            [
+                "scenario",
+                "run",
+                "lower-bound-gadget",
+                "--channels",
+                "1,2",
+                "--param",
+                "C=6",
+                "--param",
+                "D=7",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        assert "case:" in out
+
+    def test_run_unknown_scenario(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["scenario", "run", "zzz"])
+
+    def test_run_rejects_undeclared_model(self):
+        with pytest.raises(SystemExit, match="does not support model"):
+            main(
+                ["scenario", "run", "ring-deadlock", "--model", "store_forward"]
+            )
+
+    def test_run_bad_param_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="--param"):
+            main(["scenario", "run", "chain-contention", "--param", "chains"])
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+
+class TestFuzzCommand:
+    def test_small_clean_run(self, capsys, tmp_path):
+        assert main(
+            [
+                "fuzz",
+                "--rounds",
+                "3",
+                "--seed",
+                "0",
+                "--artifact-dir",
+                str(tmp_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "all invariants held" in out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_family_restriction(self, capsys, tmp_path):
+        assert main(
+            [
+                "fuzz",
+                "--rounds",
+                "2",
+                "--families",
+                "ring",
+                "--artifact-dir",
+                str(tmp_path),
+            ]
+        ) == 0
+        assert "ring=2" in capsys.readouterr().out
+
+    def test_unknown_family_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown fuzz famil"):
+            main(["fuzz", "--rounds", "1", "--families", "bogus"])
+
+    def test_replay_missing_artifact_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="artifact"):
+            main(["fuzz", "--replay", str(tmp_path / "nope.json")])
+
+
+class TestScenarioIntegrationFlags:
+    def test_loadgen_scenario_default_is_none(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.scenario is None
+
+    def test_loadgen_unknown_scenario_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["loadgen", "--scenario", "zzz", "--requests", "1"])
+
+    def test_profile_scenario_smoke(self, capsys):
+        assert main(
+            ["profile", "--scenario", "chain-contention", "--channels", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chain-contention" in out
+        assert "Run summary" in out and "Throughput" in out
+
+    def test_profile_scenario_and_artifact_conflict(self, tmp_path):
+        with pytest.raises(SystemExit, match="not both"):
+            main(
+                [
+                    "profile",
+                    "--scenario",
+                    "chain-contention",
+                    "--artifact",
+                    str(tmp_path / "a.json"),
+                ]
+            )
