@@ -181,8 +181,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--batch-size",
         default="auto",
-        help="wormhole trials per lockstep batch ('auto', or a positive "
-        "integer; 1 disables batching — results are identical either way)",
+        help="trials per lockstep batch, for every flit-level router "
+        "('auto', or a positive integer; 1 disables batching — results "
+        "are identical either way)",
     )
     p.add_argument(
         "--dry-run",
@@ -974,17 +975,21 @@ def _sweep_dry_run(specs, root_seed, batch_size, cache_dir, force) -> None:
         ["unit", "kind", "simulator", "workload", "trials", "B values"],
     )
     batches = singles = 0
+    by_model: dict[str, list[int]] = {}
     for n, (unit, idxs) in enumerate(units):
         kind = unit[0]
         spec0 = specs[idxs[0]]
+        counts = by_model.setdefault(spec0.simulator, [0, 0])
         if kind == "batch":
             batches += 1
+            counts[0] += 1
         else:
             singles += 1
+            counts[1] += 1
         table.add_row(
             [
                 n,
-                kind,
+                "lockstep" if kind == "batch" else "single",
                 spec0.simulator,
                 spec0.workload,
                 len(idxs),
@@ -992,6 +997,14 @@ def _sweep_dry_run(specs, root_seed, batch_size, cache_dir, force) -> None:
             ]
         )
     print(table.render())
+    for sim in sorted(by_model):
+        nb, ns = by_model[sim]
+        parts = []
+        if nb:
+            parts.append(f"{nb} lockstep batch(es)")
+        if ns:
+            parts.append(f"{ns} single(s)")
+        print(f"  {sim}: {' + '.join(parts)}")
     print(
         f"{len(specs)} trials: {cached} cache hits, {len(pending)} to "
         f"execute in {batches} lockstep batch(es) + {singles} single(s); "
@@ -1227,8 +1240,20 @@ def _bench_backends(args: argparse.Namespace) -> None:
         raise SystemExit("repro bench: backends diverged")
 
 
+#: The ``repro bench`` grid, one row per batched model.  Path-based
+#: routers share the chain-bundle workload; the adaptive router times on
+#: the permutation mesh it requires.
+_BENCH_MODELS: "tuple[tuple[str, str, dict, int], ...]" = (
+    ("wormhole", "chain-bundle", {"chains": 4, "depth": 12, "messages": 8}, 24),
+    ("cut_through", "chain-bundle", {"chains": 4, "depth": 12, "messages": 8}, 24),
+    ("store_forward", "chain-bundle", {"chains": 4, "depth": 12, "messages": 8}, 24),
+    ("restricted", "chain-bundle", {"chains": 4, "depth": 12, "messages": 8}, 24),
+    ("adaptive", "mesh-permutation", {"k": 6}, 6),
+)
+
+
 def _cmd_bench(args: argparse.Namespace) -> None:
-    """Time batched vs per-trial sweep execution; write BENCH_sim.json."""
+    """Time batched vs per-trial sweeps per model; write BENCH_sim.json."""
     import json
     import time
     from pathlib import Path
@@ -1241,15 +1266,6 @@ def _cmd_bench(args: argparse.Namespace) -> None:
 
     repeats = 6 if args.quick else args.repeats
     channels = (1, 2, 4)
-    workload_params = {"chains": 4, "depth": 12, "messages": 8}
-    specs = sweep_grid(
-        "chain-bundle",
-        "wormhole",
-        channels,
-        workload_params=workload_params,
-        message_length=24,
-        repeats=repeats,
-    )
 
     def best_of(fn, rounds=3):
         wall, out = float("inf"), None
@@ -1259,57 +1275,90 @@ def _cmd_bench(args: argparse.Namespace) -> None:
             wall = min(wall, time.perf_counter() - t0)
         return out, wall
 
-    serial_out, serial_wall = best_of(
-        lambda: run_sweep(
-            specs, root_seed=args.seed, workers=args.workers, batch_size=1
+    models: dict[str, dict] = {}
+    lines = []
+    all_identical = True
+    for model, workload, workload_params, L in _BENCH_MODELS:
+        specs = sweep_grid(
+            workload,
+            model,
+            channels,
+            workload_params=workload_params,
+            message_length=L,
+            repeats=repeats,
         )
-    )
-    batched_out, batched_wall = best_of(
-        lambda: run_sweep(specs, root_seed=args.seed, workers=args.workers)
-    )
-    identical = [t.metrics for t in serial_out] == [
-        t.metrics for t in batched_out
-    ]
-    speedup = serial_wall / batched_wall
-    trials = len(specs)
+        serial_out, serial_wall = best_of(
+            lambda: run_sweep(
+                specs, root_seed=args.seed, workers=args.workers, batch_size=1
+            )
+        )
+        batched_out, batched_wall = best_of(
+            lambda: run_sweep(specs, root_seed=args.seed, workers=args.workers)
+        )
+        identical = [t.metrics for t in serial_out] == [
+            t.metrics for t in batched_out
+        ]
+        all_identical &= identical
+        speedup = serial_wall / batched_wall
+        trials = len(specs)
+        models[model] = {
+            "workload": workload,
+            "workload_params": workload_params,
+            "message_length": L,
+            "trials": trials,
+            "serial_wall_s": round(serial_wall, 6),
+            "batched_wall_s": round(batched_wall, 6),
+            "serial_trials_per_s": round(trials / serial_wall, 2),
+            "batched_trials_per_s": round(trials / batched_wall, 2),
+            "speedup": round(speedup, 2),
+            "bit_identical": identical,
+        }
+        lines.append(
+            f"  {model:<14} serial {serial_wall:7.3f}s  "
+            f"batched {batched_wall:7.3f}s  speedup {speedup:5.2f}x  "
+            f"bit-identical: {identical}"
+        )
+
+    worm = models["wormhole"]
+    trials = worm["trials"]
     payload = {
         "machine": _machine_info(),
         "grid": {
             "workload": "chain-bundle",
-            "workload_params": workload_params,
+            "workload_params": _BENCH_MODELS[0][2],
             "message_length": 24,
             "channels": list(channels),
             "repeats": repeats,
             "trials": trials,
             "workers": args.workers if args.workers >= 2 else 1,
         },
+        # The wormhole row keeps the legacy top-level shape so the
+        # BENCH_sim.json trajectory stays comparable across revisions.
         "serial": {
             "batch_size": 1,
-            "wall_s": round(serial_wall, 6),
-            "trials_per_s": round(trials / serial_wall, 2),
+            "wall_s": worm["serial_wall_s"],
+            "trials_per_s": worm["serial_trials_per_s"],
         },
         "batched": {
             "batch_size": DEFAULT_BATCH_SIZE,
-            "wall_s": round(batched_wall, 6),
-            "trials_per_s": round(trials / batched_wall, 2),
+            "wall_s": worm["batched_wall_s"],
+            "trials_per_s": worm["batched_trials_per_s"],
         },
-        "speedup": round(speedup, 2),
-        "bit_identical": identical,
+        "speedup": worm["speedup"],
+        "models": models,
+        "bit_identical": all_identical,
     }
     if not (args.quick or args.no_micro):
         payload["micro"] = _bench_micro(_find_bench_dir())
     output = args.output or "BENCH_sim.json"
     Path(output).write_text(json.dumps(payload, indent=1) + "\n")
     print(
-        f"bench: {trials} wormhole trials (C=8, D=12, L=24, B={channels})\n"
-        f"  serial  (batch_size=1):  {serial_wall:.3f}s  "
-        f"{trials / serial_wall:8.1f} trials/s\n"
-        f"  batched (batch_size={DEFAULT_BATCH_SIZE}): {batched_wall:.3f}s  "
-        f"{trials / batched_wall:8.1f} trials/s\n"
-        f"  speedup {speedup:.2f}x, bit-identical: {identical}\n"
-        f"written to {output}"
+        f"bench: {trials} trials per model, B={channels}, "
+        f"batch_size={DEFAULT_BATCH_SIZE}"
     )
-    if not identical:
+    print("\n".join(lines))
+    print(f"  bit-identical: {all_identical}\nwritten to {output}")
+    if not all_identical:
         raise SystemExit("repro bench: batched metrics diverged from serial")
 
 

@@ -19,9 +19,17 @@ Legacy                                                 Facade
 ``RestrictedWormholeSimulator(net, B, s).run(p, L)``   ``simulate((net, paths), model="restricted", B=B, seed=s, message_length=L)``
 ``AdaptiveMeshRouter(cube, B, pol, s).run(d, L)``      ``simulate((cube, demands), model="adaptive", B=B, policy=pol, seed=s, message_length=L)``
 ``ContinuousWormholeSimulator(net, n, B, s).run(...)`` ``simulate((net, n, path_of), model="continuous", B=B, seed=s, message_length=L, rate=r, horizon=h)``
-``repro.sim.wormhole.pad_paths`` (deprecated)          ``repro.sim.engine.pad_paths``
-``repro.sim.wormhole.check_edge_simple`` (deprecated)  ``repro.sim.engine.check_edge_simple``
+``run_<model>_batch(net, paths, L, seeds=...)``        ``simulate((net, paths), model=..., B=B, batch=seeds, message_length=L)``
+``repro.sim.wormhole.pad_paths`` (removed)             ``repro.sim.engine.pad_paths``
+``repro.sim.wormhole.check_edge_simple`` (removed)     ``repro.sim.engine.check_edge_simple``
+``repro.sim.cut_through.pad_paths`` (removed)          ``repro.sim.engine.pad_paths``
+``repro.sim.restricted.check_edge_simple`` (removed)   ``repro.sim.engine.check_edge_simple``
 =====================================================  =====================================
+
+Passing ``batch=[seed, ...]`` runs one lockstep trial per seed through
+the model's batch kernel (:mod:`repro.sim.batch`; every flit-level
+router) and returns a list of results, each bit-identical to the
+serial ``seed=...`` call.
 
 ``problem`` may be:
 
@@ -166,8 +174,92 @@ _PATH_RUNNERS = {
 }
 
 
+def _simulate_batch(problem: Any, kwargs: dict[str, Any]) -> list:
+    """Lockstep execution of one problem under many seeds (``batch=``)."""
+    from .sim import batch as _batch
+
+    model = kwargs["model"]
+    if model not in _batch.BATCHED_MODELS:
+        raise NetworkError(
+            f"model {model!r} has no lockstep batch runner; batched "
+            f"models: {', '.join(sorted(_batch.BATCHED_MODELS))}"
+        )
+    vc_ids = kwargs.get("vc_ids")
+    if vc_ids is not None and model != "wormhole":
+        raise NetworkError(
+            f"vc_ids (per-hop virtual-channel classes) are a wormhole-model "
+            f"feature; model {model!r} does not accept them"
+        )
+    seeds = list(kwargs["batch"])
+    B = int(kwargs["B"])
+    wl = _as_workload(problem, model, kwargs.get("workload_params"))
+    L = kwargs.get("message_length")
+    if L is None:
+        if isinstance(problem, (str, Workload)):
+            L = wl.default_length
+        else:
+            raise NetworkError(
+                "message_length is required with a (net, paths) problem"
+            )
+    common: dict[str, Any] = {
+        "seeds": seeds,
+        "release_times": kwargs.get("release_times"),
+        "max_steps": kwargs.get("max_steps"),
+    }
+    priority = kwargs.get("priority") or _PRIORITY_DEFAULTS.get(model)
+    if model == "adaptive":
+        if wl.cube is None or wl.demands is None:
+            raise NetworkError(
+                f"the adaptive model needs a mesh problem (a (cube, demands)"
+                f" tuple or a mesh workload), got {problem!r}"
+            )
+        runs = _batch.run_adaptive_batch(
+            wl.cube,
+            wl.demands,
+            message_length=L,
+            num_virtual_channels=B,
+            policy=kwargs.get("policy") or "west-first",
+            **common,
+        )
+        return [r.result for r in runs]
+    paths = wl.padded_paths()
+    if model == "wormhole":
+        return _batch.run_wormhole_batch(
+            wl.net,
+            paths,
+            message_length=L,
+            num_virtual_channels=B,
+            priority=priority,
+            vc_ids=vc_ids,
+            **common,
+        )
+    if model == "cut_through":
+        return _batch.run_cut_through_batch(
+            wl.net,
+            paths,
+            message_length=L,
+            buffer_flits=B,
+            priority=priority,
+            **common,
+        )
+    if model == "store_forward":
+        return _batch.run_store_forward_batch(
+            wl.net,
+            paths,
+            message_length=L,
+            bandwidth_flits_per_step=B,
+            priority=priority,
+            **common,
+        )
+    return _batch.run_restricted_batch(
+        wl.net, paths, message_length=L, num_buffers=B, **common
+    )
+
+
 def _simulate_local(problem: Any, kwargs: dict[str, Any]):
     """The in-process execution path (also the process-backend payload)."""
+    if kwargs.get("batch") is not None:
+        return _simulate_batch(problem, kwargs)
     model = kwargs["model"]
     B = int(kwargs["B"])
     seed = kwargs["seed"]
@@ -271,6 +363,7 @@ def simulate(
     seed: int | None = 0,
     priority: str | None = None,
     policy: str | None = None,
+    batch: Any = None,
     vc_ids: Any = None,
     telemetry: Any = None,
     backend: Any = None,
@@ -302,6 +395,13 @@ def simulate(
         would, so facade results are bit-identical to constructing the
         simulator yourself.  ``priority`` defaults per model to the
         sweep runner's choice; ``policy`` is the adaptive turn model.
+    batch:
+        A sequence of per-trial seeds.  When given, the problem runs as
+        one lockstep batch through the model's kernel
+        (:mod:`repro.sim.batch`; every flit-level router) and a *list*
+        of results comes back, one per seed, each bit-identical to the
+        serial ``seed=...`` call.  ``seed`` is ignored; ``telemetry``
+        is rejected (probes attach to a single trial).
     vc_ids:
         Per-hop virtual-channel class assignment (e.g. a Dally–Seitz
         dateline), wormhole model only.
@@ -335,6 +435,11 @@ def simulate(
         raise NetworkError(
             f"model {model!r} does not support telemetry probes"
         )
+    if batch is not None and telemetry is not None:
+        raise NetworkError(
+            "telemetry probes attach to a single trial; run batches "
+            "without telemetry"
+        )
     kwargs: dict[str, Any] = {
         "model": model,
         "B": B,
@@ -342,6 +447,7 @@ def simulate(
         "seed": seed,
         "priority": priority,
         "policy": policy,
+        "batch": None if batch is None else list(batch),
         "vc_ids": vc_ids,
         "telemetry": telemetry,
         "max_steps": max_steps,

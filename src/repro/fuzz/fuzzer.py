@@ -8,7 +8,9 @@ Each round draws a random case from one of five families —
     ``ceil(L C / B)`` capacity bound, B-monotonicity (wormhole and
     store-and-forward), full-vs-restricted dominance, the LLL schedule
     length bound, Dally-Seitz consistency, batched == serial
-    bit-exactness, and the store-and-forward ``O(L (C + D))`` envelope;
+    bit-exactness for every batched model (all five lockstep kernels,
+    the adaptive one on a derived permutation mesh), and the
+    store-and-forward ``O(L (C + D))`` envelope;
 ``chain``
     :func:`~repro.network.random_networks.chain_bundle` bundles with
     exactly dialed congestion/dilation, same oracles;
@@ -478,39 +480,49 @@ def _check_dominance_and_schedule(
 
 
 def _check_batch_serial(case: FuzzCase, B: int) -> list[Violation]:
-    from ..sim.batch import run_wormhole_batch
+    """Lockstep batch == serial replay, for *every* batched model.
+
+    The path-based models run on the case's own network and routes,
+    each under an arbitration discipline it accepts (cut-through has no
+    age priority; restricted and adaptive take none).  The adaptive
+    router needs a mesh, so it runs on a small permutation mesh derived
+    from the case seed — the invariant still exercises all five kernels
+    every round.
+    """
+    from ..facade import simulate
+    from ..network.mesh import KAryNCube
     from ..sim.sweep import _result_metrics
 
     seeds = [case.sim_seed, case.sim_seed + 1, case.sim_seed + 2]
-    batch = run_wormhole_batch(
-        case.network,
-        case.paths,
-        case.message_length,
-        seeds=seeds,
-        num_virtual_channels=B,
-        priority=case.priority,
-    )
-    serial = [
-        _run_model_seeded(case, B, s) for s in seeds
+    routed = (case.network, case.paths)
+    ct_priority = case.priority if case.priority in ("random", "index") else "random"
+    cube = KAryNCube(4, 2, wrap=False)
+    perm = np.random.default_rng(case.sim_seed).permutation(cube.num_nodes)
+    demands = [(i, int(d)) for i, d in enumerate(perm) if i != int(d)]
+    jobs: list[tuple[str, Any, int, dict[str, Any]]] = [
+        ("wormhole", routed, case.message_length, {"priority": case.priority}),
+        ("cut_through", routed, case.message_length, {"priority": ct_priority}),
+        ("store_forward", routed, case.message_length, {}),
+        ("restricted", routed, case.message_length, {}),
+        ("adaptive", (cube, demands), min(case.message_length, 6), {}),
     ]
-    got = inv.check_batch_matches_serial(
-        [_result_metrics(r) for r in batch],
-        [_result_metrics(r) for r in serial],
-    )
-    return [got] if got is not None else []
-
-
-def _run_model_seeded(case: FuzzCase, B: int, seed: int):
-    from ..facade import simulate
-
-    return simulate(
-        (case.network, case.paths),
-        model="wormhole",
-        B=B,
-        message_length=case.message_length,
-        seed=seed,
-        priority=case.priority,
-    )
+    out: list[Violation] = []
+    for model, problem, L, kw in jobs:
+        batch = simulate(
+            problem, model=model, B=B, batch=seeds, message_length=L, **kw
+        )
+        serial = [
+            simulate(problem, model=model, B=B, seed=s, message_length=L, **kw)
+            for s in seeds
+        ]
+        got = inv.check_batch_matches_serial(
+            [_result_metrics(r) for r in batch],
+            [_result_metrics(r) for r in serial],
+            model=model,
+        )
+        if got is not None:
+            out.append(got)
+    return out
 
 
 def _check_continuous(case: FuzzCase) -> list[Violation]:

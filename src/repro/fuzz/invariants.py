@@ -302,17 +302,20 @@ def check_deadlock_consistency(
 def check_batch_matches_serial(
     batch_metrics: Sequence[Mapping[str, Any]],
     serial_metrics: Sequence[Mapping[str, Any]],
+    model: str = "wormhole",
 ) -> Violation | None:
     """Batched lockstep trials must be bit-identical to serial replays.
 
     Both sequences are per-trial metric dicts (as produced by
-    ``repro.sim.sweep``'s ``_result_metrics``) in the same trial order.
+    ``repro.sim.sweep``'s ``_result_metrics``) in the same trial order;
+    ``model`` names the simulator under test (every entry of
+    ``repro.sim.batch.BATCHED_MODELS`` is held to this invariant).
     """
     if len(batch_metrics) != len(serial_metrics):
         return Violation(
             "batch-serial-exactness",
-            f"trial count mismatch: batched {len(batch_metrics)} vs "
-            f"serial {len(serial_metrics)}",
+            f"{model}: trial count mismatch: batched {len(batch_metrics)} "
+            f"vs serial {len(serial_metrics)}",
             observed=len(batch_metrics),
             bound=len(serial_metrics),
         )
@@ -326,8 +329,8 @@ def check_batch_matches_serial(
         )
         return Violation(
             "batch-serial-exactness",
-            f"trial {i} diverged between batched and serial execution on "
-            f"{', '.join(keys)}: batched "
+            f"{model}: trial {i} diverged between batched and serial "
+            f"execution on {', '.join(keys)}: batched "
             f"{ {k: dict(got).get(k) for k in keys} } vs serial "
             f"{ {k: dict(want).get(k) for k in keys} }",
             observed={k: dict(got).get(k) for k in keys},

@@ -17,9 +17,10 @@ inference servers use.  One asyncio task loops forever:
    deadline expired while queued (they get ``deadline_exceeded``
    responses — cancellation before compute is wasted on them), and run
    the rest through the configured :mod:`repro.exec` backend: one
-   :func:`repro.sim.batch.run_wormhole_batch` call for wormhole trials
-   (mixed ``B`` / seeds / root seeds in one lockstep grid), the sweep's
-   per-trial path for everything else.
+   lockstep ``run_*_batch`` call for trials of any flit-level router
+   (:data:`repro.sim.batch.BATCHED_MODELS` — mixed ``B`` / seeds /
+   root seeds in one grid), the sweep's per-trial path for everything
+   else (the ``schedule`` pipeline and singleton groups).
 
 The batcher never blocks the event loop: a single dispatch thread hosts
 the backend's (blocking, fault-tolerant) ``run`` call, so batches
@@ -44,14 +45,13 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any
 
-from ..sim.batch import batch_compat_key, run_wormhole_batch
+from ..sim.batch import batch_compat_key
 from ..sim.sweep import (
     _BATCH_SIMULATORS,
     TrialSpec,
     _build_workload,
     _execute_trial,
-    _finish_metrics,
-    _result_metrics,
+    _run_batch_model,
     _sim_seed,
     trial_seed,
 )
@@ -87,11 +87,13 @@ def execute_compatible(
 ) -> list[dict[str, Any]]:
     """Run compatible ``(spec, root_seed)`` trials; metrics in input order.
 
-    All items must share :func:`batch_compat_key`.  Wormhole trials run
-    as one lockstep batch (per-item seeds derived exactly as the sweep
-    does, so mixed root seeds are fine); other simulators, and
-    singleton groups, take the sweep's per-trial path.  Either way the
-    metrics are bit-identical to a serial replay of each item.
+    All items must share :func:`batch_compat_key`.  Trials of any
+    batch-capable simulator (every flit-level router — see
+    :data:`repro.sim.batch.BATCHED_MODELS`) run as one lockstep batch
+    (per-item seeds derived exactly as the sweep does, so mixed root
+    seeds are fine); other simulators, and singleton groups, take the
+    sweep's per-trial path.  Either way the metrics are bit-identical
+    to a serial replay of each item.
     """
     spec0 = items[0][0]
     if len(items) == 1 or spec0.simulator not in _BATCH_SIMULATORS:
@@ -107,17 +109,9 @@ def execute_compatible(
         _sim_seed(dict(spec.sim_params), trial_seed(spec, root_seed))
         for spec, root_seed in items
     ]
-    results = run_wormhole_batch(
-        wl.net,
-        wl.padded_paths(),
-        message_length=L,
-        seeds=seeds,
-        num_virtual_channels=[spec.B for spec, _ in items],
-        priority=sp.get("priority", "random"),
+    return _run_batch_model(
+        spec0.simulator, wl, L, sp, seeds, [spec.B for spec, _ in items]
     )
-    return [
-        _finish_metrics(_result_metrics(res), wl, L) for res in results
-    ]
 
 
 class DynamicBatcher:

@@ -1,7 +1,14 @@
 """Router substrate: flit-level simulators and deadlock analysis."""
 
 from .adaptive import AdaptiveMeshRouter, AdaptiveRunResult
-from .batch import run_wormhole_batch
+from .batch import (
+    BATCHED_MODELS,
+    run_adaptive_batch,
+    run_cut_through_batch,
+    run_restricted_batch,
+    run_store_forward_batch,
+    run_wormhole_batch,
+)
 from .circuit import CircuitSwitchResult, circuit_switch_butterfly
 from .continuous import ContinuousResult, ContinuousWormholeSimulator
 from .cut_through import CutThroughSimulator
@@ -33,6 +40,7 @@ from .wormhole import WormholeSimulator
 __all__ = [
     "AdaptiveMeshRouter",
     "AdaptiveRunResult",
+    "BATCHED_MODELS",
     "BatchSlotArbiter",
     "BatchStepLoop",
     "CircuitSwitchResult",
@@ -59,6 +67,10 @@ __all__ = [
     "is_deadlock_free",
     "pad_paths",
     "resolve_step_cap",
+    "run_adaptive_batch",
+    "run_cut_through_batch",
+    "run_restricted_batch",
+    "run_store_forward_batch",
     "run_sweep",
     "run_wormhole_batch",
     "summarize_latencies",

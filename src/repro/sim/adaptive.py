@@ -41,7 +41,8 @@ import numpy as np
 from ..network.graph import NetworkError
 from ..network.mesh import KAryNCube
 from ..telemetry.probe import Probe, ProbeSet, RunMeta
-from .engine import SlotArbiter, StepLoop, resolve_step_cap
+from .engine import StepLoop, resolve_step_cap
+from .kernels import AdaptiveKernel, serial_state
 from .stats import SimulationResult
 
 __all__ = ["AdaptiveMeshRouter", "AdaptiveRunResult"]
@@ -204,79 +205,20 @@ class AdaptiveMeshRouter:
                 )
             )
 
-        taken: list[list[int]] = [[] for _ in range(M)]
-        position = np.asarray([s for s, _ in demands], dtype=np.int64)
-        dest = np.asarray([d for _, d in demands], dtype=np.int64)
-        k = np.zeros(M, dtype=np.int64)
-        arbiter = SlotArbiter(self.net.num_edges, capacity=self.B)
-
         loop = StepLoop(M, release, max_steps, probes)
         loop.done |= dists == 0
         loop.completion[dists == 0] = release[dists == 0]
-        completion, done = loop.completion, loop.done
 
-        def body(t: int, active_mask: np.ndarray) -> bool:
-            active = np.flatnonzero(active_mask)
-            movers: list[int] = []
-            grants: list[tuple[int, int]] = []
-            blocks: list[tuple[int, int]] = []
-            releases: list[tuple[int, int]] = []
-            finished: list[int] = []
-            # Heads wanting a new edge pick among allowed free moves; we
-            # grant sequentially in a random order using live occupancy
-            # counts (still at most B per edge since grants increment).
-            order = active[np.argsort(self._rng.random(active.size))]
-            for m in order:
-                if k[m] < dists[m]:  # head still extending
-                    options = self._allowed_moves(int(position[m]), int(dest[m]))
-                    free = [e for e in options if arbiter.has_free(e)]
-                    if not free:
-                        loop.blocked[m] += 1
-                        if probes is not None:
-                            blocks.append(
-                                (int(m), int(options[0]) if options else -1)
-                            )
-                        continue
-                    e = free[int(self._rng.integers(len(free)))]
-                    arbiter.acquire_one(e)
-                    taken[m].append(int(e))
-                    position[m] = self.net.head(e)
-                    movers.append(int(m))
-                    if probes is not None:
-                        grants.append((int(m), int(e)))
-                else:
-                    movers.append(int(m))  # draining
-
-            for m in movers:
-                k[m] += 1
-                d = int(dists[m])
-                rel = int(k[m]) - L - 1
-                if 0 <= rel < d - 1:
-                    arbiter.vacate_one(taken[m][rel])
-                    if probes is not None:
-                        releases.append((int(m), int(taken[m][rel])))
-                if k[m] == L + d - 1:
-                    arbiter.vacate_one(taken[m][d - 1])
-                    completion[m] = t
-                    done[m] = True
-                    if probes is not None:
-                        releases.append((int(m), int(taken[m][d - 1])))
-                        finished.append(int(m))
-
-            if probes is not None:
-                if grants:
-                    g = np.asarray(grants, dtype=np.int64)
-                    probes.on_grant(t, g[:, 0], g[:, 1])
-                if blocks:
-                    b = np.asarray(blocks, dtype=np.int64)
-                    probes.on_block(t, b[:, 0], b[:, 1])
-                if releases:
-                    r = np.asarray(releases, dtype=np.int64)
-                    probes.on_release(t, r[:, 0], r[:, 1])
-                if finished:
-                    probes.on_complete(t, np.asarray(finished, dtype=np.int64))
-                probes.on_step(t, np.asarray(movers, dtype=np.int64), k)
-            return bool(movers)
-
-        result = loop.run(body)
-        return AdaptiveRunResult(result, taken)
+        kernel = AdaptiveKernel(
+            serial_state(loop),
+            cube=self.cube,
+            demands=demands,
+            message_length=L,
+            dists=dists,
+            capacities=np.full(1, self.B, dtype=np.int64),
+            policy=self.policy,
+            rngs=[self._rng],
+            probes=probes,
+        )
+        result = loop.run(kernel.serial_body)
+        return AdaptiveRunResult(result, kernel.taken_paths(0))

@@ -1,50 +1,66 @@
-"""Batched lockstep wormhole simulation: whole trial grids as stacked state.
+"""Batched lockstep simulation: whole trial grids as stacked state.
 
 Every sweep in this repository (E1/E2/E5, ``repro sweep``) runs many
-*independent* wormhole trials over the same workload — one per
-``(B, seed)`` grid cell — and each trial's engine state is nothing but
-flat integer arrays per message.  Running them one at a time pays full
-Python dispatch and small-array NumPy overhead per trial per step.  This
+*independent* trials over the same workload — one per ``(B, seed)``
+grid cell — and each trial's engine state is nothing but flat integer
+arrays per message.  Running them one at a time pays full Python
+dispatch and small-array NumPy overhead per trial per step.  This
 module stacks ``T`` such trials into ``(T, M)`` state arrays and steps
-them in lockstep:
+them in lockstep, for **every** router model:
+
+======================  =============================================
+runner                  serial counterpart
+======================  =============================================
+:func:`run_wormhole_batch`       :class:`~repro.sim.wormhole.WormholeSimulator`
+:func:`run_cut_through_batch`    :class:`~repro.sim.cut_through.CutThroughSimulator`
+:func:`run_store_forward_batch`  :class:`~repro.sim.store_forward.StoreForwardSimulator`
+:func:`run_restricted_batch`     :class:`~repro.sim.restricted.RestrictedWormholeSimulator`
+:func:`run_adaptive_batch`       :class:`~repro.sim.adaptive.AdaptiveMeshRouter`
+======================  =============================================
+
+Each runner validates like its serial counterpart, builds the matching
+:mod:`repro.sim.kernels` kernel at ``T`` trials — the *same* body the
+serial wrapper drives at ``T = 1`` — and steps a shared
+:class:`~repro.sim.engine.BatchStepLoop`:
 
 * one vectorized contend/rank/grant arbitration per step over the
   combined ``(trial, slot)`` key space
   (:class:`~repro.sim.engine.BatchSlotArbiter`);
 * one stacked acquire/release/completion update per step;
 * one shared clock with per-trial completion / deadlock / step-cap
-  masking (:class:`~repro.sim.engine.BatchStepLoop`), so finished trials
-  drop out of the active set without stalling the batch.
+  masking, so finished trials drop out of the active set without
+  stalling the batch.
 
 Bit-exactness contract
 ----------------------
-``run_wormhole_batch(...)[i]`` is bit-identical to
-``WormholeSimulator(net, B[i], priority, seed=seeds[i]).run(...)`` —
-same completion times, makespan, executed steps, blocked counts,
-deadlock flags, and step-cap flags.  The load-bearing facts:
+``run_<model>_batch(...)[i]`` is bit-identical to the serial simulator
+constructed with the same parameters and ``seed=seeds[i]`` — same
+completion times, makespan, executed steps, blocked counts, deadlock
+flags, step-cap flags, and per-trial ``extra`` keys (and, for
+adaptive, the same taken paths).  The load-bearing facts:
 
 * trials are independent: trial ``i``'s state is read and written only
   where trial ``i`` has active messages, and the combined arbitration
   key space keeps slot groups of different trials disjoint;
 * each trial keeps its **own** RNG (``np.random.default_rng(seeds[i])``)
-  and draws from it exactly as its serial run would: for ``"random"``
-  arbitration, one ``rng.random(n_contenders)`` call per step in which
-  the trial has contenders (none otherwise); for ``"rank"``, one
-  ``rng.permutation(M)`` at startup.  Contenders are ordered by message
-  index within each trial, matching the serial contender order;
+  and draws from it exactly as its serial run would — per-step draws
+  happen only in steps where that trial acts, setup-time draws (rank
+  permutations, rotating-service offsets, injection delays) happen once
+  per trial at startup;
 * the shared clock visits every step at which any trial acts; a trial's
   state does not change during steps where it merely waits, so running
   through another trial's steps is observationally identical to the
   serial loop's idle-gap skipping (see :class:`BatchStepLoop`).
 
-The batch-vs-serial equivalence suite (``tests/sim/test_batch.py``)
-pins this contract over the golden-case shapes and a randomized
-property sweep.
+The batch-vs-serial equivalence suites (``tests/sim/test_batch.py``
+and ``tests/sim/test_batch_models.py``) pin this contract over the
+golden-case shapes and randomized property sweeps, and the
+:mod:`repro.fuzz` invariant guards it nightly.
 
 Telemetry probes are deliberately **not** supported here: per-trial
 probe streams would serialize the batch (defeating its purpose) and
-collectors never perturb results, so profile single trials with
-:class:`~repro.sim.wormhole.WormholeSimulator` instead.
+collectors never perturb results, so profile single trials with the
+serial simulator classes instead.
 """
 
 from __future__ import annotations
@@ -54,30 +70,54 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..network.graph import Network, NetworkError
+from ..network.mesh import KAryNCube
 from ..routing.paths import Path
+from .adaptive import _POLICIES, AdaptiveRunResult
 from .engine import (
-    BatchSlotArbiter,
     BatchStepLoop,
     PaddedPaths,
-    age_priorities,
     pad_paths,
     resolve_step_cap,
 )
+from .kernels import (
+    AdaptiveKernel,
+    CutThroughKernel,
+    RestrictedKernel,
+    StoreForwardKernel,
+    WormholeKernel,
+    validate_vc_ids,
+)
 from .stats import SimulationResult
+from .store_forward import _PRIORITIES as _SF_PRIORITIES
 from .wormhole import _EDGE_SIMPLE_WHAT, _PRIORITIES
 
-__all__ = ["batch_compat_key", "run_wormhole_batch"]
+__all__ = [
+    "BATCHED_MODELS",
+    "batch_compat_key",
+    "run_adaptive_batch",
+    "run_cut_through_batch",
+    "run_restricted_batch",
+    "run_store_forward_batch",
+    "run_wormhole_batch",
+]
+
+#: Models with a lockstep batch runner (all of them — the sweep packer,
+#: the service batcher, and the facade key off this set).
+BATCHED_MODELS = frozenset(
+    {"wormhole", "cut_through", "store_forward", "restricted", "adaptive"}
+)
 
 
 def batch_compat_key(spec) -> tuple:
     """What makes two sweep cells / service requests lockstep-compatible.
 
-    Trials sharing this key can ride in one :func:`run_wormhole_batch`
-    call: they share the workload (hence the path matrix), ``L``, and
-    the sim params (hence the priority discipline), while ``B`` varies
-    per trial via the batch engine's per-trial capacities and seeds stay
-    per-trial by construction.  ``repeat`` only separates derived seeds,
-    so it never splits a batch.
+    Trials sharing this key can ride in one ``run_<model>_batch`` call:
+    they share the model, the workload (hence the path matrix), ``L``,
+    and the sim params (hence the priority discipline), while the
+    per-trial knob (``B``, buffer size, bandwidth) varies per trial via
+    the batch engine's per-trial capacities and seeds stay per-trial by
+    construction.  ``repeat`` only separates derived seeds, so it never
+    splits a batch.
 
     Both packers — :func:`repro.sim.sweep.run_sweep` and the
     :class:`repro.service.batcher.DynamicBatcher` — key on this one
@@ -105,6 +145,64 @@ def _per_trial(value, T: int, name: str) -> np.ndarray:
             f"(one entry per trial), got shape {arr.shape}"
         )
     return arr.copy()
+
+
+def _seed_rngs(seeds, runner: str) -> list:
+    """One independent generator per trial, or raise on an empty batch."""
+    seeds = list(seeds)
+    if not seeds:
+        raise NetworkError(
+            "seeds is empty: a batch needs at least one trial "
+            f"({runner} simulates one trial per seed)"
+        )
+    return [np.random.default_rng(s) for s in seeds]
+
+
+def _shared_lengths(message_length, M: int) -> np.ndarray:
+    """Per-message ``L`` shared by all trials, validated like serial."""
+    try:
+        L = np.broadcast_to(
+            np.asarray(message_length, dtype=np.int64), (M,)
+        ).copy()
+    except ValueError:
+        raise NetworkError(
+            f"message_length must be a scalar or have shape ({M},), got "
+            f"shape {np.asarray(message_length).shape}"
+        ) from None
+    if M and L.min() < 1:
+        raise NetworkError("message length L must be >= 1")
+    return L
+
+
+def _shared_release(release_times, M: int) -> np.ndarray:
+    """Per-message release times shared by all trials."""
+    release = (
+        np.zeros(M, dtype=np.int64)
+        if release_times is None
+        else np.asarray(release_times, dtype=np.int64).copy()
+    )
+    if release.shape != (M,):
+        raise NetworkError(f"release_times must have shape ({M},)")
+    if M and release.min() < 0:
+        raise NetworkError("release times must be >= 0")
+    return release
+
+
+def _empty_results(T: int) -> list[SimulationResult]:
+    return [
+        SimulationResult(
+            completion_times=np.full(0, -1, dtype=np.int64),
+            makespan=-1,
+            steps_executed=0,
+            blocked_steps=np.zeros(0, dtype=np.int64),
+        )
+        for _ in range(T)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Wormhole (Section 1.1: B virtual channels per edge).
+# ----------------------------------------------------------------------
 
 
 def run_wormhole_batch(
@@ -154,13 +252,8 @@ def run_wormhole_batch(
     list[SimulationResult]
         Per-trial results, bit-identical to each trial's serial run.
     """
-    seeds = list(seeds)
-    T = len(seeds)
-    if T == 0:
-        raise NetworkError(
-            "seeds is empty: a batch needs at least one trial "
-            "(run_wormhole_batch simulates one trial per seed)"
-        )
+    rngs = _seed_rngs(seeds, "run_wormhole_batch")
+    T = len(rngs)
     B = _per_trial(num_virtual_channels, T, "num_virtual_channels")
     if B.min() < 1:
         raise NetworkError(
@@ -168,43 +261,15 @@ def run_wormhole_batch(
         )
     if priority not in _PRIORITIES:
         raise NetworkError(f"priority must be one of {_PRIORITIES}")
-    num_edges = net.num_edges
 
     pp = PaddedPaths.from_paths(paths)
     padded, D = pp.padded, pp.lengths
     M = int(D.size)
-    try:
-        L = np.broadcast_to(
-            np.asarray(message_length, dtype=np.int64), (M,)
-        ).copy()
-    except ValueError:
-        raise NetworkError(
-            f"message_length must be a scalar or have shape ({M},), got "
-            f"shape {np.asarray(message_length).shape}"
-        ) from None
-    if M and L.min() < 1:
-        raise NetworkError("message length L must be >= 1")
+    L = _shared_lengths(message_length, M)
     pp.require_edge_simple(_EDGE_SIMPLE_WHAT)
-    release = (
-        np.zeros(M, dtype=np.int64)
-        if release_times is None
-        else np.asarray(release_times, dtype=np.int64).copy()
-    )
-    if release.shape != (M,):
-        raise NetworkError(f"release_times must have shape ({M},)")
-    if M and release.min() < 0:
-        raise NetworkError("release times must be >= 0")
-
+    release = _shared_release(release_times, M)
     if M == 0:
-        return [
-            SimulationResult(
-                completion_times=np.full(0, -1, dtype=np.int64),
-                makespan=-1,
-                steps_executed=0,
-                blocked_steps=np.zeros(0, dtype=np.int64),
-            )
-            for _ in range(T)
-        ]
+        return _empty_results(T)
 
     total_moves = L + D - 1
     trivial = D == 0
@@ -215,98 +280,295 @@ def run_wormhole_batch(
         total_moves=total_moves,
         trivial=trivial,
     )
-
-    # Slot model per trial: without VC classes a slot is an edge with
-    # capacity B[i]; with classes, an (edge, class) pair with capacity 1.
-    if vc_ids is None:
-        vc_padded = None
-        arbiter = BatchSlotArbiter(
-            np.full(T, num_edges, dtype=np.int64), B
-        )
-    else:
-        vc_padded, vc_lengths = pad_paths([list(v) for v in vc_ids])
-        if not np.array_equal(vc_lengths, D):
-            raise NetworkError("vc_ids must match the path lengths")
-        valid = padded >= 0
-        if valid.any() and (
-            vc_padded[valid].min() < 0 or vc_padded[valid].max() >= B.min()
-        ):
-            raise NetworkError(f"vc ids must lie in [0, {int(B.min())})")
-        arbiter = BatchSlotArbiter(
-            num_edges * B, np.ones(T, dtype=np.int64)
-        )
-
-    rngs = [np.random.default_rng(s) for s in seeds]
-    age_priority = age_priorities(release) if priority == "age" else None
-    rank_priority = (
-        np.stack([rng.permutation(M) for rng in rngs])
-        if priority == "rank"
-        else None
+    vc_padded = (
+        None
+        if vc_ids is None
+        else validate_vc_ids(padded, D, vc_ids, int(B.min()))
     )
 
-    k = np.zeros((T, M), dtype=np.int64)  # completed moves per (trial, msg)
     loop = BatchStepLoop(T, M, release, caps)
     loop.mark_trivial(trivial, release)
-
-    def _slots(trials: np.ndarray, msgs: np.ndarray, hop: np.ndarray):
-        """Per-trial slot ids for the given (trial, message, hop) picks."""
-        edges = padded[msgs, hop]
-        if vc_padded is None:
-            return edges
-        return edges * B[trials] + vc_padded[msgs, hop]
-
-    def body(t: int, active: np.ndarray) -> np.ndarray:
-        rows, cols = np.nonzero(active)
-        k_ac = k[rows, cols]
-        needs_edge = k_ac < D[cols]
-        movers_local = np.zeros(rows.size, dtype=bool)
-        movers_local[~needs_edge] = True  # draining worms always move
-
-        if needs_edge.any():
-            crows = rows[needs_edge]
-            ccols = cols[needs_edge]
-            slots = _slots(crows, ccols, k_ac[needs_edge])
-            if priority == "random":
-                # One draw per trial with contenders, from that trial's
-                # own stream — np.nonzero ordering keeps each trial's
-                # contenders contiguous and in message-index order, the
-                # serial draw order.
-                counts = np.bincount(crows, minlength=T)
-                prio = np.empty(crows.size, dtype=np.float64)
-                pos = 0
-                for tr in np.flatnonzero(counts):
-                    n = int(counts[tr])
-                    prio[pos : pos + n] = rngs[tr].random(n)
-                    pos += n
-            elif priority == "age":
-                prio = age_priority[ccols]
-            elif priority == "rank":
-                prio = rank_priority[crows, ccols]
-            else:
-                prio = ccols
-            granted = arbiter.contend(crows, slots, prio)
-            movers_local[needs_edge] = granted
-            arbiter.acquire(crows[granted], slots[granted])
-            loop.blocked[crows[~granted], ccols[~granted]] += 1
-
-        mrows, mcols = rows[movers_local], cols[movers_local]
-        k[mrows, mcols] += 1
-        new_k = k[mrows, mcols]
-        # Release the buffer the tail just vacated; the final edge's
-        # slot is released at completion instead (same rule as serial).
-        rel_idx = new_k - L[mcols] - 1
-        sel = (rel_idx >= 0) & (rel_idx < D[mcols] - 1)
-        if sel.any():
-            arbiter.vacate(
-                mrows[sel], _slots(mrows[sel], mcols[sel], rel_idx[sel])
-            )
-        finished = new_k == total_moves[mcols]
-        if finished.any():
-            frows, fcols = mrows[finished], mcols[finished]
-            loop.completion[frows, fcols] = t
-            loop.done[frows, fcols] = True
-            arbiter.vacate(frows, _slots(frows, fcols, D[fcols] - 1))
-        return np.bincount(mrows, minlength=T) > 0
-
-    loop.run(body)
+    kernel = WormholeKernel(
+        loop,
+        num_edges=net.num_edges,
+        padded=padded,
+        lengths=D,
+        message_length=L,
+        release=release,
+        capacities=B,
+        priority=priority,
+        rngs=rngs,
+        vc_padded=vc_padded,
+    )
+    loop.run(kernel.body)
     return loop.results()
+
+
+# ----------------------------------------------------------------------
+# Virtual cut-through (Section 1.4: B flits of one message per edge).
+# ----------------------------------------------------------------------
+
+
+def run_cut_through_batch(
+    net: Network,
+    paths: Sequence[Path] | Sequence[Sequence[int]] | PaddedPaths,
+    message_length: int | np.ndarray,
+    *,
+    seeds: Sequence,
+    buffer_flits: int | Sequence[int] = 1,
+    priority: str = "random",
+    release_times: np.ndarray | None = None,
+    max_steps: int | None = None,
+) -> list[SimulationResult]:
+    """Lockstep batch of :class:`~repro.sim.cut_through.CutThroughSimulator`
+    trials — one per seed, with per-trial ``buffer_flits``."""
+    rngs = _seed_rngs(seeds, "run_cut_through_batch")
+    T = len(rngs)
+    B = _per_trial(buffer_flits, T, "buffer_flits")
+    if B.min() < 1:
+        raise NetworkError("buffer must hold at least one flit")
+    if priority not in ("random", "index"):
+        raise NetworkError("priority must be 'random' or 'index'")
+
+    pp = PaddedPaths.from_paths(paths)
+    padded, D = pp.padded, pp.lengths
+    M = int(D.size)
+    L = _shared_lengths(message_length, M)
+    if M == 0:
+        return _empty_results(T)
+    pp.require_edge_simple()
+    release = _shared_release(release_times, M)
+
+    trivial = D == 0
+    caps = resolve_step_cap(
+        max_steps,
+        "cut_through",
+        release=release,
+        lengths=D,
+        message_length=L,
+        num_messages=M,
+    )
+    loop = BatchStepLoop(T, M, release, caps)
+    loop.mark_trivial(trivial, release)
+    kernel = CutThroughKernel(
+        loop,
+        num_edges=net.num_edges,
+        padded=padded,
+        lengths=D,
+        message_length=L,
+        buffer_flits=B,
+        priority=priority,
+        rngs=rngs,
+    )
+    loop.run(kernel.body)
+    return loop.results()
+
+
+# ----------------------------------------------------------------------
+# Store-and-forward (Section 1: whole-message hops).
+# ----------------------------------------------------------------------
+
+
+def run_store_forward_batch(
+    net: Network,
+    paths: Sequence[Path] | Sequence[Sequence[int]] | PaddedPaths,
+    message_length: int,
+    *,
+    seeds: Sequence,
+    bandwidth_flits_per_step: int | Sequence[int] = 1,
+    priority: str = "farthest",
+    delay_range: int = 0,
+    release_times: np.ndarray | None = None,
+    max_steps: int | None = None,
+) -> list[SimulationResult]:
+    """Lockstep batch of :class:`~repro.sim.store_forward
+    .StoreForwardSimulator` trials — one per seed, with per-trial
+    bandwidth ``B`` (so the shared clock counts *message steps* whose
+    flit-step length ``ceil(L / B)`` differs per trial; per-trial
+    results are reported in flit steps, exactly like serial runs)."""
+    rngs = _seed_rngs(seeds, "run_store_forward_batch")
+    T = len(rngs)
+    BW = _per_trial(bandwidth_flits_per_step, T, "bandwidth_flits_per_step")
+    if BW.min() < 1:
+        raise NetworkError("bandwidth must be >= 1 flit per step")
+    if priority not in _SF_PRIORITIES:
+        raise NetworkError(f"priority must be one of {_SF_PRIORITIES}")
+    if message_length < 1:
+        raise NetworkError("message length L must be >= 1")
+
+    # Deliberately no edge-simplicity check: see the store_forward
+    # module docstring (an edge is held only within the step it
+    # transmits, so repeated edges just queue twice).
+    padded, D = pad_paths(paths)
+    M = int(D.size)
+    hop = -(-int(message_length) // BW)  # per-trial ceil(L / B)
+    if M == 0:
+        return _empty_results(T)
+
+    release_fs = _shared_release(release_times, M)
+    # Convert to per-trial message steps, rounding up to a boundary.
+    release = -(-release_fs[None, :] // hop[:, None])
+    if delay_range > 0:
+        release = release + np.stack(
+            [rng.integers(0, delay_range, size=M) for rng in rngs]
+        )
+
+    trivial = D == 0
+    caps = np.asarray(
+        [
+            resolve_step_cap(
+                max_steps, "store_forward", release=release[i], lengths=D
+            )
+            for i in range(T)
+        ],
+        dtype=np.int64,
+    )
+    loop = BatchStepLoop(
+        T, M, release, caps, detect_deadlock=False, time_scale=hop
+    )
+    loop.done[:, trivial] = True
+    loop.completion[:, trivial] = (release * hop[:, None])[:, trivial]
+
+    kernel = StoreForwardKernel(
+        loop,
+        num_edges=net.num_edges,
+        padded=padded,
+        lengths=D,
+        release=release,
+        hop=hop,
+        priority=priority,
+        rngs=rngs,
+    )
+    loop.run(kernel.body)
+    return loop.results(
+        lambda i: {
+            "max_queue": int(kernel.max_queue[i]),
+            "message_step_flits": int(hop[i]),
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# Restricted multiplexing (Section 1.4 Remarks: buffers without wires).
+# ----------------------------------------------------------------------
+
+
+def run_restricted_batch(
+    net: Network,
+    paths: Sequence[Path] | Sequence[Sequence[int]] | PaddedPaths,
+    message_length: int | np.ndarray,
+    *,
+    seeds: Sequence,
+    num_buffers: int | Sequence[int] = 1,
+    release_times: np.ndarray | None = None,
+    max_steps: int | None = None,
+) -> list[SimulationResult]:
+    """Lockstep batch of :class:`~repro.sim.restricted
+    .RestrictedWormholeSimulator` trials — one per seed, with per-trial
+    buffer counts ``B``."""
+    rngs = _seed_rngs(seeds, "run_restricted_batch")
+    T = len(rngs)
+    B = _per_trial(num_buffers, T, "num_buffers")
+    if B.min() < 1:
+        raise NetworkError("need at least one buffer slot per edge")
+
+    pp = PaddedPaths.from_paths(paths)
+    padded, D = pp.padded, pp.lengths
+    M = int(D.size)
+    L = _shared_lengths(message_length, M)
+    if M == 0:
+        return _empty_results(T)
+    pp.require_edge_simple()
+    release = _shared_release(release_times, M)
+
+    trivial = D == 0
+    caps = resolve_step_cap(
+        max_steps,
+        "restricted",
+        release=release,
+        lengths=D,
+        message_length=L,
+        num_messages=M,
+    )
+    loop = BatchStepLoop(T, M, release, caps)
+    loop.mark_trivial(trivial, release)
+    kernel = RestrictedKernel(
+        loop,
+        num_edges=net.num_edges,
+        padded=padded,
+        lengths=D,
+        message_length=L,
+        capacities=B,
+        rngs=rngs,
+    )
+    loop.run(kernel.body)
+    return loop.results()
+
+
+# ----------------------------------------------------------------------
+# Adaptive mesh routing (Section 1.3.4's category).
+# ----------------------------------------------------------------------
+
+
+def run_adaptive_batch(
+    cube: KAryNCube,
+    demands: list[tuple[int, int]],
+    message_length: int,
+    *,
+    seeds: Sequence,
+    num_virtual_channels: int | Sequence[int] = 1,
+    policy: str = "west-first",
+    release_times: np.ndarray | None = None,
+    max_steps: int | None = None,
+) -> list[AdaptiveRunResult]:
+    """Lockstep batch of :class:`~repro.sim.adaptive.AdaptiveMeshRouter`
+    trials — one per seed, with per-trial ``B``.  Returns
+    :class:`~repro.sim.adaptive.AdaptiveRunResult` objects so each
+    trial's adaptively chosen routes stay inspectable."""
+    rngs = _seed_rngs(seeds, "run_adaptive_batch")
+    T = len(rngs)
+    if cube.n != 2 or cube.wrap:
+        raise NetworkError("adaptive routing is implemented for 2-D meshes")
+    B = _per_trial(num_virtual_channels, T, "num_virtual_channels")
+    if B.min() < 1:
+        raise NetworkError("need at least one virtual channel")
+    if policy not in _POLICIES:
+        raise NetworkError(f"policy must be one of {_POLICIES}")
+    L = int(message_length)
+    if L < 1:
+        raise NetworkError("message length L must be >= 1")
+
+    M = len(demands)
+    if M == 0:
+        return [AdaptiveRunResult(r, []) for r in _empty_results(T)]
+    release = _shared_release(release_times, M)
+    dists = np.asarray(
+        [
+            sum(
+                abs(a - b)
+                for a, b in zip(cube.coords(s), cube.coords(d))
+            )
+            for s, d in demands
+        ],
+        dtype=np.int64,
+    )
+    caps = resolve_step_cap(
+        max_steps, "adaptive", release=release, lengths=dists, message_length=L
+    )
+    loop = BatchStepLoop(T, M, release, caps)
+    loop.mark_trivial(dists == 0, release)
+    kernel = AdaptiveKernel(
+        loop,
+        cube=cube,
+        demands=demands,
+        message_length=L,
+        dists=dists,
+        capacities=B,
+        policy=policy,
+        rngs=rngs,
+    )
+    loop.run(kernel.body)
+    return [
+        AdaptiveRunResult(res, kernel.taken_paths(i))
+        for i, res in enumerate(loop.results())
+    ]

@@ -45,29 +45,10 @@ from .engine import (
     compat_check_edge_simple,
     resolve_step_cap,
 )
+from .kernels import CutThroughKernel, serial_state
 from .stats import SimulationResult
 
 __all__ = ["CutThroughSimulator"]
-
-#: Back-compat re-exports now served lazily with a deprecation warning;
-#: their canonical home is :mod:`repro.sim.engine`.
-_MOVED_TO_ENGINE = ("check_edge_simple", "pad_paths")
-
-
-def __getattr__(name: str):
-    if name in _MOVED_TO_ENGINE:
-        import warnings
-
-        warnings.warn(
-            f"importing {name!r} from repro.sim.cut_through is deprecated; "
-            f"use repro.sim.engine.{name}",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from . import engine
-
-        return getattr(engine, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class CutThroughSimulator:
@@ -163,144 +144,21 @@ class CutThroughSimulator:
             num_messages=M,
         )
 
-        # crossed[m, i] = flits of m that have crossed path edge i.
-        max_D = padded.shape[1]
-        crossed = np.zeros((M, max_D), dtype=np.int64)
-        owner = np.full(self.num_edges, -1, dtype=np.int64)
-
         loop = StepLoop(M, release, max_steps, probes)
         loop.mark_trivial(trivial, release)
-        completion, done = loop.completion, loop.done
 
-        def body(t: int, active_mask: np.ndarray) -> bool:
-            active = np.flatnonzero(active_mask)
-            moved_any = False
-            progressed = np.zeros(M, dtype=bool)
-            # Header claims: messages whose next flit would enter an
-            # unowned edge contend for ownership first.
-            claimers: list[int] = []
-            claim_edges: list[int] = []
-            for m in active:
-                i = self._header_edge(crossed[m], D[m])
-                if i is not None and owner[padded[m, i]] < 0:
-                    claimers.append(int(m))
-                    claim_edges.append(int(padded[m, i]))
-            granted_claims: list[tuple[int, int]] = []
-            if claimers:
-                order = np.argsort(
-                    self._rng.random(len(claimers))
-                    if self.priority == "random"
-                    else np.arange(len(claimers), dtype=np.float64)
-                )
-                for j in order:
-                    e = claim_edges[j]
-                    if owner[e] < 0:
-                        owner[e] = claimers[j]
-                        if probes is not None:
-                            granted_claims.append((claimers[j], e))
-            # Flit movement: one flit per owned edge per step.  Edges are
-            # serviced head-first (descending index) so a buffer slot
-            # vacated this step can be refilled this step — the same
-            # lock-step pipeline behaviour as the wormhole model.  Flit
-            # *availability* upstream uses the start-of-step snapshot (a
-            # flit cannot cross two edges in one step).
-            snapshot = crossed.copy()
-            released_slots: list[tuple[int, int]] = []
-            finished: list[int] = []
-            for m in active:
-                d = int(D[m])
-                c = snapshot[m]
-                advanced = False
-                for i in range(d - 1, -1, -1):
-                    e = padded[m, i]
-                    if owner[e] != m:
-                        continue
-                    upstream = int(L_arr[m]) if i == 0 else int(c[i - 1])
-                    if int(c[i]) >= upstream:
-                        continue  # no flit waiting to cross edge i
-                    # Space at the head of edge i (instant delivery at the
-                    # destination, bounded buffer elsewhere); downstream
-                    # counts may already include this step's departures.
-                    if i < d - 1:
-                        in_buffer = int(crossed[m, i]) - int(crossed[m, i + 1])
-                        if in_buffer >= self.buffer_flits:
-                            continue
-                    crossed[m, i] += 1
-                    advanced = True
-                    # Release ownership once the last flit moves on.
-                    if crossed[m, i] == L_arr[m]:
-                        if i > 0:
-                            prev = padded[m, i - 1]
-                            if owner[prev] == m:
-                                owner[prev] = -1
-                                if probes is not None:
-                                    released_slots.append((int(m), int(prev)))
-                        if i == d - 1:
-                            owner[e] = -1
-                            if probes is not None:
-                                released_slots.append((int(m), int(e)))
-                if advanced:
-                    moved_any = True
-                    progressed[m] = True
-                if crossed[m, d - 1] == L_arr[m]:
-                    completion[m] = t
-                    done[m] = True
-                    finished.append(int(m))
-            loop.blocked[active] += ~progressed[active]
-
-            if probes is not None:
-                self._emit_step_events(
-                    probes, t, granted_claims, released_slots, finished,
-                    active, progressed, crossed, padded, D,
-                )
-            return moved_any
-
-        return loop.run(body)
-
-    def _emit_step_events(
-        self,
-        probes: ProbeSet,
-        t: int,
-        granted_claims: list[tuple[int, int]],
-        released_slots: list[tuple[int, int]],
-        finished: list[int],
-        active: np.ndarray,
-        progressed: np.ndarray,
-        crossed: np.ndarray,
-        padded: np.ndarray,
-        D: np.ndarray,
-    ) -> None:
-        """Dispatch one step's events (only called with probes attached)."""
-        if granted_claims:
-            g = np.asarray(granted_claims, dtype=np.int64)
-            probes.on_grant(t, g[:, 0], g[:, 1])
-        stalled = active[~progressed[active]]
-        if stalled.size:
-            wanted = np.full(stalled.size, -1, dtype=np.int64)
-            for j, m in enumerate(stalled):
-                i = self._header_edge(crossed[m], D[m])
-                if i is not None:
-                    wanted[j] = padded[m, i]
-            probes.on_block(t, stalled, wanted)
-        if released_slots:
-            r = np.asarray(released_slots, dtype=np.int64)
-            probes.on_release(t, r[:, 0], r[:, 1])
-        if finished:
-            probes.on_complete(t, np.asarray(finished, dtype=np.int64))
-        movers = active[progressed[active]]
-        probes.on_step(t, movers, (crossed > 0).sum(axis=1))
-
-    @staticmethod
-    def _header_edge(c: np.ndarray, d: int) -> int | None:
-        """Index of the next unclaimed path edge the header wants, if any.
-
-        The header flit is flit 1; it wants to cross the first edge whose
-        ``crossed`` count is still 0 (edges are crossed in order).
-        """
-        for i in range(int(d)):
-            if c[i] == 0:
-                return i
-        return None
+        kernel = CutThroughKernel(
+            serial_state(loop),
+            num_edges=self.num_edges,
+            padded=padded,
+            lengths=D,
+            message_length=L_arr,
+            buffer_flits=np.full(1, self.buffer_flits, dtype=np.int64),
+            priority=self.priority,
+            rngs=[self._rng],
+            probes=probes,
+        )
+        return loop.run(kernel.serial_body)
 
     # Back-compat alias: the single engine shim behind the old name.
     _check_edge_simple = staticmethod(compat_check_edge_simple)

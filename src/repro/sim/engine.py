@@ -635,16 +635,22 @@ class BatchStepLoop:
         max_steps: np.ndarray | int,
         *,
         detect_deadlock: bool = True,
-        time_scale: int = 1,
+        time_scale: int | np.ndarray = 1,
     ) -> None:
         self.T = int(num_trials)
         self.M = int(num_messages)
-        self.release = release
+        # Releases may differ per trial (store-and-forward converts flit
+        # steps to per-trial message steps): accept (M,) or (T, M).
+        self.release = np.broadcast_to(
+            np.asarray(release, dtype=np.int64), (self.T, self.M)
+        )
         self.max_steps = np.broadcast_to(
             np.asarray(max_steps, dtype=np.int64), (self.T,)
         ).copy()
         self.detect_deadlock = detect_deadlock
-        self.time_scale = int(time_scale)
+        self.time_scale = np.broadcast_to(
+            np.asarray(time_scale, dtype=np.int64), (self.T,)
+        ).copy()
         self.completion = np.full((self.T, self.M), -1, dtype=np.int64)
         self.blocked = np.zeros((self.T, self.M), dtype=np.int64)
         self.done = np.zeros((self.T, self.M), dtype=bool)
@@ -656,8 +662,11 @@ class BatchStepLoop:
 
     def mark_trivial(self, trivial: np.ndarray, completion: np.ndarray) -> None:
         """Deliver zero-length-path messages at their release time."""
+        completion = np.broadcast_to(
+            np.asarray(completion, dtype=np.int64), (self.T, self.M)
+        )
         self.done[:, trivial] = True
-        self.completion[:, trivial] = completion[trivial]
+        self.completion[:, trivial] = completion[:, trivial]
 
     def _finalize(self, mask: np.ndarray, t: int) -> None:
         self.steps[mask] = t
@@ -670,7 +679,7 @@ class BatchStepLoop:
         self._finalize(live & done.all(axis=1), t)
         while live.any():
             t += 1
-            active = live[:, None] & ~done & (release[None, :] < t)
+            active = live[:, None] & ~done & (release < t)
             act_any = active.any(axis=1)
             idle = live & ~act_any
             if idle.any():
@@ -679,7 +688,7 @@ class BatchStepLoop:
                 # exits right there with the cap flag set.
                 rows = np.flatnonzero(idle)
                 minrel = np.where(
-                    done[rows], _FAR_FUTURE, release[None, :]
+                    done[rows], _FAR_FUTURE, release[rows]
                 ).min(axis=1)
                 over = minrel >= self.max_steps[rows]
                 if over.any():
@@ -702,7 +711,7 @@ class BatchStepLoop:
             if self.detect_deadlock:
                 stuck = live & act_any & ~moved
                 if stuck.any():
-                    unreleased = (~done & (release[None, :] >= t)).any(axis=1)
+                    unreleased = (~done & (release >= t)).any(axis=1)
                     dead = stuck & ~unreleased
                     self.deadlocked |= dead
                     self._finalize(dead, t)
@@ -712,8 +721,14 @@ class BatchStepLoop:
             self._finalize(capped, t)
         self.t = t
 
-    def results(self) -> list[SimulationResult]:
-        """Per-trial :class:`SimulationResult` objects, in trial order."""
+    def results(
+        self, extra_factory: Callable[[int], dict] | None = None
+    ) -> list[SimulationResult]:
+        """Per-trial :class:`SimulationResult` objects, in trial order.
+
+        ``extra_factory(i)`` supplies trial ``i``'s ``extra`` dict (e.g.
+        the store-and-forward per-trial queue-depth telemetry).
+        """
         out = []
         for i in range(self.T):
             completion = self.completion[i].copy()
@@ -721,10 +736,11 @@ class BatchStepLoop:
                 SimulationResult(
                     completion_times=completion,
                     makespan=int(completion.max()) if self.M else -1,
-                    steps_executed=int(self.steps[i]) * self.time_scale,
+                    steps_executed=int(self.steps[i]) * int(self.time_scale[i]),
                     blocked_steps=self.blocked[i].copy(),
                     deadlocked=bool(self.deadlocked[i]),
                     hit_step_cap=bool(self.hit_cap[i]),
+                    extra=extra_factory(i) if extra_factory is not None else {},
                 )
             )
         return out

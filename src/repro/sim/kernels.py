@@ -1,0 +1,949 @@
+"""Model-parameterized batched kernels: one body per router, two drivers.
+
+Every router in :mod:`repro.sim` advances the same struct-of-arrays
+state shape — per-(trial, message) integers stacked as ``(T, M)``
+arrays — and differs only in its *buffer semantics*: per-edge
+capacity-``B`` slots for interchangeable virtual channels (wormhole),
+``(edge, class)`` capacity-1 slots for the Dally-Seitz mechanism,
+single-owner edges with ``B``-flit compression for cut-through,
+whole-packet hops for store-and-forward, one-flit-per-edge rotating
+service for the restricted model, and mask-based online route selection
+for adaptive meshes.  This module holds those semantics as five kernel
+classes, each exposing one vectorized ``body(t, active)`` over ``(T, M)``
+state.
+
+The same body drives both execution paths:
+
+* **batched** — :mod:`repro.sim.batch` builds the kernel at ``T`` trials
+  over a :class:`~repro.sim.engine.BatchStepLoop` and steps all trials
+  in lockstep (one contend/rank/grant call per step over the combined
+  ``(trial, slot)`` key space);
+* **serial** — each legacy simulator class builds the kernel at
+  ``T = 1`` over the scalar :class:`~repro.sim.engine.StepLoop` (which
+  owns the probe lifecycle) through :func:`serial_state`, a ``(1, M)``
+  view of the loop's flat arrays.  There is exactly one arbitration
+  implementation per model.
+
+Bit-exactness contract
+----------------------
+Trial ``i`` of a batch is bit-identical to the serial simulator run with
+the same parameters and ``seeds[i]``: each trial draws from its **own**
+RNG in exactly the serial order (draws happen only in steps/phases where
+that trial acts), the combined arbitration key space keeps trials'
+slot groups disjoint, and a trial's state is only read or written where
+it has active messages.  Telemetry probes are supported at ``T = 1``
+only (the serial path), where each kernel reproduces the legacy event
+stream call for call, in the same order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..network.graph import NetworkError
+from .engine import (
+    BatchSlotArbiter,
+    age_priorities,
+    grant_free_slots,
+    pad_paths,
+)
+
+__all__ = [
+    "AdaptiveKernel",
+    "CutThroughKernel",
+    "RestrictedKernel",
+    "StoreForwardKernel",
+    "WormholeKernel",
+    "serial_state",
+    "validate_vc_ids",
+]
+
+_FAR = np.iinfo(np.int64).max
+
+
+class _SerialState:
+    """``(1, M)`` views of a serial :class:`StepLoop`'s state arrays.
+
+    Basic-indexing views, so kernel writes propagate straight into the
+    loop's ``completion`` / ``done`` / ``blocked`` arrays.
+    """
+
+    __slots__ = ("completion", "done", "blocked")
+
+    def __init__(self, loop) -> None:
+        self.completion = loop.completion[None, :]
+        self.done = loop.done[None, :]
+        self.blocked = loop.blocked[None, :]
+
+
+def serial_state(loop) -> _SerialState:
+    """Adapt a scalar :class:`~repro.sim.engine.StepLoop` for a kernel."""
+    return _SerialState(loop)
+
+
+def validate_vc_ids(
+    padded: np.ndarray, lengths: np.ndarray, vc_ids, b_min: int
+) -> np.ndarray:
+    """Validate and pack per-hop virtual-channel class assignments."""
+    vc_padded, vc_lengths = pad_paths([list(v) for v in vc_ids])
+    if not np.array_equal(vc_lengths, lengths):
+        raise NetworkError("vc_ids must match the path lengths")
+    valid = padded >= 0
+    if valid.any() and (
+        vc_padded[valid].min() < 0 or vc_padded[valid].max() >= b_min
+    ):
+        raise NetworkError(f"vc ids must lie in [0, {b_min})")
+    return vc_padded
+
+
+class _Kernel:
+    """Common driver plumbing: a ``(T,) -> bool`` adapter for ``T = 1``."""
+
+    probes = None
+
+    def serial_body(self, t: int, active: np.ndarray) -> bool:
+        return bool(self.body(t, active[None, :])[0])
+
+    def _trial_draws(self, rows: np.ndarray, draw) -> np.ndarray:
+        """One RNG draw per trial that has contenders, in trial order.
+
+        ``rows`` is the trial id per contender, sorted (``np.nonzero``
+        order), so each trial's contenders are contiguous and in
+        message-index order — the serial draw order.  ``draw(rng, n)``
+        produces that trial's ``n`` values from its own stream; trials
+        without contenders draw nothing, exactly like their serial runs.
+        """
+        counts = np.bincount(rows, minlength=len(self.rngs))
+        out = np.empty(rows.size, dtype=np.float64)
+        pos = 0
+        for tr in np.flatnonzero(counts):
+            n = int(counts[tr])
+            out[pos : pos + n] = draw(self.rngs[tr], n)
+            pos += n
+        return out
+
+
+# ----------------------------------------------------------------------
+# Wormhole: per-edge capacity-B slots (or (edge, class) capacity-1).
+# ----------------------------------------------------------------------
+
+
+class WormholeKernel(_Kernel):
+    """Lockstep worms over capacity-``B`` virtual-channel slots.
+
+    State is one integer per (trial, message): the completed-move count
+    ``k``.  Headers contend for the slot on path edge ``k`` each step;
+    granted worms advance, the tail's vacated slot frees after move
+    ``k - L - 1``, and the final edge's slot frees at completion.
+    """
+
+    def __init__(
+        self,
+        state,
+        *,
+        num_edges: int,
+        padded: np.ndarray,
+        lengths: np.ndarray,
+        message_length: np.ndarray,
+        release: np.ndarray,
+        capacities: np.ndarray,
+        priority: str,
+        rngs: list,
+        vc_padded: np.ndarray | None = None,
+        probes=None,
+    ) -> None:
+        T, M = len(rngs), int(lengths.size)
+        assert probes is None or T == 1
+        self.state = state
+        self.T, self.M = T, M
+        self.padded = padded
+        self.D = lengths
+        self.L = message_length
+        self.B = capacities
+        self.priority = priority
+        self.rngs = rngs
+        self.probes = probes
+        self.vc_padded = vc_padded
+        # Slot model per trial: without VC classes a slot is an edge with
+        # capacity B[i]; with classes, an (edge, class) pair, capacity 1.
+        if vc_padded is None:
+            self.arbiter = BatchSlotArbiter(
+                np.full(T, num_edges, dtype=np.int64), capacities
+            )
+        else:
+            self.arbiter = BatchSlotArbiter(
+                num_edges * capacities, np.ones(T, dtype=np.int64)
+            )
+        self.total_moves = message_length + lengths - 1
+        self.k = np.zeros((T, M), dtype=np.int64)
+        self.age_priority = (
+            age_priorities(release) if priority == "age" else None
+        )
+        self.rank_priority = (
+            np.stack([rng.permutation(M) for rng in rngs])
+            if priority == "rank"
+            else None
+        )
+
+    def _slots(
+        self, trials: np.ndarray, msgs: np.ndarray, hop: np.ndarray
+    ) -> np.ndarray:
+        """Per-trial slot ids for the given (trial, message, hop) picks."""
+        edges = self.padded[msgs, hop]
+        if self.vc_padded is None:
+            return edges
+        return edges * self.B[trials] + self.vc_padded[msgs, hop]
+
+    def body(self, t: int, active: np.ndarray) -> np.ndarray:
+        k, D, L, probes = self.k, self.D, self.L, self.probes
+        rows, cols = np.nonzero(active)
+        k_ac = k[rows, cols]
+        needs_edge = k_ac < D[cols]
+        movers_local = np.zeros(rows.size, dtype=bool)
+        movers_local[~needs_edge] = True  # draining worms always move
+
+        if needs_edge.any():
+            crows = rows[needs_edge]
+            ccols = cols[needs_edge]
+            hop = k_ac[needs_edge]
+            slots = self._slots(crows, ccols, hop)
+            if self.priority == "random":
+                prio = self._trial_draws(crows, lambda rng, n: rng.random(n))
+            elif self.priority == "age":
+                prio = self.age_priority[ccols]
+            elif self.priority == "rank":
+                prio = self.rank_priority[crows, ccols]
+            else:
+                prio = ccols
+            granted = self.arbiter.contend(crows, slots, prio)
+            movers_local[needs_edge] = granted
+            self.arbiter.acquire(crows[granted], slots[granted])
+            self.state.blocked[crows[~granted], ccols[~granted]] += 1
+            if probes is not None:
+                raw = self.padded[ccols, hop]
+                probes.on_grant(t, ccols[granted], raw[granted])
+                if (~granted).any():
+                    probes.on_block(t, ccols[~granted], raw[~granted])
+
+        mrows, mcols = rows[movers_local], cols[movers_local]
+        k[mrows, mcols] += 1
+        new_k = k[mrows, mcols]
+        # Release the buffer the tail just vacated; the final edge's
+        # slot is released at completion instead (same rule as serial).
+        rel_idx = new_k - L[mcols] - 1
+        sel = (rel_idx >= 0) & (rel_idx < D[mcols] - 1)
+        if sel.any():
+            self.arbiter.vacate(
+                mrows[sel], self._slots(mrows[sel], mcols[sel], rel_idx[sel])
+            )
+            if probes is not None:
+                probes.on_release(
+                    t, mcols[sel], self.padded[mcols[sel], rel_idx[sel]]
+                )
+        finished = new_k == self.total_moves[mcols]
+        if finished.any():
+            frows, fcols = mrows[finished], mcols[finished]
+            self.state.completion[frows, fcols] = t
+            self.state.done[frows, fcols] = True
+            self.arbiter.vacate(
+                frows, self._slots(frows, fcols, D[fcols] - 1)
+            )
+            if probes is not None:
+                probes.on_release(t, fcols, self.padded[fcols, D[fcols] - 1])
+                probes.on_complete(t, fcols)
+        if probes is not None:
+            probes.on_step(t, mcols, k[0])
+        return np.bincount(mrows, minlength=self.T) > 0
+
+
+# ----------------------------------------------------------------------
+# Cut-through: single-owner edges with B-flit compression.
+# ----------------------------------------------------------------------
+
+
+class CutThroughKernel(_Kernel):
+    """Ownership-based cut-through advance over ``(T, M, maxD)`` counts.
+
+    ``crossed[t, m, i]`` is the number of trial ``t``'s message ``m``
+    flits that crossed path edge ``i``; the buffer at the head of edge
+    ``i`` holds ``crossed[i] - crossed[i+1]`` flits (capped at ``B``).
+    Headers claim unowned edges via one capacity-1 grant per step; owned
+    edges each forward one flit, serviced head-first (descending path
+    index) so a slot vacated this step refills this step.
+    """
+
+    def __init__(
+        self,
+        state,
+        *,
+        num_edges: int,
+        padded: np.ndarray,
+        lengths: np.ndarray,
+        message_length: np.ndarray,
+        buffer_flits: np.ndarray,
+        priority: str,
+        rngs: list,
+        probes=None,
+    ) -> None:
+        T, M = len(rngs), int(lengths.size)
+        assert probes is None or T == 1
+        self.state = state
+        self.T, self.M = T, M
+        self.num_edges = int(num_edges)
+        self.padded = padded
+        self.D = lengths
+        self.L = message_length
+        self.B = buffer_flits
+        self.priority = priority
+        self.rngs = rngs
+        self.probes = probes
+        self.max_D = int(padded.shape[1])
+        self.crossed = np.zeros((T, M, self.max_D), dtype=np.int64)
+        self.owner = np.full((T, num_edges), -1, dtype=np.int64)
+        self.msg_ids = np.arange(M)
+        self.last_idx = np.maximum(lengths - 1, 0)
+
+    def _header_idx(self, crossed: np.ndarray) -> np.ndarray:
+        """Per-(trial, message) index of the next uncrossed path edge.
+
+        ``crossed`` is non-increasing along the path (flits cross edges
+        in order), so the header index is the count of positive entries;
+        it equals ``D`` once the header has crossed every edge.
+        """
+        return (crossed > 0).sum(axis=2)
+
+    def body(self, t: int, active: np.ndarray) -> np.ndarray:
+        crossed, owner = self.crossed, self.owner
+        padded, D, L, probes = self.padded, self.D, self.L, self.probes
+        T, M = self.T, self.M
+        trows = np.arange(T)[:, None]
+
+        # -- header claims: contend for unowned edges, capacity 1 -------
+        h = self._header_idx(crossed)
+        wants = active & (h < D[None, :])
+        h_safe = np.minimum(h, self.last_idx[None, :])
+        want_edge = np.where(
+            wants, padded[self.msg_ids[None, :], h_safe], 0
+        )
+        claim = wants & (owner[trows, want_edge] < 0)
+        if claim.any():
+            c_t, c_m = np.nonzero(claim)
+            c_e = want_edge[c_t, c_m]
+            if self.priority == "random":
+                prio = self._trial_draws(c_t, lambda rng, n: rng.random(n))
+            else:  # "index": claimer-list position, ascending m per trial
+                prio = c_m.astype(np.float64)
+            granted = grant_free_slots(
+                c_t * self.num_edges + c_e, prio, 1
+            )
+            owner[c_t[granted], c_e[granted]] = c_m[granted]
+            if probes is not None and granted.any():
+                # Serial appends grants in ascending-priority order.
+                order = np.argsort(prio[granted], kind="stable")
+                probes.on_grant(
+                    t, c_m[granted][order], c_e[granted][order]
+                )
+
+        # -- flit movement: one flit per owned edge, head-first ---------
+        snapshot = crossed.copy()
+        progressed = np.zeros((T, M), dtype=bool)
+        rel_events: list[tuple[int, int, int]] = []  # (phase, m, e), T=1
+        for i in range(self.max_D - 1, -1, -1):
+            valid = i < D  # (M,)
+            if not valid.any():
+                continue
+            e_col = np.where(valid, padded[:, i], 0)
+            own = (
+                active
+                & valid[None, :]
+                & (owner[trows, e_col[None, :]] == self.msg_ids[None, :])
+            )
+            if not own.any():
+                continue
+            upstream = L[None, :] if i == 0 else snapshot[:, :, i - 1]
+            has_flit = snapshot[:, :, i] < upstream
+            not_last = valid & (i < D - 1)
+            if i + 1 < self.max_D:
+                in_buf = crossed[:, :, i] - crossed[:, :, i + 1]
+                room = ~not_last[None, :] | (in_buf < self.B[:, None])
+            else:
+                room = True
+            adv = own & has_flit & room
+            if not adv.any():
+                continue
+            crossed[:, :, i] += adv
+            progressed |= adv
+            # Release ownership once the last flit moves on: the
+            # previous edge's buffer is drained for good, and the final
+            # edge delivers instantly.
+            newly = adv & (crossed[:, :, i] == L[None, :])
+            if not newly.any():
+                continue
+            if i > 0:
+                nt, nm = np.nonzero(newly)
+                prev_e = padded[nm, i - 1]
+                ok = owner[nt, prev_e] == nm
+                owner[nt[ok], prev_e[ok]] = -1
+                if probes is not None:
+                    rel_events.extend(
+                        (0, int(m), int(e))
+                        for m, e in zip(nm[ok], prev_e[ok])
+                    )
+            last = newly & (D[None, :] == i + 1)
+            if last.any():
+                lt, lm = np.nonzero(last)
+                le = padded[lm, i]
+                owner[lt, le] = -1
+                if probes is not None:
+                    rel_events.extend(
+                        (1, int(m), int(e)) for m, e in zip(lm, le)
+                    )
+
+        lastc = crossed[:, self.msg_ids, self.last_idx]
+        fin = active & (lastc == L[None, :])
+        ft, fm = np.nonzero(fin)
+        self.state.completion[ft, fm] = t
+        self.state.done[ft, fm] = True
+        self.state.blocked += active & ~progressed
+
+        if probes is not None:
+            self._emit_step_events(t, active, progressed, rel_events, fm)
+        return progressed.any(axis=1)
+
+    def _emit_step_events(self, t, active, progressed, rel_events, finished):
+        """Reproduce the serial per-step event stream (T = 1 only)."""
+        probes, crossed, padded, D = (
+            self.probes, self.crossed[0], self.padded, self.D,
+        )
+        stalled = np.flatnonzero(active[0] & ~progressed[0])
+        if stalled.size:
+            h = (crossed[stalled] > 0).sum(axis=1)
+            wanted = np.where(
+                h < D[stalled],
+                padded[stalled, np.minimum(h, self.last_idx[stalled])],
+                -1,
+            )
+            probes.on_block(t, stalled, wanted)
+        if rel_events:
+            # Serial order: ascending message, prev-edge release before
+            # the final-edge release (at most one of each per message).
+            rel_events.sort(key=lambda ev: (ev[1], ev[0]))
+            r = np.asarray(rel_events, dtype=np.int64)
+            probes.on_release(t, r[:, 1], r[:, 2])
+        if finished.size:
+            probes.on_complete(t, finished)
+        movers = np.flatnonzero(progressed[0])
+        probes.on_step(t, movers, (crossed > 0).sum(axis=1))
+
+
+# ----------------------------------------------------------------------
+# Store-and-forward: whole-packet hops, one message per edge per step.
+# ----------------------------------------------------------------------
+
+
+class StoreForwardKernel(_Kernel):
+    """Greedy whole-packet advancement: one hop per granted message.
+
+    The arbiter holds nothing across steps (an edge is owned only within
+    the message step it transmits), so every round is a capacity-1 grant
+    against empty occupancy.  Times scale by the per-trial message-step
+    length ``hop[i] = ceil(L / B[i])`` flit steps.
+    """
+
+    def __init__(
+        self,
+        state,
+        *,
+        num_edges: int,
+        padded: np.ndarray,
+        lengths: np.ndarray,
+        release: np.ndarray,
+        hop: np.ndarray,
+        priority: str,
+        rngs: list,
+        probes=None,
+    ) -> None:
+        T, M = len(rngs), int(lengths.size)
+        assert probes is None or T == 1
+        self.state = state
+        self.T, self.M = T, M
+        self.num_edges = int(num_edges)
+        self.padded = padded
+        self.D = lengths
+        # Release times in *message steps*, per trial: (T, M) or (M,).
+        self.release = np.broadcast_to(
+            np.asarray(release, dtype=np.int64), (T, M)
+        )
+        self.hop = hop
+        self.priority = priority
+        self.rngs = rngs
+        self.probes = probes
+        self.hops_done = np.zeros((T, M), dtype=np.int64)
+        self.max_queue = np.zeros(T, dtype=np.int64)
+
+    def body(self, t: int, active: np.ndarray) -> np.ndarray:
+        D, probes = self.D, self.probes
+        rows, cols = np.nonzero(active)
+        hd = self.hops_done[rows, cols]
+        edges = self.padded[cols, hd]
+        if self.priority == "random":
+            prio = self._trial_draws(rows, lambda rng, n: rng.random(n))
+        elif self.priority == "age":
+            prio = self.release[rows, cols].astype(np.float64)
+        else:  # farthest to go first
+            prio = -(D[cols] - hd).astype(np.float64)
+        keys = rows * self.num_edges + edges
+        winners = grant_free_slots(keys, prio, 1)  # one message per edge
+        # Queue-depth bookkeeping: contenders per edge this step.
+        counts = np.bincount(keys)
+        np.maximum.at(self.max_queue, rows, counts[keys])
+
+        mrows, mcols = rows[winners], cols[winners]
+        self.hops_done[mrows, mcols] += 1
+        self.state.blocked[rows[~winners], cols[~winners]] += self.hop[
+            rows[~winners]
+        ]
+        fin = self.hops_done[mrows, mcols] == D[mcols]
+        if fin.any():
+            frows, fcols = mrows[fin], mcols[fin]
+            self.state.completion[frows, fcols] = t * self.hop[frows]
+            self.state.done[frows, fcols] = True
+
+        if probes is not None:
+            probes.on_grant(t, mcols, edges[winners])
+            if (~winners).any():
+                probes.on_block(t, cols[~winners], edges[~winners])
+            # A store-and-forward edge is held only within the step it
+            # transmits, so the grant's slot frees immediately.
+            probes.on_release(t, mcols, edges[winners])
+            if fin.any():
+                probes.on_complete(t, mcols[fin])
+            probes.on_step(t, mcols, self.hops_done[0])
+        # A contended edge always forwards someone.
+        return np.bincount(rows, minlength=self.T) > 0
+
+
+# ----------------------------------------------------------------------
+# Restricted: one flit per edge per step over B buffer slots.
+# ----------------------------------------------------------------------
+
+
+class RestrictedKernel(_Kernel):
+    """Rotating-service advance for the buffering-only model.
+
+    Each edge holds ``B`` one-flit slots (one per resident message) but
+    forwards a single flit per step, chosen round-robin among its
+    eligible residents (in admission order) and admissible new headers
+    (in message order).  Edges are serviced to a fixpoint each step so a
+    slot vacated this step can refill this step; header admission stays
+    conservative (start-of-step resident counts), as in the full model.
+
+    Trials are swept together: each pass visits the sorted union of all
+    trials' touched edges and fires at most one flit per (trial, edge);
+    a trial's own sub-sequence of fires is exactly its serial fixpoint
+    (extra visits to edges it has no candidates on are no-ops).
+    """
+
+    def __init__(
+        self,
+        state,
+        *,
+        num_edges: int,
+        padded: np.ndarray,
+        lengths: np.ndarray,
+        message_length: np.ndarray,
+        capacities: np.ndarray,
+        rngs: list,
+        probes=None,
+    ) -> None:
+        T, M = len(rngs), int(lengths.size)
+        assert probes is None, "restricted model has no telemetry hooks"
+        self.state = state
+        self.T, self.M = T, M
+        self.num_edges = int(num_edges)
+        self.padded = padded
+        self.D = lengths
+        self.L = message_length
+        self.B = capacities
+        self.rngs = rngs
+        self.max_D = int(padded.shape[1])
+        # Flattened (message, path-index) sites, grouped per edge and
+        # sorted by message id — edge-simplicity makes each (edge,
+        # message) pair unique, so one static list serves both resident
+        # and header candidate enumeration.
+        site_m, site_i = np.nonzero(padded >= 0)
+        site_e = padded[site_m, site_i]
+        self.site_m, self.site_i, self.site_e = site_m, site_i, site_e
+        order = np.lexsort((site_m, site_e))
+        se, sm, si = site_e[order], site_m[order], site_i[order]
+        self._sites: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        starts = np.searchsorted(se, np.arange(num_edges + 1))
+        for e in np.unique(se):
+            lo, hi = starts[e], starts[e + 1]
+            self._sites[int(e)] = (sm[lo:hi], si[lo:hi])
+        # Rotating service offsets: the only RNG use of this model.
+        self.rr_offset = np.stack(
+            [rng.integers(0, 1 << 30, size=num_edges) for rng in rngs]
+        )
+        self.crossed = np.zeros((T, M, self.max_D), dtype=np.int64)
+        self.resident = np.zeros((T, M, self.max_D), dtype=bool)
+        # Admission stamps order each edge's residents like the serial
+        # dict's insertion order (a global per-trial counter suffices:
+        # stamps on one edge are mutually ordered by admission time).
+        self.stamp = np.full((T, M, self.max_D), _FAR, dtype=np.int64)
+        self.counter = np.zeros(T, dtype=np.int64)
+        self.head_edge = np.zeros((T, M), dtype=np.int64)
+        self.res_count = np.zeros((T, num_edges), dtype=np.int64)
+
+    def body(self, t: int, active: np.ndarray) -> np.ndarray:
+        crossed, padded, D, L = self.crossed, self.padded, self.D, self.L
+        T = self.T
+        snapshot = crossed.copy()
+        progressed = np.zeros((T, self.M), dtype=bool)
+
+        # Union of edges with any potential work in any trial.
+        alive = (
+            active[:, self.site_m]
+            & (snapshot[:, self.site_m, self.site_i] < L[self.site_m])
+        ).any(axis=0)
+        order_edges = np.unique(self.site_e[alive])
+
+        res0 = self.res_count.copy()  # start-of-step counts gate headers
+        serviced = np.zeros((T, self.num_edges), dtype=bool)
+        done = self.state.done
+        changed = True
+        while changed:
+            changed = False
+            for e in order_edges:
+                e = int(e)
+                notserv = ~serviced[:, e]
+                if not notserv.any():
+                    continue
+                sm, si = self._sites[e]
+                k = sm.size
+                # Resident candidates: a waiting flit (start-of-step
+                # availability) and a free own-message slot downstream
+                # (live counts — lock-step pipelining).
+                act = active[:, sm]
+                res = self.resident[:, sm, si]
+                snap_i = snapshot[:, sm, si]
+                up = np.where(
+                    (si == 0)[None, :],
+                    L[sm][None, :],
+                    snapshot[:, sm, np.maximum(si - 1, 0)],
+                )
+                has_flit = snap_i < up
+                is_last = si == D[sm] - 1
+                si_next = np.where(is_last, si, si + 1)
+                in_buf = crossed[:, sm, si] - crossed[:, sm, si_next]
+                room = is_last[None, :] | (in_buf < 1)
+                elig_r = (
+                    res
+                    & act
+                    & ~done[:, sm]
+                    & has_flit
+                    & room
+                    & notserv[:, None]
+                )
+                # Header candidates: an admissible slot (start-of-step
+                # AND live counts below B) and an injectable flit.
+                can_admit = (
+                    (res0[:, e] < self.B)
+                    & (self.res_count[:, e] < self.B)
+                    & notserv
+                )
+                elig_h = (
+                    act
+                    & (self.head_edge[:, sm] == si[None, :])
+                    & (up >= 1)
+                    & can_admit[:, None]
+                )
+                n_r = elig_r.sum(axis=1)
+                n = n_r + elig_h.sum(axis=1)
+                has = n > 0
+                if not has.any():
+                    continue
+                # Candidate order: residents by admission stamp, then
+                # headers by message id; rotate by (offset + t).
+                pick = (self.rr_offset[:, e] + t) % np.where(has, n, 1)
+                stamps = np.where(elig_r, self.stamp[:, sm, si], _FAR)
+                r_rank = np.argsort(stamps, axis=1, kind="stable")
+                h_rank = np.argsort(~elig_h, axis=1, kind="stable")
+                from_r = pick < n_r
+                pick_r = np.minimum(pick, k - 1)
+                pick_h = np.minimum(np.maximum(pick - n_r, 0), k - 1)
+                j = np.where(
+                    from_r,
+                    np.take_along_axis(r_rank, pick_r[:, None], axis=1)[:, 0],
+                    np.take_along_axis(h_rank, pick_h[:, None], axis=1)[:, 0],
+                )
+                tt = np.flatnonzero(has)
+                jj = j[tt]
+                msel, isel = sm[jj], si[jj]
+                is_h = ~from_r[tt]
+                if is_h.any():
+                    at, am, ai = tt[is_h], msel[is_h], isel[is_h]
+                    self.resident[at, am, ai] = True
+                    self.stamp[at, am, ai] = self.counter[at]
+                    self.counter[at] += 1
+                    res0[at, e] += 1
+                    self.res_count[at, e] += 1
+                    self.head_edge[at, am] += 1
+                crossed[tt, msel, isel] += 1
+                serviced[tt, e] = True
+                progressed[tt, msel] = True
+                changed = True
+                doneL = crossed[tt, msel, isel] == L[msel]
+                if not doneL.any():
+                    continue
+                dt, dm, di = tt[doneL], msel[doneL], isel[doneL]
+                # Last flit left the upstream buffer for good.
+                inner = di > 0
+                if inner.any():
+                    pt, pm = dt[inner], dm[inner]
+                    pi = di[inner] - 1
+                    was = self.resident[pt, pm, pi]
+                    self.resident[pt[was], pm[was], pi[was]] = False
+                    self.res_count[
+                        pt[was], padded[pm[was], pi[was]]
+                    ] -= 1
+                last = di == D[dm] - 1
+                if last.any():
+                    ct, cm, ci = dt[last], dm[last], di[last]
+                    was = self.resident[ct, cm, ci]
+                    self.resident[ct, cm, ci] = False  # delivered instantly
+                    self.res_count[ct[was], e] -= 1
+                    self.state.completion[ct, cm] = t
+                    done[ct, cm] = True
+
+        self.state.blocked += active & ~progressed
+        return progressed.any(axis=1)
+
+
+# ----------------------------------------------------------------------
+# Adaptive: online minimal routing with mask-based misroute selection.
+# ----------------------------------------------------------------------
+
+_DIRS = ((1, 0), (-1, 0), (0, 1), (0, -1))  # +x, -x, +y, -y
+
+
+class AdaptiveKernel(_Kernel):
+    """Round-based adaptive mesh routing over per-trial head orders.
+
+    Each step, every trial shuffles its active messages with its own
+    RNG (the serial head-service order); round ``r`` then processes each
+    trial's ``r``-th message across all trials at once — the geometric
+    option masks (productive directions allowed by the turn-model
+    policy) are computed vectorized from precomputed coordinate and
+    direction-edge tables, while the per-head free-channel draw consumes
+    each trial's RNG exactly as its serial run would (one
+    ``integers(n_free)`` per head with a non-empty free set).
+    """
+
+    def __init__(
+        self,
+        state,
+        *,
+        cube,
+        demands,
+        message_length: int,
+        dists: np.ndarray,
+        capacities: np.ndarray,
+        policy: str,
+        rngs: list,
+        probes=None,
+    ) -> None:
+        T, M = len(rngs), len(demands)
+        assert probes is None or T == 1
+        self.state = state
+        self.T, self.M = T, M
+        self.L = int(message_length)
+        self.dists = dists
+        self.B = capacities
+        self.policy = policy
+        self.rngs = rngs
+        self.probes = probes
+        net = cube.network
+        V = cube.num_nodes
+        kk = cube.k
+        self.cx = np.empty(V, dtype=np.int64)
+        self.cy = np.empty(V, dtype=np.int64)
+        self.dir_edge = np.full((V, 4), -1, dtype=np.int64)
+        self.dir_node = np.full((V, 4), -1, dtype=np.int64)
+        for v in range(V):
+            x, y = cube.coords(v)
+            self.cx[v], self.cy[v] = x, y
+            for d, (dx, dy) in enumerate(_DIRS):
+                x2, y2 = x + dx, y + dy
+                if 0 <= x2 < kk and 0 <= y2 < kk:
+                    u = cube.node((x2, y2))
+                    e = net.edge_between(v, u)
+                    assert e is not None
+                    self.dir_edge[v, d] = e
+                    self.dir_node[v, d] = u
+        src = np.asarray([s for s, _ in demands], dtype=np.int64)
+        self.dest = np.asarray([d for _, d in demands], dtype=np.int64)
+        self.position = np.tile(src, (T, 1))
+        self.k = np.zeros((T, M), dtype=np.int64)
+        self.occ = np.zeros((T, net.num_edges), dtype=np.int64)
+        max_d = int(dists.max()) if M else 0
+        self.taken = np.zeros((T, M, max(max_d, 1)), dtype=np.int64)
+        self.tlen = np.zeros((T, M), dtype=np.int64)
+
+    def taken_paths(self, trial: int) -> list[list[int]]:
+        """The edge ids trial ``trial``'s messages actually traversed."""
+        return [
+            self.taken[trial, m, : self.tlen[trial, m]].tolist()
+            for m in range(self.M)
+        ]
+
+    def _options(self, trs: np.ndarray, ms: np.ndarray):
+        """Vectorized policy-allowed productive moves, in serial order.
+
+        Returns ``(o1e, o1n, o2e, o2n)`` — the first and second option's
+        edge and node ids (``-1`` = absent).  The serial option list
+        appends the x-move before the y-move, so option 1 is the x-move
+        whenever the policy allows one.
+        """
+        pos = self.position[trs, ms]
+        dst = self.dest[ms]
+        dx = self.cx[dst] - self.cx[pos]
+        dy = self.cy[dst] - self.cy[pos]
+        xi = np.where(dx > 0, 0, 1)
+        yi = np.where(dy > 0, 2, 3)
+        xe = np.where(dx != 0, self.dir_edge[pos, xi], -1)
+        xn = np.where(dx != 0, self.dir_node[pos, xi], -1)
+        ye = np.where(dy != 0, self.dir_edge[pos, yi], -1)
+        yn = np.where(dy != 0, self.dir_node[pos, yi], -1)
+        if self.policy == "dimension":
+            o1e = np.where(dx != 0, xe, ye)
+            o1n = np.where(dx != 0, xn, yn)
+            o2e = np.full_like(o1e, -1)
+            o2n = o2e
+        elif self.policy == "west-first":
+            # Destination west: go fully west, deterministically.
+            west = dx < 0
+            o1e, o1n = xe, xn
+            o2e = np.where(west, -1, ye)
+            o2n = np.where(west, -1, yn)
+        else:  # fully-adaptive
+            o1e, o1n, o2e, o2n = xe, xn, ye, yn
+        return o1e, o1n, o2e, o2n
+
+    def body(self, t: int, active: np.ndarray) -> np.ndarray:
+        T, M, L = self.T, self.M, self.L
+        dists, probes = self.dists, self.probes
+        # Per-trial head-service order, drawn from each trial's own RNG
+        # only in steps where that trial has active messages.
+        orders: list[np.ndarray | None] = []
+        max_len = 0
+        for tr in range(T):
+            act = np.flatnonzero(active[tr])
+            if act.size:
+                orders.append(act[np.argsort(self.rngs[tr].random(act.size))])
+                max_len = max(max_len, act.size)
+            else:
+                orders.append(None)
+        movers: list[list[int]] = [[] for _ in range(T)]
+        grants: list[tuple[int, int]] = []
+        blocks: list[tuple[int, int]] = []
+
+        for r in range(max_len):
+            trs = np.asarray(
+                [
+                    tr
+                    for tr in range(T)
+                    if orders[tr] is not None and orders[tr].size > r
+                ],
+                dtype=np.int64,
+            )
+            ms = np.asarray(
+                [int(orders[tr][r]) for tr in trs], dtype=np.int64
+            )
+            heads = self.k[trs, ms] < dists[ms]
+            ht, hm = trs[heads], ms[heads]
+            if ht.size:
+                o1e, o1n, o2e, o2n = self._options(ht, hm)
+                f1 = (o1e >= 0) & (
+                    self.occ[ht, np.maximum(o1e, 0)] < self.B[ht]
+                )
+                f2 = (o2e >= 0) & (
+                    self.occ[ht, np.maximum(o2e, 0)] < self.B[ht]
+                )
+                for i in range(ht.size):
+                    tr, m = int(ht[i]), int(hm[i])
+                    n_free = int(f1[i]) + int(f2[i])
+                    if n_free == 0:
+                        self.state.blocked[tr, m] += 1
+                        if probes is not None:
+                            first = int(o1e[i]) if o1e[i] >= 0 else int(o2e[i])
+                            blocks.append((m, first))
+                        continue
+                    c = int(self.rngs[tr].integers(n_free))
+                    if f1[i] and c == 0:
+                        e, nd = int(o1e[i]), int(o1n[i])
+                    else:
+                        e, nd = int(o2e[i]), int(o2n[i])
+                    self.occ[tr, e] += 1
+                    self.taken[tr, m, self.tlen[tr, m]] = e
+                    self.tlen[tr, m] += 1
+                    self.position[tr, m] = nd
+                    movers[tr].append(m)
+                    if probes is not None:
+                        grants.append((m, e))
+            for tr, m in zip(trs[~heads], ms[~heads]):
+                movers[int(tr)].append(int(m))  # draining
+
+        # -- movement: lock-step advance, strict buffer release ---------
+        mov = np.zeros((T, M), dtype=bool)
+        for tr in range(T):
+            if movers[tr]:
+                mov[tr, movers[tr]] = True
+        pre_k = self.k[0].copy() if probes is not None else None
+        self.k += mov
+        rel = self.k - L - 1
+        vac = mov & (rel >= 0) & (rel < dists[None, :] - 1)
+        if vac.any():
+            vt, vm = np.nonzero(vac)
+            np.subtract.at(
+                self.occ, (vt, self.taken[vt, vm, rel[vt, vm]]), 1
+            )
+        fin = mov & (self.k == L + dists[None, :] - 1)
+        if fin.any():
+            ft, fm = np.nonzero(fin)
+            np.subtract.at(
+                self.occ, (ft, self.taken[ft, fm, dists[fm] - 1]), 1
+            )
+            self.state.completion[ft, fm] = t
+            self.state.done[ft, fm] = True
+
+        if probes is not None:
+            self._emit_step_events(t, movers[0], pre_k, grants, blocks)
+        return mov.any(axis=1)
+
+    def _emit_step_events(self, t, movers0, pre_k, grants, blocks):
+        """Reproduce the serial per-step event stream (T = 1 only)."""
+        probes, L = self.probes, self.L
+        releases: list[tuple[int, int]] = []
+        finished: list[int] = []
+        for m in movers0:
+            km = int(pre_k[m]) + 1
+            d = int(self.dists[m])
+            rel_i = km - L - 1
+            if 0 <= rel_i < d - 1:
+                releases.append((m, int(self.taken[0, m, rel_i])))
+            if km == L + d - 1:
+                releases.append((m, int(self.taken[0, m, d - 1])))
+                finished.append(m)
+        if grants:
+            g = np.asarray(grants, dtype=np.int64)
+            probes.on_grant(t, g[:, 0], g[:, 1])
+        if blocks:
+            b = np.asarray(blocks, dtype=np.int64)
+            probes.on_block(t, b[:, 0], b[:, 1])
+        if releases:
+            r = np.asarray(releases, dtype=np.int64)
+            probes.on_release(t, r[:, 0], r[:, 1])
+        if finished:
+            probes.on_complete(t, np.asarray(finished, dtype=np.int64))
+        probes.on_step(t, np.asarray(movers0, dtype=np.int64), self.k[0])

@@ -43,29 +43,10 @@ from .engine import (
     StepLoop,
     resolve_step_cap,
 )
+from .kernels import RestrictedKernel, serial_state
 from .stats import SimulationResult
 
 __all__ = ["RestrictedWormholeSimulator"]
-
-#: Back-compat re-exports now served lazily with a deprecation warning;
-#: their canonical home is :mod:`repro.sim.engine`.
-_MOVED_TO_ENGINE = ("check_edge_simple", "pad_paths")
-
-
-def __getattr__(name: str):
-    if name in _MOVED_TO_ENGINE:
-        import warnings
-
-        warnings.warn(
-            f"importing {name!r} from repro.sim.restricted is deprecated; "
-            f"use repro.sim.engine.{name}",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from . import engine
-
-        return getattr(engine, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class RestrictedWormholeSimulator:
@@ -136,92 +117,16 @@ class RestrictedWormholeSimulator:
             num_messages=M,
         )
 
-        max_D = padded.shape[1]
-        crossed = np.zeros((M, max_D), dtype=np.int64)
-        # residents[e]: message -> its path index for edge e.
-        residents: list[dict[int, int]] = [dict() for _ in range(self.num_edges)]
-        # Next path-edge each message's header wants (== D[m] once inside).
-        head_edge = np.zeros(M, dtype=np.int64)
-        rr_offset = self._rng.integers(0, 1 << 30, size=self.num_edges)
-
         loop = StepLoop(M, release, max_steps)
         loop.mark_trivial(trivial, release)
-        completion, done = loop.completion, loop.done
 
-        def body(t: int, active_mask: np.ndarray) -> bool:
-            snapshot = crossed.copy()
-            moved_any = False
-            progressed = np.zeros(M, dtype=bool)
-
-            # Edges with any potential work this step.
-            touched: set[int] = set()
-            active = np.flatnonzero(active_mask)
-            for m in active:
-                for i in range(int(D[m])):
-                    if snapshot[m, i] < L_arr[m]:
-                        touched.add(int(padded[m, i]))
-
-            # Service edges to a fixpoint so a message's own buffer slot
-            # vacated this step can be refilled this step (lock-step
-            # pipelining, as in the full model): flit *availability* uses
-            # the start-of-step snapshot — a flit crosses at most one
-            # edge per step — while per-message buffer *space* uses
-            # current counts.  Cross-message slot handover stays
-            # conservative like the full model: header admission checks
-            # the start-of-step resident count, so a slot freed by a
-            # departing worm only admits a new worm next step.  Each edge
-            # forwards at most one flit per step.
-            start_residents = {e: len(residents[e]) for e in touched}
-            serviced: set[int] = set()
-            order = sorted(touched)
-            changed = True
-            while changed:
-                changed = False
-                for e in order:
-                    if e in serviced:
-                        continue
-                    cands: list[tuple[int, int, bool]] = []
-                    for m, i in residents[e].items():
-                        if done[m] or release[m] >= t:
-                            continue
-                        upstream = int(L_arr[m]) if i == 0 else int(snapshot[m, i - 1])
-                        if int(snapshot[m, i]) >= upstream:
-                            continue  # no flit waiting to cross this edge
-                        if i < D[m] - 1:
-                            in_buf = int(crossed[m, i]) - int(crossed[m, i + 1])
-                            if in_buf >= 1:
-                                continue  # the message's slot is occupied
-                        cands.append((m, i, False))
-                    if start_residents[e] < self.B and len(residents[e]) < self.B:
-                        for m in active:
-                            i = int(head_edge[m])
-                            if i < D[m] and int(padded[m, i]) == e:
-                                upstream = int(L_arr[m]) if i == 0 else int(snapshot[m, i - 1])
-                                if upstream >= 1:
-                                    cands.append((m, i, True))
-                    if not cands:
-                        continue
-                    m, i, is_header = cands[int((rr_offset[e] + t) % len(cands))]
-                    if is_header:
-                        residents[e][m] = i
-                        start_residents[e] += 1
-                        head_edge[m] += 1
-                    crossed[m, i] += 1
-                    serviced.add(e)
-                    changed = True
-                    moved_any = True
-                    progressed[m] = True
-                    if crossed[m, i] == L_arr[m]:
-                        # Last flit left the upstream buffer for good.
-                        if i > 0:
-                            prev = int(padded[m, i - 1])
-                            residents[prev].pop(m, None)
-                        if i == int(D[m]) - 1:
-                            residents[e].pop(m, None)  # delivered instantly
-                            completion[m] = t
-                            done[m] = True
-
-            loop.blocked[active] += ~progressed[active]
-            return moved_any
-
-        return loop.run(body)
+        kernel = RestrictedKernel(
+            serial_state(loop),
+            num_edges=self.num_edges,
+            padded=padded,
+            lengths=D,
+            message_length=L_arr,
+            capacities=np.full(1, self.B, dtype=np.int64),
+            rngs=[self._rng],
+        )
+        return loop.run(kernel.serial_body)

@@ -41,7 +41,8 @@ import numpy as np
 from ..network.graph import Network, NetworkError
 from ..routing.paths import Path
 from ..telemetry.probe import Probe, ProbeSet, RunMeta
-from .engine import SlotArbiter, StepLoop, pad_paths, resolve_step_cap
+from .engine import StepLoop, pad_paths, resolve_step_cap
+from .kernels import StoreForwardKernel, serial_state
 from .stats import SimulationResult
 
 __all__ = ["StoreForwardSimulator"]
@@ -149,12 +150,6 @@ class StoreForwardSimulator:
                 )
             )
 
-        hops_done = np.zeros(M, dtype=np.int64)
-        # The arbiter holds nothing across steps (an edge is owned only
-        # within the step it transmits): capacity-1 slots, never acquired.
-        arbiter = SlotArbiter(self.net.num_edges, capacity=1)
-        stats = {"max_queue": 0}
-
         # Greedy store-and-forward cannot deadlock: every contended edge
         # forwards one message per step, so progress is unconditional.
         loop = StepLoop(
@@ -163,47 +158,21 @@ class StoreForwardSimulator:
         loop.done |= trivial
         loop.completion[trivial] = release[trivial] * hop
 
-        def body(t: int, active: np.ndarray) -> bool:
-            idx = np.flatnonzero(active)
-            edges = padded[idx, hops_done[idx]]
-            if self.priority == "random":
-                prio = self._rng.random(idx.size)
-            elif self.priority == "age":
-                prio = release[idx].astype(np.float64)
-            else:  # farthest to go first
-                prio = -(D[idx] - hops_done[idx]).astype(np.float64)
-            winners = arbiter.contend(edges, prio)  # one message per edge
-            # Queue-depth bookkeeping: contenders per edge this step.
-            counts = np.bincount(edges, minlength=0)
-            if counts.size:
-                stats["max_queue"] = max(stats["max_queue"], int(counts.max()))
-
-            movers = idx[winners]
-            hops_done[movers] += 1
-            loop.blocked[idx[~winners]] += hop
-            finished = movers[hops_done[movers] == D[movers]]
-            if finished.size:
-                loop.completion[finished] = t * hop
-                loop.done[finished] = True
-
-            if probes is not None:
-                probes.on_grant(t, movers, edges[winners])
-                losers = idx[~winners]
-                if losers.size:
-                    probes.on_block(t, losers, edges[~winners])
-                # A store-and-forward edge is held only within the step
-                # it transmits, so the grant's slot frees immediately.
-                probes.on_release(t, movers, edges[winners])
-                if finished.size:
-                    probes.on_complete(t, finished)
-                probes.on_step(t, movers, hops_done)
-            return True  # a contended edge always forwards someone
-
-        result = loop.run(
-            body,
+        kernel = StoreForwardKernel(
+            serial_state(loop),
+            num_edges=self.net.num_edges,
+            padded=padded,
+            lengths=D,
+            release=release,
+            hop=np.full(1, hop, dtype=np.int64),
+            priority=self.priority,
+            rngs=[self._rng],
+            probes=probes,
+        )
+        return loop.run(
+            kernel.serial_body,
             lambda: {
-                "max_queue": stats["max_queue"],
+                "max_queue": int(kernel.max_queue[0]),
                 "message_step_flits": hop,
             },
         )
-        return result

@@ -13,11 +13,12 @@ handful of scalars.  This module centralizes that loop as a *trial grid*:
   (``workers``/``backend`` arguments) — with a content-hash on-disk
   result cache (change one axis of a grid and only the delta is
   recomputed);
-* wormhole cells that share a workload shape (same workload, params,
-  ``L``, and sim params) are packed into *batches* and run in lockstep
-  by :func:`repro.sim.batch.run_wormhole_batch` — bit-identical to the
-  per-trial path, several times faster (``batch_size``/``--batch-size``;
-  ``1`` disables batching);
+* cells of any flit-level router (:data:`repro.sim.batch.BATCHED_MODELS`)
+  that share a workload shape (same workload, params, ``L``, and sim
+  params) are packed into *batches* and run in lockstep by the
+  per-model ``run_*_batch`` runners in :mod:`repro.sim.batch` —
+  bit-identical to the per-trial path, several times faster
+  (``batch_size``/``--batch-size``; ``1`` disables batching);
 * each worker process memoizes built workloads and their packed path
   matrices (:meth:`Workload.padded_paths`), so repeated trials of one
   grid cell pay for path padding and edge-simplicity validation once;
@@ -47,7 +48,7 @@ from typing import Any
 import numpy as np
 
 from ..network.graph import NetworkError
-from .batch import batch_compat_key
+from .batch import BATCHED_MODELS, batch_compat_key
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
@@ -503,7 +504,9 @@ def _execute_trial(item: tuple[TrialSpec, int]) -> tuple[dict[str, Any], float]:
 # ----------------------------------------------------------------------
 
 #: Simulators eligible for lockstep batching (see ``repro.sim.batch``).
-_BATCH_SIMULATORS = frozenset({"wormhole"})
+#: Every flit-level router is batched; only ``schedule`` (whose per-trial
+#: work is dominated by the LLL scheduler, not the simulator) runs serial.
+_BATCH_SIMULATORS = BATCHED_MODELS
 
 #: Default trials per lockstep batch when ``batch_size`` is ``None``.
 #: Large enough to amortize per-step dispatch, small enough that a
@@ -517,12 +520,84 @@ DEFAULT_BATCH_SIZE = 32
 _batch_key = batch_compat_key
 
 
+def _run_batch_model(
+    model: str, wl: Workload, L: int, sp: dict[str, Any], seeds: list, knobs: list
+) -> list[dict[str, Any]]:
+    """One lockstep call of ``model``'s batch runner; metrics per trial.
+
+    ``knobs`` is the per-trial ``B`` axis (virtual channels, buffer
+    flits, bandwidth, ...) — the one simulator parameter every runner
+    vectorizes over trials.  Shared by the sweep's batch worker and the
+    service's :func:`repro.service.batcher.execute_compatible` so the
+    two dispatch tables cannot drift.
+    """
+    from . import batch as _batch
+
+    if model == "wormhole":
+        results = _batch.run_wormhole_batch(
+            wl.net,
+            wl.padded_paths(),
+            message_length=L,
+            seeds=seeds,
+            num_virtual_channels=knobs,
+            priority=sp.get("priority", "random"),
+        )
+    elif model == "cut_through":
+        results = _batch.run_cut_through_batch(
+            wl.net,
+            wl.padded_paths(),
+            message_length=L,
+            seeds=seeds,
+            buffer_flits=knobs,
+            priority=sp.get("priority", "random"),
+        )
+    elif model == "store_forward":
+        results = _batch.run_store_forward_batch(
+            wl.net,
+            wl.padded_paths(),
+            message_length=L,
+            seeds=seeds,
+            bandwidth_flits_per_step=knobs,
+            priority=sp.get("priority", "farthest"),
+        )
+    elif model == "restricted":
+        results = _batch.run_restricted_batch(
+            wl.net,
+            wl.padded_paths(),
+            message_length=L,
+            seeds=seeds,
+            num_buffers=knobs,
+        )
+    elif model == "adaptive":
+        if wl.cube is None or wl.demands is None:
+            raise NetworkError(
+                "this workload has no mesh demands; the adaptive router "
+                "needs a mesh workload (e.g. mesh-permutation)"
+            )
+        runs = _batch.run_adaptive_batch(
+            wl.cube,
+            wl.demands,
+            message_length=L,
+            seeds=seeds,
+            num_virtual_channels=knobs,
+            policy=sp.get("policy", "west-first"),
+        )
+        results = [r.result for r in runs]
+    else:  # pragma: no cover - callers only batch _BATCH_SIMULATORS
+        raise NetworkError(f"simulator {model!r} has no batch runner")
+    out = []
+    for res in results:
+        metrics = _result_metrics(res)
+        if model == "store_forward":
+            metrics["max_queue"] = int(res.extra["max_queue"])
+        out.append(_finish_metrics(metrics, wl, L))
+    return out
+
+
 def _execute_batch(
     item: tuple[tuple[TrialSpec, ...], int],
 ) -> list[tuple[dict[str, Any], float]]:
     """Run one lockstep batch; per-trial metrics in input order."""
-    from .batch import run_wormhole_batch
-
     specs, root_seed = item
     start = time.perf_counter()
     spec0 = specs[0]
@@ -530,19 +605,11 @@ def _execute_batch(
     L = wl.default_length if spec0.message_length is None else spec0.message_length
     sp = dict(spec0.sim_params)
     seeds = [_sim_seed(dict(s.sim_params), trial_seed(s, root_seed)) for s in specs]
-    results = run_wormhole_batch(
-        wl.net,
-        wl.padded_paths(),
-        message_length=L,
-        seeds=seeds,
-        num_virtual_channels=[s.B for s in specs],
-        priority=sp.get("priority", "random"),
+    metrics = _run_batch_model(
+        spec0.simulator, wl, L, sp, seeds, [s.B for s in specs]
     )
     elapsed = (time.perf_counter() - start) / len(specs)
-    return [
-        (_finish_metrics(_result_metrics(res), wl, L), elapsed)
-        for res in results
-    ]
+    return [(m, elapsed) for m in metrics]
 
 
 def _execute_unit(
@@ -749,8 +816,8 @@ def run_sweep(
     force:
         Ignore (and overwrite) existing cache entries.
     batch_size:
-        Trials per lockstep batch for batch-capable simulators (the
-        wormhole router; see :mod:`repro.sim.batch`).  ``None`` picks
+        Trials per lockstep batch for batch-capable simulators (every
+        flit-level router; see :mod:`repro.sim.batch`).  ``None`` picks
         :data:`DEFAULT_BATCH_SIZE`; ``1`` disables batching and runs
         every trial through the per-trial path.  Results, seeds, and
         cache entries are bit-identical at every setting.

@@ -44,7 +44,6 @@ deadlock declaration, and result assembly.
 from __future__ import annotations
 
 import functools
-import warnings
 from collections.abc import Iterable, Sequence
 
 import numpy as np
@@ -54,37 +53,16 @@ from ..routing.paths import Path
 from ..telemetry.probe import Probe, ProbeSet, RunMeta
 from .engine import (
     PaddedPaths,
-    SlotArbiter,
     StepLoop,
-    age_priorities,
     compat_check_edge_simple,
     legacy_extra,
     legacy_record_probes,
     resolve_step_cap,
 )
-from .engine import pad_paths as _pad_paths
+from .kernels import WormholeKernel, serial_state, validate_vc_ids
 from .stats import SimulationResult
 
-__all__ = ["PaddedPaths", "WormholeSimulator", "check_edge_simple", "pad_paths"]
-
-#: Helpers that used to live here; importing them from this module is
-#: deprecated — their canonical home is :mod:`repro.sim.engine` (see the
-#: migration table in :mod:`repro.facade`).
-_MOVED_TO_ENGINE = ("check_edge_simple", "pad_paths")
-
-
-def __getattr__(name: str):
-    if name in _MOVED_TO_ENGINE:
-        warnings.warn(
-            f"importing {name!r} from repro.sim.wormhole is deprecated; "
-            f"use repro.sim.engine.{name}",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from . import engine
-
-        return getattr(engine, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+__all__ = ["PaddedPaths", "WormholeSimulator"]
 
 _PRIORITIES = ("random", "age", "index", "rank")
 
@@ -266,89 +244,28 @@ class WormholeSimulator:
 
         # Slot model: without VC classes, a slot is an edge with capacity
         # B; with classes, a slot is an (edge, class) pair with capacity 1.
-        if vc_ids is None:
-            slot_keys = padded
-            arbiter = SlotArbiter(self.num_edges, capacity=self.B)
-        else:
-            vc_padded, vc_lengths = _pad_paths([list(v) for v in vc_ids])
-            if not np.array_equal(vc_lengths, D):
-                raise NetworkError("vc_ids must match the path lengths")
-            valid = padded >= 0
-            if valid.any() and (
-                vc_padded[valid].min() < 0 or vc_padded[valid].max() >= self.B
-            ):
-                raise NetworkError(f"vc ids must lie in [0, {self.B})")
-            slot_keys = np.where(valid, padded * self.B + vc_padded, -1)
-            arbiter = SlotArbiter(self.num_edges * self.B, capacity=1)
-
-        k = np.zeros(M, dtype=np.int64)  # completed moves per message
-        age_priority = age_priorities(release)
-        rank_priority = (
-            self._rng.permutation(M) if self.priority == "rank" else None
+        vc_padded = (
+            None if vc_ids is None else validate_vc_ids(padded, D, vc_ids, self.B)
         )
 
         loop = StepLoop(M, release, max_steps, probes)
         loop.mark_trivial(trivial, release)
 
-        def body(t: int, active: np.ndarray) -> bool:
-            idx = np.flatnonzero(active)
-            needs_edge = k[idx] < D[idx]
-            movers_local = np.zeros(idx.size, dtype=bool)
-            movers_local[~needs_edge] = True  # draining worms always move
-
-            if needs_edge.any():
-                contenders = idx[needs_edge]
-                edges = slot_keys[contenders, k[contenders]]
-                raw_edges = padded[contenders, k[contenders]]
-                if self.priority == "random":
-                    prio = self._rng.random(contenders.size)
-                elif self.priority == "age":
-                    prio = age_priority[contenders]
-                elif self.priority == "rank":
-                    prio = rank_priority[contenders]
-                else:
-                    prio = contenders
-                granted = arbiter.contend(edges, prio)
-                movers_local[needs_edge] = granted
-                arbiter.acquire(edges[granted])
-                blocked_ids = contenders[~granted]
-                loop.blocked[blocked_ids] += 1
-                if probes is not None:
-                    probes.on_grant(t, contenders[granted], raw_edges[granted])
-                    if blocked_ids.size:
-                        probes.on_block(t, blocked_ids, raw_edges[~granted])
-
-            movers = idx[movers_local]
-            k[movers] += 1
-            # Release the buffer the tail just vacated: after move k the
-            # last flit has left the head buffer of edge k - L - 1 (it
-            # crossed the *next* edge this step).  The final edge's slot
-            # is released at completion instead — delivered flits never
-            # occupy a buffer.
-            rel_idx = k[movers] - L[movers] - 1
-            sel = (rel_idx >= 0) & (rel_idx < D[movers] - 1)
-            if sel.any():
-                rel_msgs = movers[sel]
-                arbiter.vacate(slot_keys[rel_msgs, rel_idx[sel]])
-                if probes is not None:
-                    probes.on_release(t, rel_msgs, padded[rel_msgs, rel_idx[sel]])
-            finished = movers[k[movers] == total_moves[movers]]
-            if finished.size:
-                loop.completion[finished] = t
-                loop.done[finished] = True
-                arbiter.vacate(slot_keys[finished, D[finished] - 1])
-                if probes is not None:
-                    probes.on_release(
-                        t, finished, padded[finished, D[finished] - 1]
-                    )
-                    probes.on_complete(t, finished)
-
-            if probes is not None:
-                probes.on_step(t, movers, k)
-            return movers.size > 0
-
+        kernel = WormholeKernel(
+            serial_state(loop),
+            num_edges=self.num_edges,
+            padded=padded,
+            lengths=D,
+            message_length=L,
+            release=release,
+            capacities=np.full(1, self.B, dtype=np.int64),
+            priority=self.priority,
+            rngs=[self._rng],
+            vc_padded=vc_padded,
+            probes=probes,
+        )
         return loop.run(
-            body, lambda: legacy_extra(trace_probe, contention_probe)
+            kernel.serial_body, lambda: legacy_extra(trace_probe, contention_probe)
         )
 
     # ------------------------------------------------------------------

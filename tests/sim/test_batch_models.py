@@ -1,0 +1,431 @@
+"""Batch-vs-serial bit-exactness for the non-wormhole lockstep runners.
+
+Companion to ``test_batch.py`` (which pins ``run_wormhole_batch``):
+every other entry of :data:`repro.sim.batch.BATCHED_MODELS` — cut
+through, store-and-forward, restricted, adaptive — must produce trials
+bit-identical to its serial simulator run with the same ``(B, seed)``.
+On top of the per-model suites, the degenerate shapes every kernel must
+survive are covered across models: ``T = 1`` batches, mixed message
+lengths at the padding boundary, all-deadlocked batches, and per-trial
+step-cap masking.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from golden_cases import _layered_workload, _ring, _stagger
+from repro.network.graph import Network, NetworkError
+from repro.network.mesh import KAryNCube
+from repro.sim.adaptive import AdaptiveMeshRouter
+from repro.sim.batch import (
+    run_adaptive_batch,
+    run_cut_through_batch,
+    run_restricted_batch,
+    run_store_forward_batch,
+)
+from repro.sim.cut_through import CutThroughSimulator
+from repro.sim.restricted import RestrictedWormholeSimulator
+from repro.sim.store_forward import StoreForwardSimulator
+
+
+def _assert_equal(batch_res, serial_res, label=""):
+    assert np.array_equal(
+        batch_res.completion_times, serial_res.completion_times
+    ), label
+    assert batch_res.makespan == serial_res.makespan, label
+    assert batch_res.steps_executed == serial_res.steps_executed, label
+    assert np.array_equal(
+        batch_res.blocked_steps, serial_res.blocked_steps
+    ), label
+    assert batch_res.deadlocked == serial_res.deadlocked, label
+    assert batch_res.hit_step_cap == serial_res.hit_step_cap, label
+
+
+def _check_cut_through(net, paths, L, trials, priority="random", **kw):
+    batch = run_cut_through_batch(
+        net, paths, L,
+        seeds=[s for _, s in trials],
+        buffer_flits=[B for B, _ in trials],
+        priority=priority, **kw,
+    )
+    assert len(batch) == len(trials)
+    for res, (B, seed) in zip(batch, trials):
+        serial = CutThroughSimulator(net, B, priority=priority, seed=seed).run(
+            paths, message_length=L, **kw
+        )
+        _assert_equal(res, serial, f"cut_through B={B} seed={seed}")
+    return batch
+
+
+def _check_store_forward(net, paths, L, trials, priority="farthest", **kw):
+    batch = run_store_forward_batch(
+        net, paths, L,
+        seeds=[s for _, s in trials],
+        bandwidth_flits_per_step=[B for B, _ in trials],
+        priority=priority, **kw,
+    )
+    assert len(batch) == len(trials)
+    for res, (B, seed) in zip(batch, trials):
+        serial = StoreForwardSimulator(
+            net, B, priority=priority, seed=seed
+        ).run(paths, message_length=L, **kw)
+        _assert_equal(res, serial, f"store_forward B={B} seed={seed}")
+        assert res.extra["max_queue"] == serial.extra["max_queue"]
+        assert res.extra["message_step_flits"] == serial.extra[
+            "message_step_flits"
+        ]
+    return batch
+
+
+def _check_restricted(net, paths, L, trials, **kw):
+    batch = run_restricted_batch(
+        net, paths, L,
+        seeds=[s for _, s in trials],
+        num_buffers=[B for B, _ in trials],
+        **kw,
+    )
+    assert len(batch) == len(trials)
+    for res, (B, seed) in zip(batch, trials):
+        serial = RestrictedWormholeSimulator(net, B, seed=seed).run(
+            paths, message_length=L, **kw
+        )
+        _assert_equal(res, serial, f"restricted B={B} seed={seed}")
+    return batch
+
+
+def _check_adaptive(cube, demands, L, trials, policy="west-first", **kw):
+    batch = run_adaptive_batch(
+        cube, demands, L,
+        seeds=[s for _, s in trials],
+        num_virtual_channels=[B for B, _ in trials],
+        policy=policy, **kw,
+    )
+    assert len(batch) == len(trials)
+    for run, (B, seed) in zip(batch, trials):
+        serial = AdaptiveMeshRouter(cube, B, policy=policy, seed=seed).run(
+            demands, message_length=L, **kw
+        )
+        _assert_equal(
+            run.result, serial.result, f"adaptive B={B} seed={seed}"
+        )
+        assert run.taken_paths == serial.taken_paths, (
+            f"adaptive routes diverged at B={B} seed={seed}"
+        )
+    return batch
+
+
+@pytest.fixture(scope="module")
+def layered():
+    return _layered_workload()
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    cube = KAryNCube(5, 2, wrap=False)
+    perm = np.random.default_rng(77).permutation(cube.num_nodes)
+    demands = [(int(s), int(perm[s])) for s in range(cube.num_nodes)]
+    return cube, demands
+
+
+# ----------------------------------------------------------------------
+# Per-model suites: mixed B / seeds, priorities, staggered releases
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("priority", ["random", "index"])
+def test_cut_through_priorities_mixed_B_and_seeds(layered, priority):
+    net, paths = layered
+    trials = [(B, seed) for B in (1, 2, 4) for seed in (9, 17)]
+    _check_cut_through(net, paths, 8, trials, priority=priority)
+
+
+def test_cut_through_staggered_releases(layered):
+    net, paths = layered
+    _check_cut_through(
+        net, paths, 6, [(1, 4), (2, 4), (2, 11)],
+        release_times=_stagger(len(paths)),
+    )
+
+
+@pytest.mark.parametrize("priority", ["random", "age", "farthest"])
+def test_store_forward_priorities_mixed_B_and_seeds(layered, priority):
+    net, paths = layered
+    trials = [(B, seed) for B in (1, 2, 4) for seed in (9, 17)]
+    _check_store_forward(net, paths, 8, trials, priority=priority)
+
+
+def test_store_forward_staggered_releases_and_delay(layered):
+    """Per-trial RNG delays must replay in serial draw order."""
+    net, paths = layered
+    _check_store_forward(
+        net, paths, 6, [(1, 4), (2, 4), (2, 11)],
+        release_times=_stagger(len(paths)), delay_range=3,
+    )
+
+
+def test_restricted_mixed_B_and_seeds(layered):
+    net, paths = layered
+    trials = [(B, seed) for B in (1, 2, 4) for seed in (9, 17)]
+    _check_restricted(net, paths, 8, trials)
+
+
+def test_restricted_staggered_releases(layered):
+    net, paths = layered
+    _check_restricted(
+        net, paths, 6, [(1, 4), (2, 4), (2, 11)],
+        release_times=_stagger(len(paths)),
+    )
+
+
+@pytest.mark.parametrize(
+    "policy", ["dimension", "west-first", "fully-adaptive"]
+)
+def test_adaptive_policies_mixed_B_and_seeds(mesh, policy):
+    cube, demands = mesh
+    trials = [(B, seed) for B in (1, 2) for seed in (9, 17)]
+    _check_adaptive(cube, demands, 5, trials, policy=policy)
+
+
+def test_adaptive_staggered_releases(mesh):
+    cube, demands = mesh
+    _check_adaptive(
+        cube, demands, 4, [(2, 4), (2, 11), (1, 4)],
+        release_times=_stagger(len(demands)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Degenerate batch shapes, across models
+# ----------------------------------------------------------------------
+
+
+def test_batches_of_one(layered, mesh):
+    """T=1 batches: the lockstep path with nothing to amortize."""
+    net, paths = layered
+    cube, demands = mesh
+    _check_cut_through(net, paths, 8, [(2, 42)])
+    _check_store_forward(net, paths, 8, [(2, 42)])
+    _check_restricted(net, paths, 8, [(2, 42)])
+    _check_adaptive(cube, demands, 5, [(2, 42)])
+
+
+def test_mixed_message_lengths_at_padding_boundary():
+    """Per-message L on ragged paths (incl. empty) must pad identically.
+
+    ``cut_through`` and ``restricted`` accept per-message lengths; the
+    path set mixes the full line, single edges, and a zero-hop message
+    so the padded ``(M, max_len)`` matrix has live cells flush against
+    the padding in every row.
+    """
+    net = Network()
+    nodes = net.add_nodes(range(6))
+    edges = [net.add_edge(nodes[i], nodes[i + 1]) for i in range(5)]
+    paths = [edges[:5], edges[:1], [], edges[1:4], edges[2:3]]
+    L = np.array([4, 2, 3, 5, 1], dtype=np.int64)
+    _check_cut_through(net, paths, L, [(1, 3), (2, 3), (1, 8)])
+    _check_restricted(net, paths, L, [(1, 3), (2, 3), (1, 8)])
+    # store-and-forward advances whole packets on a scalar L.
+    _check_store_forward(net, paths, 4, [(1, 3), (2, 3), (1, 8)])
+
+
+def test_all_deadlocked_batch():
+    """A batch with no live trial must settle exactly like serial runs."""
+    net, _, paths = _ring(4)
+    for res in _check_cut_through(net, paths, 6, [(1, 0), (2, 5)]):
+        assert res.deadlocked and not res.all_delivered
+    for res in _check_restricted(net, paths, 6, [(1, 0), (2, 5)]):
+        assert res.deadlocked and not res.all_delivered
+
+
+def test_deadlocked_trial_mixed_with_live_trial():
+    """fully-adaptive at B=1 can wedge; a live co-trial must not notice."""
+    cube = KAryNCube(3, 2, wrap=False)
+    # Four worms turning around a unit square: a classic cyclic wait.
+    corners = [(0, 0), (1, 0), (1, 1), (0, 1)]
+    ids = [cube.node(c) for c in corners]
+    demands = [(ids[i], ids[(i + 2) % 4]) for i in range(4)]
+    batch = run_adaptive_batch(
+        cube, demands, 4, seeds=[0, 1, 2],
+        num_virtual_channels=[1, 1, 4], policy="fully-adaptive",
+    )
+    for run, (B, seed) in zip(batch, [(1, 0), (1, 1), (4, 2)]):
+        serial = AdaptiveMeshRouter(
+            cube, B, policy="fully-adaptive", seed=seed
+        ).run(demands, message_length=4)
+        _assert_equal(run.result, serial.result, f"B={B} seed={seed}")
+
+
+def test_per_trial_step_cap_masking(layered):
+    """A shared cap must freeze each trial at its own step budget."""
+    net, _, paths = _ring(5)
+    batch = _check_cut_through(
+        net, paths, 4, [(1, 2), (2, 2), (4, 2)], max_steps=4
+    )
+    assert any(res.hit_step_cap or res.deadlocked for res in batch)
+    batch = _check_restricted(
+        net, paths, 4, [(1, 2), (2, 2), (4, 2)], max_steps=4
+    )
+    assert any(res.hit_step_cap or res.deadlocked for res in batch)
+    # Store-and-forward counts the cap in message steps, which scale
+    # with per-trial bandwidth: the same cap masks trials differently.
+    net2, paths2 = layered
+    batch = _check_store_forward(
+        net2, paths2, 9, [(1, 2), (2, 2), (4, 2)], max_steps=3
+    )
+    assert any(res.hit_step_cap for res in batch)
+
+
+def test_idle_trial_whose_release_exceeds_the_cap(layered):
+    """Serial jumps the clock past the cap; batches must finalize alike."""
+    net, paths = layered
+    release = np.full(len(paths), 100, dtype=np.int64)
+    _check_cut_through(
+        net, paths, 6, [(2, 1), (1, 3)], release_times=release, max_steps=50
+    )
+    _check_restricted(
+        net, paths, 6, [(2, 1), (1, 3)], release_times=release, max_steps=50
+    )
+
+
+def test_empty_workload(layered):
+    net, _ = layered
+    for runner in (
+        run_cut_through_batch, run_store_forward_batch, run_restricted_batch
+    ):
+        out = runner(net, [], 8, seeds=[0, 1])
+        assert len(out) == 2
+        for res in out:
+            assert res.num_messages == 0 and res.makespan == -1
+    cube = KAryNCube(3, 2, wrap=False)
+    out = run_adaptive_batch(cube, [], 4, seeds=[0, 1])
+    assert len(out) == 2
+    for run in out:
+        assert run.result.num_messages == 0 and run.taken_paths == []
+
+
+def test_validation_errors(layered):
+    net, paths = layered
+    cube = KAryNCube(3, 2, wrap=False)
+    with pytest.raises(NetworkError, match="seeds"):
+        run_cut_through_batch(net, paths, 8, seeds=[])
+    with pytest.raises(NetworkError, match="buffer"):
+        run_cut_through_batch(net, paths, 8, seeds=[0], buffer_flits=0)
+    with pytest.raises(NetworkError, match="priority"):
+        run_cut_through_batch(net, paths, 8, seeds=[0], priority="age")
+    with pytest.raises(NetworkError, match="bandwidth"):
+        run_store_forward_batch(
+            net, paths, 8, seeds=[0], bandwidth_flits_per_step=0
+        )
+    with pytest.raises(NetworkError, match="one entry per trial"):
+        run_store_forward_batch(
+            net, paths, 8, seeds=[0, 1], bandwidth_flits_per_step=[1, 2, 3]
+        )
+    with pytest.raises(NetworkError, match="buffer"):
+        run_restricted_batch(net, paths, 8, seeds=[0], num_buffers=0)
+    with pytest.raises(NetworkError, match="policy"):
+        run_adaptive_batch(cube, [(0, 8)], 4, seeds=[0], policy="nope")
+    with pytest.raises(NetworkError, match="virtual channel"):
+        run_adaptive_batch(
+            cube, [(0, 8)], 4, seeds=[0], num_virtual_channels=0
+        )
+
+
+# ----------------------------------------------------------------------
+# Randomized equivalence sweeps
+# ----------------------------------------------------------------------
+
+
+def _line_net(num_edges):
+    net = Network()
+    nodes = net.add_nodes(range(num_edges + 1))
+    edges = [net.add_edge(nodes[i], nodes[i + 1]) for i in range(num_edges)]
+    return net, edges
+
+
+def _draw_line_case(data):
+    num_edges = data.draw(st.integers(2, 8), label="edges")
+    net, edges = _line_net(num_edges)
+    M = data.draw(st.integers(1, 7), label="messages")
+    paths = []
+    for _ in range(M):
+        a = data.draw(st.integers(0, num_edges - 1))
+        b = data.draw(st.integers(a, num_edges))
+        paths.append(edges[a:b])
+    T = data.draw(st.integers(1, 5), label="batch")
+    trials = [
+        (data.draw(st.integers(1, 3)), data.draw(st.integers(0, 999)))
+        for _ in range(T)
+    ]
+    release = np.array(
+        [data.draw(st.integers(0, 12)) for _ in range(M)], dtype=np.int64
+    )
+    max_steps = data.draw(st.one_of(st.none(), st.integers(1, 30)), label="cap")
+    return net, paths, trials, release, max_steps
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_random_cut_through_matches_serial(data):
+    net, paths, trials, release, max_steps = _draw_line_case(data)
+    L = data.draw(st.integers(1, 6), label="L")
+    priority = data.draw(st.sampled_from(["random", "index"]), label="priority")
+    _check_cut_through(
+        net, paths, L, trials,
+        priority=priority, release_times=release, max_steps=max_steps,
+    )
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_random_store_forward_matches_serial(data):
+    net, paths, trials, release, max_steps = _draw_line_case(data)
+    L = data.draw(st.integers(1, 6), label="L")
+    priority = data.draw(
+        st.sampled_from(["random", "age", "farthest"]), label="priority"
+    )
+    delay = data.draw(st.integers(0, 3), label="delay")
+    _check_store_forward(
+        net, paths, L, trials,
+        priority=priority, release_times=release,
+        delay_range=delay, max_steps=max_steps,
+    )
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_random_restricted_matches_serial(data):
+    net, paths, trials, release, max_steps = _draw_line_case(data)
+    L = data.draw(st.integers(1, 6), label="L")
+    _check_restricted(
+        net, paths, L, trials, release_times=release, max_steps=max_steps
+    )
+
+
+@given(st.data())
+@settings(max_examples=20, deadline=None)
+def test_random_adaptive_matches_serial(data):
+    k = data.draw(st.integers(3, 5), label="k")
+    cube = KAryNCube(k, 2, wrap=False)
+    n = cube.num_nodes
+    M = data.draw(st.integers(1, 6), label="messages")
+    demands = [
+        (
+            data.draw(st.integers(0, n - 1)),
+            data.draw(st.integers(0, n - 1)),
+        )
+        for _ in range(M)
+    ]
+    L = data.draw(st.integers(1, 5), label="L")
+    T = data.draw(st.integers(1, 4), label="batch")
+    trials = [
+        (data.draw(st.integers(1, 3)), data.draw(st.integers(0, 999)))
+        for _ in range(T)
+    ]
+    policy = data.draw(
+        st.sampled_from(["dimension", "west-first", "fully-adaptive"]),
+        label="policy",
+    )
+    max_steps = data.draw(st.one_of(st.none(), st.integers(1, 40)), label="cap")
+    _check_adaptive(cube, demands, L, trials, policy=policy, max_steps=max_steps)

@@ -174,16 +174,42 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "sweep plan (dry run" in out
-        # 3 wormhole trials pack into one lockstep batch; the 3
-        # store_forward trials stay singles.
-        assert "batch" in out and "single" in out
+        # Both routers batch now; each model's 3 trials pack into one
+        # lockstep batch, labelled per model in the summary.
+        assert "lockstep" in out
+        assert "wormhole: 1 lockstep batch(es)" in out
+        assert "store_forward: 1 lockstep batch(es)" in out
         assert (
-            "6 trials: 0 cache hits, 6 to execute in 1 lockstep batch(es) "
-            "+ 3 single(s); nothing executed (dry run)" in out
+            "6 trials: 0 cache hits, 6 to execute in 2 lockstep batch(es) "
+            "+ 0 single(s); nothing executed (dry run)" in out
         )
         # No trial ran: no result table, no wall time footer.
         assert "makespan" not in out
         assert "executed)" not in out
+
+    def test_sweep_dry_run_labels_singles_per_model(self, capsys):
+        assert main(
+            [
+                "sweep",
+                "--workload", "chain-bundle",
+                "--param", "chains=2",
+                "--param", "depth=5",
+                "--param", "messages=3",
+                "--length", "8",
+                "--simulators", "restricted,schedule",
+                "--channels", "1,2",
+                "--dry-run",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        # The schedule pipeline has no lockstep runner: its trials stay
+        # singles while the restricted router's pack into a batch.
+        assert "restricted: 1 lockstep batch(es)" in out
+        assert "schedule: 2 single(s)" in out
+        assert (
+            "4 trials: 0 cache hits, 4 to execute in 1 lockstep batch(es) "
+            "+ 2 single(s); nothing executed (dry run)" in out
+        )
 
     def test_sweep_dry_run_sees_cache_hits(self, capsys, tmp_path):
         argv = [
@@ -240,6 +266,14 @@ class TestCommands:
         assert payload["grid"]["trials"] == 18
         assert payload["serial"]["trials_per_s"] > 0
         assert payload["batched"]["trials_per_s"] > 0
+        # Every batched model reports its own serial-vs-lockstep row.
+        for model in (
+            "wormhole", "cut_through", "store_forward", "restricted",
+            "adaptive",
+        ):
+            row = payload["models"][model]
+            assert row["bit_identical"] is True
+            assert row["speedup"] > 0
         assert "micro" not in payload  # --quick skips microbenchmarks
 
     def test_experiment_unknown_name(self):

@@ -186,21 +186,22 @@ class TestErrors:
 
 
 class TestDeprecations:
-    """The legacy helper re-exports warn but keep working."""
+    """The deprecated helper re-exports have completed their cycle."""
 
     @pytest.mark.parametrize(
         "module", ["wormhole", "cut_through", "restricted"]
     )
     @pytest.mark.parametrize("name", ["pad_paths", "check_edge_simple"])
-    def test_shim_warns_and_delegates(self, module, name):
+    def test_shim_removed(self, module, name):
+        """The old module-level aliases are gone; engine is canonical."""
         import importlib
 
         from repro.sim import engine
 
         mod = importlib.import_module(f"repro.sim.{module}")
-        with pytest.warns(DeprecationWarning, match=name):
-            shimmed = getattr(mod, name)
-        assert shimmed is getattr(engine, name)
+        with pytest.raises(AttributeError):
+            getattr(mod, name)
+        assert callable(getattr(engine, name))
 
     def test_package_import_does_not_warn(self):
         import subprocess
