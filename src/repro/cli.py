@@ -1136,11 +1136,14 @@ def _machine_info() -> dict:
     import os
     import platform
 
+    from repro.sim import fastpath
+
     return {
         "platform": platform.platform(),
         "python": platform.python_version(),
         "numpy": np.__version__,
         "cpus": os.cpu_count(),
+        "fastpath": fastpath.active_backend(),
     }
 
 
@@ -1301,6 +1304,26 @@ def _cmd_bench(args: argparse.Namespace) -> None:
         all_identical &= identical
         speedup = serial_wall / batched_wall
         trials = len(specs)
+
+        # Single-trial latency: what one isolated trial costs end to end
+        # (the granularity the online service dispatches).  Each repeat
+        # of the middle channel count is timed on its own so the
+        # percentiles reflect per-call latency, not amortized throughput.
+        lat_b = channels[len(channels) // 2]
+        lat_specs = [s for s in specs if s.B == lat_b]
+        lat_walls = []
+        for spec in lat_specs:
+            t0 = time.perf_counter()
+            run_sweep([spec], root_seed=args.seed, workers=1, batch_size=1)
+            lat_walls.append(time.perf_counter() - t0)
+        latency = {
+            "batch_size": 1,
+            "channels": lat_b,
+            "samples": len(lat_walls),
+            "p50_ms": round(float(np.percentile(lat_walls, 50)) * 1e3, 3),
+            "p95_ms": round(float(np.percentile(lat_walls, 95)) * 1e3, 3),
+        }
+
         models[model] = {
             "workload": workload,
             "workload_params": workload_params,
@@ -1312,10 +1335,12 @@ def _cmd_bench(args: argparse.Namespace) -> None:
             "batched_trials_per_s": round(trials / batched_wall, 2),
             "speedup": round(speedup, 2),
             "bit_identical": identical,
+            "latency": latency,
         }
         lines.append(
             f"  {model:<14} serial {serial_wall:7.3f}s  "
             f"batched {batched_wall:7.3f}s  speedup {speedup:5.2f}x  "
+            f"p50 {latency['p50_ms']:7.2f}ms  "
             f"bit-identical: {identical}"
         )
 

@@ -66,6 +66,7 @@ import numpy as np
 from ..network.graph import NetworkError
 from ..routing.paths import Path
 from ..telemetry.probe import Probe, ProbeSet
+from . import fastpath
 from .stats import SimulationResult
 
 __all__ = [
@@ -79,6 +80,7 @@ __all__ = [
     "compat_check_edge_simple",
     "default_step_cap",
     "grant_free_slots",
+    "grant_free_slots_reference",
     "legacy_extra",
     "legacy_record_probes",
     "pad_paths",
@@ -211,25 +213,56 @@ def grant_free_slots(
     ``capacity`` may be a per-contender array (constant within each
     slot group) — this is how :class:`BatchSlotArbiter` arbitrates
     trials with different ``B`` in one call.
+
+    The post-sort rank/grant scan runs on the backend selected by
+    :mod:`repro.sim.fastpath` (pure NumPy, or a numba jit of the same
+    linear scan); both produce bit-identical masks.
     """
     order = np.lexsort((prio, slots))
     if order.size == 0:
         return np.zeros(0, dtype=bool)
     sorted_slots = slots[order]
-    new_group = np.empty(order.size, dtype=bool)
-    new_group[0] = True
-    new_group[1:] = sorted_slots[1:] != sorted_slots[:-1]
-    group_start = np.maximum.accumulate(
-        np.where(new_group, np.arange(order.size), 0)
-    )
-    rank = np.arange(order.size) - group_start
-    cap = capacity[order] if isinstance(capacity, np.ndarray) else capacity
-    if occupancy is None:
-        granted_sorted = rank < cap
+    if isinstance(capacity, np.ndarray):
+        sorted_caps = capacity[order]
     else:
-        granted_sorted = rank < cap - occupancy[sorted_slots]
+        sorted_caps = np.broadcast_to(
+            np.int64(capacity), (order.size,)
+        )
+    granted_sorted = fastpath.segmented_grant(
+        sorted_slots, sorted_caps, occupancy
+    )
     granted = np.empty(order.size, dtype=bool)
     granted[order] = granted_sorted
+    return granted
+
+
+def grant_free_slots_reference(
+    slots: np.ndarray,
+    prio: np.ndarray,
+    capacity: int | np.ndarray,
+    occupancy: np.ndarray | None = None,
+) -> np.ndarray:
+    """Naive per-slot reference for :func:`grant_free_slots`.
+
+    Kept (not exported to routers) as the oracle for the fastpath
+    parity suite: for every distinct slot, stable-sort its contenders
+    by priority and grant the first ``capacity - occupancy`` of them.
+    Quadratic and allocation-happy — never used in the hot path.
+    """
+    slots = np.asarray(slots)
+    prio = np.asarray(prio)
+    granted = np.zeros(slots.size, dtype=bool)
+    for slot in np.unique(slots):
+        members = np.flatnonzero(slots == slot)
+        members = members[np.argsort(prio[members], kind="stable")]
+        if isinstance(capacity, np.ndarray):
+            free = int(capacity[members[0]])
+        else:
+            free = int(capacity)
+        if occupancy is not None:
+            free -= int(occupancy[slot])
+        # Over-occupied slots have no free seats, not a wrapped slice.
+        granted[members[: max(free, 0)]] = True
     return granted
 
 

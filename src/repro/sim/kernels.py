@@ -60,6 +60,13 @@ __all__ = [
 
 _FAR = np.iinfo(np.int64).max
 
+# Shared empty index vector for "no events this step" fancy assignments.
+_EMPTY_IDX = np.zeros(0, dtype=np.int64)
+# Combined candidate-key space for the restricted rotating service:
+# admission stamps sort below _HDR_BASE, header keys at _HDR_BASE + site,
+# ineligible entries at _FAR.
+_HDR_BASE = np.int64(1) << 40
+
 
 class _SerialState:
     """``(1, M)`` views of a serial :class:`StepLoop`'s state arrays.
@@ -96,31 +103,90 @@ def validate_vc_ids(
     return vc_padded
 
 
+def _check_serial_probes(probes, T: int) -> None:
+    """Probes are a serial-path (``T = 1``) contract; hard-fail otherwise.
+
+    A bare ``assert`` here would vanish under ``python -O`` and silently
+    emit a garbled multi-trial event stream instead.
+    """
+    if probes is not None and T != 1:
+        raise NetworkError(
+            "telemetry probes are supported on the serial path only "
+            f"(T = 1), got T = {T}"
+        )
+
+
+class _RandomBlock:
+    """Buffered per-trial uniform draws, bit-identical to per-call draws.
+
+    ``Generator.random`` is *split-exact*: ``random(a)`` followed by
+    ``random(b)`` yields exactly the values of one ``random(a + b)``
+    call, because PCG64 consumes one fixed stream increment per double.
+    Buffering a block per trial and serving later requests from it
+    therefore preserves every served value bit for bit while replacing
+    the per-trial Python draw loop with one vectorized gather per
+    arbitration round.  Refills shift the unconsumed tail down and top
+    the block up (split-exactness again), so they stay O(T) Python work
+    but amortize over ~``block / M`` rounds.
+
+    Only used at ``T > 1``: batch RNGs are created per batch run and
+    discarded, so the over-drawn tail is unobservable.  The serial path
+    keeps its one-draw-per-round call — serial simulator instances can
+    be run twice on one continuing stream.
+    """
+
+    __slots__ = ("rngs", "T", "block", "buf", "cur")
+
+    def __init__(self, rngs: list, block: int) -> None:
+        self.rngs = rngs
+        self.T = len(rngs)
+        self.block = int(block)
+        self.buf = np.empty((self.T, self.block), dtype=np.float64)
+        self.cur = np.full(self.T, self.block, dtype=np.int64)
+
+    def draw(self, rows: np.ndarray, counts: np.ndarray) -> np.ndarray:
+        """Serve ``counts[tr]`` values per trial along sorted ``rows``."""
+        cur = self.cur
+        lack = np.flatnonzero(cur + counts > self.block)
+        for tr in lack:
+            rem = self.block - cur[tr]
+            if rem:
+                self.buf[tr, :rem] = self.buf[tr, cur[tr] :]
+            self.buf[tr, rem:] = self.rngs[tr].random(self.block - rem)
+            cur[tr] = 0
+        starts = np.zeros(self.T + 1, dtype=np.int64)
+        np.cumsum(counts, out=starts[1:])
+        within = np.arange(rows.size) - starts[rows]
+        vals = self.buf[rows, cur[rows] + within]
+        cur += counts
+        return vals
+
+
 class _Kernel:
     """Common driver plumbing: a ``(T,) -> bool`` adapter for ``T = 1``."""
 
     probes = None
+    _rand_block: "_RandomBlock | None" = None
 
     def serial_body(self, t: int, active: np.ndarray) -> bool:
         return bool(self.body(t, active[None, :])[0])
 
-    def _trial_draws(self, rows: np.ndarray, draw) -> np.ndarray:
-        """One RNG draw per trial that has contenders, in trial order.
+    def _random_prio(self, rows: np.ndarray) -> np.ndarray:
+        """One uniform priority per contender, in serial draw order.
 
         ``rows`` is the trial id per contender, sorted (``np.nonzero``
         order), so each trial's contenders are contiguous and in
-        message-index order — the serial draw order.  ``draw(rng, n)``
-        produces that trial's ``n`` values from its own stream; trials
-        without contenders draw nothing, exactly like their serial runs.
+        message-index order — the serial draw order.  Trials without
+        contenders draw nothing, exactly like their serial runs.
         """
-        counts = np.bincount(rows, minlength=len(self.rngs))
-        out = np.empty(rows.size, dtype=np.float64)
-        pos = 0
-        for tr in np.flatnonzero(counts):
-            n = int(counts[tr])
-            out[pos : pos + n] = draw(self.rngs[tr], n)
-            pos += n
-        return out
+        if self.T == 1:
+            return self.rngs[0].random(rows.size)
+        if self._rand_block is None:
+            self._rand_block = _RandomBlock(
+                self.rngs, max(4 * self.M, 64)
+            )
+        counts = np.bincount(rows, minlength=self.T)
+        return self._rand_block.draw(rows, counts)
 
 
 # ----------------------------------------------------------------------
@@ -153,7 +219,7 @@ class WormholeKernel(_Kernel):
         probes=None,
     ) -> None:
         T, M = len(rngs), int(lengths.size)
-        assert probes is None or T == 1
+        _check_serial_probes(probes, T)
         self.state = state
         self.T, self.M = T, M
         self.padded = padded
@@ -164,6 +230,7 @@ class WormholeKernel(_Kernel):
         self.rngs = rngs
         self.probes = probes
         self.vc_padded = vc_padded
+        self._moved = np.zeros(T, dtype=bool)
         # Slot model per trial: without VC classes a slot is an edge with
         # capacity B[i]; with classes, an (edge, class) pair, capacity 1.
         if vc_padded is None:
@@ -208,7 +275,7 @@ class WormholeKernel(_Kernel):
             hop = k_ac[needs_edge]
             slots = self._slots(crows, ccols, hop)
             if self.priority == "random":
-                prio = self._trial_draws(crows, lambda rng, n: rng.random(n))
+                prio = self._random_prio(crows)
             elif self.priority == "age":
                 prio = self.age_priority[ccols]
             elif self.priority == "rank":
@@ -253,7 +320,10 @@ class WormholeKernel(_Kernel):
                 probes.on_complete(t, fcols)
         if probes is not None:
             probes.on_step(t, mcols, k[0])
-        return np.bincount(mrows, minlength=self.T) > 0
+        moved = self._moved
+        moved[:] = False
+        moved[mrows] = True
+        return moved
 
 
 # ----------------------------------------------------------------------
@@ -262,14 +332,17 @@ class WormholeKernel(_Kernel):
 
 
 class CutThroughKernel(_Kernel):
-    """Ownership-based cut-through advance over ``(T, M, maxD)`` counts.
+    """Ownership-based cut-through advance over ``(maxD, T, M)`` counts.
 
-    ``crossed[t, m, i]`` is the number of trial ``t``'s message ``m``
-    flits that crossed path edge ``i``; the buffer at the head of edge
-    ``i`` holds ``crossed[i] - crossed[i+1]`` flits (capped at ``B``).
-    Headers claim unowned edges via one capacity-1 grant per step; owned
-    edges each forward one flit, serviced head-first (descending path
-    index) so a slot vacated this step refills this step.
+    ``crossed[r, t, m]`` is the number of trial ``t``'s message ``m``
+    flits that crossed path edge ``i = maxD - 1 - r`` (tail-first); the
+    buffer at the head of edge ``i`` holds ``crossed[i] - crossed[i+1]``
+    flits (capped at ``B``).  Headers claim unowned edges via one
+    capacity-1 grant per step; owned edges each forward one flit,
+    serviced head-first (descending path index) so a slot vacated this
+    step refills this step.  The scan axis leads the layout so every
+    per-step ufunc touches ``maxD`` contiguous ``T * M`` slabs instead
+    of ``T * M`` tiny ``maxD`` segments.
     """
 
     def __init__(
@@ -286,7 +359,7 @@ class CutThroughKernel(_Kernel):
         probes=None,
     ) -> None:
         T, M = len(rngs), int(lengths.size)
-        assert probes is None or T == 1
+        _check_serial_probes(probes, T)
         self.state = state
         self.T, self.M = T, M
         self.num_edges = int(num_edges)
@@ -298,122 +371,236 @@ class CutThroughKernel(_Kernel):
         self.rngs = rngs
         self.probes = probes
         self.max_D = int(padded.shape[1])
-        self.crossed = np.zeros((T, M, self.max_D), dtype=np.int64)
+        maxD = self.max_D
+        # The movement phase runs in TAIL-FIRST, SCAN-AXIS-FIRST layout:
+        # axis 0 position r is path index i = maxD-1-r, so the
+        # head-first suffix recurrence becomes a prefix scan along axis
+        # 0 and every elementwise op streams maxD contiguous (T, M)
+        # slabs.  Counts fit comfortably in int32; narrow dtypes matter
+        # at batch width, where the phase is memory-bound.
+        self.crossed = np.zeros((maxD, T, M), dtype=np.int32)
         self.owner = np.full((T, num_edges), -1, dtype=np.int64)
         self.msg_ids = np.arange(M)
         self.last_idx = np.maximum(lengths - 1, 0)
-
-    def _header_idx(self, crossed: np.ndarray) -> np.ndarray:
-        """Per-(trial, message) index of the next uncrossed path edge.
-
-        ``crossed`` is non-increasing along the path (flits cross edges
-        in order), so the header index is the count of positive entries;
-        it equals ``D`` once the header has crossed every edge.
-        """
-        return (crossed > 0).sum(axis=2)
+        # Per-trial / per-message constants are pre-broadcast to full
+        # (T, M) (or (maxD, T, M)) slabs: a stride-0 axis in the middle
+        # of an operand defeats numpy's loop-merging and reintroduces
+        # the tiny-segment overhead the layout exists to avoid.
+        self.L32 = np.ascontiguousarray(
+            np.broadcast_to(message_length.astype(np.int32)[None, :], (T, M))
+        )
+        self.B32 = np.ascontiguousarray(
+            np.broadcast_to(buffer_flits.astype(np.int32)[:, None], (T, M))
+        )
+        # Static per-(message, path-index) tables plus preallocated
+        # (max_D, T, M) scratch so the body allocates nothing
+        # proportional to the state per step.  Ownership and the header
+        # index are maintained incrementally (updated at the sparse
+        # claim/release/advance events) instead of being re-derived
+        # from `owner`/`crossed` every step.
+        idx = np.arange(maxD)
+        self.rev_last = maxD - lengths  # r of each message's last edge
+        self.is_last_rev = np.ascontiguousarray(
+            np.broadcast_to(
+                (idx[:, None, None] == self.rev_last[None, None, :]),
+                (maxD, T, M),
+            )
+        )
+        self.padded_rev = np.ascontiguousarray(padded[:, ::-1])
+        shape = (maxD, T, M)
+        self._owned = np.zeros(shape, dtype=bool)
+        self._trows = np.arange(T)[:, None]
+        self._h = np.zeros((T, M), dtype=np.int64)
+        self._hsafe = np.empty((T, M), dtype=np.int64)
+        self._hrev = np.empty((T, M), dtype=np.int64)
+        self._hmask = np.empty((T, M), dtype=bool)
+        self._hflat = np.empty((T, M), dtype=np.int64)
+        self._mrow = np.arange(T)[:, None] * M + self.msg_ids[None, :]
+        self._c = np.empty(shape, dtype=bool)
+        self._open = np.empty(shape, dtype=bool)
+        self._s = np.empty(shape, dtype=bool)
+        self._newly = np.empty(shape, dtype=bool)
+        self._prog = np.empty((T, M), dtype=bool)
+        self._inbuf = np.zeros(shape, dtype=np.int32)
+        # Parity-encoded prefix scan (see body): v must hold 2*maxD + 1.
+        vdt = np.int16 if 2 * maxD + 1 < np.iinfo(np.int16).max else np.int64
+        self._v = np.empty(shape, dtype=vdt)
+        self._htake = np.empty((T, M), dtype=vdt)
+        self._idx2 = (2 * idx).astype(vdt)[:, None, None]
 
     def body(self, t: int, active: np.ndarray) -> np.ndarray:
-        crossed, owner = self.crossed, self.owner
-        padded, D, L, probes = self.padded, self.D, self.L, self.probes
-        T, M = self.T, self.M
-        trows = np.arange(T)[:, None]
+        crossed, owner, owned = self.crossed, self.owner, self._owned
+        padded, D, probes = self.padded, self.D, self.probes
 
         # -- header claims: contend for unowned edges, capacity 1 -------
-        h = self._header_idx(crossed)
-        wants = active & (h < D[None, :])
-        h_safe = np.minimum(h, self.last_idx[None, :])
+        # `h` (next uncrossed path index) is maintained incrementally:
+        # counts are non-increasing along the path, so an advance can
+        # turn a zero count positive only at the header's own edge.
+        hi = self._active_hi(active)
+        h = self._h
+        h_safe = np.minimum(
+            h[:hi], self.last_idx[None, :], out=self._hsafe[:hi]
+        )
+        np.subtract(self.max_D - 1, h_safe, out=self._hrev[:hi])
+        wants = np.less(h[:hi], D[None, :], out=self._hmask[:hi])
+        wants &= active[:hi]
         want_edge = np.where(
             wants, padded[self.msg_ids[None, :], h_safe], 0
         )
-        claim = wants & (owner[trows, want_edge] < 0)
+        claim = wants & (owner[self._trows[:hi], want_edge] < 0)
         if claim.any():
             c_t, c_m = np.nonzero(claim)
             c_e = want_edge[c_t, c_m]
             if self.priority == "random":
-                prio = self._trial_draws(c_t, lambda rng, n: rng.random(n))
+                prio = self._random_prio(c_t)
             else:  # "index": claimer-list position, ascending m per trial
                 prio = c_m.astype(np.float64)
             granted = grant_free_slots(
                 c_t * self.num_edges + c_e, prio, 1
             )
-            owner[c_t[granted], c_e[granted]] = c_m[granted]
+            g_t, g_m = c_t[granted], c_m[granted]
+            owner[g_t, c_e[granted]] = g_m
+            owned[self._hrev[g_t, g_m], g_t, g_m] = True
             if probes is not None and granted.any():
                 # Serial appends grants in ascending-priority order.
                 order = np.argsort(prio[granted], kind="stable")
                 probes.on_grant(
-                    t, c_m[granted][order], c_e[granted][order]
+                    t, g_m[order], c_e[granted][order]
                 )
 
         # -- flit movement: one flit per owned edge, head-first ---------
-        snapshot = crossed.copy()
-        progressed = np.zeros((T, M), dtype=bool)
+        # The descending-index service loop is a pure suffix recurrence:
+        # with c = owned & has_flit (a movable flit, start-of-step
+        # counts), open = last-edge or start-of-step buffer slack, and
+        # full = buffer exactly at B (open and full are disjoint and
+        # exhaustive because a buffer never exceeds B),
+        #
+        #     adv[i] = c[i] & (open[i] | (full[i] & adv[i+1]))
+        #
+        # so adv[i] = s[j(i)] with s = c & open, g = c & full, and j(i)
+        # the first index >= i where g does not propagate.  In the
+        # tail-first layout (r = maxD-1-i) that lookup is one prefix
+        # running maximum along axis 0: each non-g site scores 2r + s
+        # and each g site 0, so the running max at r is dominated by
+        # j's score and its low bit is exactly s[j(i)] = adv[i] (sites
+        # with no movable flit score even, so no c-gate is needed on
+        # the result).  The serial loop's mid-iteration ownership
+        # releases are provably no-ops for adv: a release of edge i-1
+        # requires snapshot[i-1] == L, which leaves no movable flit
+        # there.  Work is sliced to the rows that still have active
+        # trials (trials never reactivate into movement; `active`
+        # gates everything row-wise).
+        snap = crossed[:, :hi]  # start-of-step counts (updated below)
+        c = self._c[:, :hi]
+        np.less(snap[:-1], snap[1:], out=c[:-1])
+        np.less(snap[-1], self.L32[:hi], out=c[-1])
+        np.logical_and(c, owned[:, :hi], out=c)
+        np.logical_and(c, active[None, :hi], out=c)
+        inbuf = self._inbuf[:, :hi]
+        np.subtract(snap[1:], snap[:-1], out=inbuf[1:])
+        open_ = self._open[:, :hi]
+        np.less(inbuf, self.B32[None, :hi], out=open_)
+        np.logical_or(open_, self.is_last_rev[:, :hi], out=open_)
+        s = self._s[:, :hi]
+        np.logical_and(c, open_, out=s)
+        g = open_  # reused: g = c & ~open
+        np.logical_not(open_, out=g)
+        np.logical_and(g, c, out=g)
+        v = self._v[:, :hi]
+        np.add(self._idx2, s, out=v)
+        notg = c  # reused: c is folded into s and g already
+        np.logical_not(g, out=notg)
+        np.multiply(v, notg, out=v)
+        # Running max along axis 0.  ufunc.accumulate scans one lane at
+        # a time, so at batch width the explicit slab-by-slab maximum
+        # (identical result: integer max, same order) is far faster;
+        # serial keeps the single fused call.
+        if hi * self.M >= 512:
+            for r in range(1, self.max_D):
+                np.maximum(v[r], v[r - 1], out=v[r])
+        else:
+            np.maximum.accumulate(v, axis=0, out=v)
+        np.bitwise_and(v, 1, out=v)  # v is now adv as 0/1 ints
+        np.add(snap, v, out=snap)
+        progressed = self._prog[:hi]
+        np.any(v, axis=0, out=progressed)
+
+        # Header advance for next step (uses this step's pre-move h).
+        # Flat C-order index of (r, t, m) in the full (maxD, T, M)
+        # scratch; rows beyond hi are never referenced.
+        hflat = np.multiply(
+            self._hrev[:hi], self.T * self.M, out=self._hflat[:hi]
+        )
+        hflat += self._mrow[:hi]
+        moved_h = np.take(self._v.reshape(-1), hflat, out=self._htake[:hi])
+        hmask = np.less(h[:hi], D[None, :], out=self._hmask[:hi])
+        np.logical_and(hmask, moved_h, out=hmask)
+        h[:hi] += hmask
+
+        # Release ownership once the last flit moves on: the previous
+        # edge's buffer is drained for good, and the final edge
+        # delivers instantly.  At most one edge per message newly
+        # reaches L per step (the unique snapshot L-to-(L-1) boundary).
         rel_events: list[tuple[int, int, int]] = []  # (phase, m, e), T=1
-        for i in range(self.max_D - 1, -1, -1):
-            valid = i < D  # (M,)
-            if not valid.any():
-                continue
-            e_col = np.where(valid, padded[:, i], 0)
-            own = (
-                active
-                & valid[None, :]
-                & (owner[trows, e_col[None, :]] == self.msg_ids[None, :])
-            )
-            if not own.any():
-                continue
-            upstream = L[None, :] if i == 0 else snapshot[:, :, i - 1]
-            has_flit = snapshot[:, :, i] < upstream
-            not_last = valid & (i < D - 1)
-            if i + 1 < self.max_D:
-                in_buf = crossed[:, :, i] - crossed[:, :, i + 1]
-                room = ~not_last[None, :] | (in_buf < self.B[:, None])
-            else:
-                room = True
-            adv = own & has_flit & room
-            if not adv.any():
-                continue
-            crossed[:, :, i] += adv
-            progressed |= adv
-            # Release ownership once the last flit moves on: the
-            # previous edge's buffer is drained for good, and the final
-            # edge delivers instantly.
-            newly = adv & (crossed[:, :, i] == L[None, :])
-            if not newly.any():
-                continue
-            if i > 0:
-                nt, nm = np.nonzero(newly)
-                prev_e = padded[nm, i - 1]
-                ok = owner[nt, prev_e] == nm
-                owner[nt[ok], prev_e[ok]] = -1
+        newly = self._newly[:, :hi]
+        np.equal(snap, self.L32[:hi], out=newly)
+        np.logical_and(newly, v, out=newly)
+        delivered_t = delivered_m = _EMPTY_IDX
+        if newly.any():
+            padded_rev = self.padded_rev
+            nr, nt, nm = np.nonzero(newly)
+            inner = nr < self.max_D - 1  # path index i = maxD-1-r > 0
+            if inner.any():
+                pt, pm = nt[inner], nm[inner]
+                pr = nr[inner] + 1  # upstream edge i-1 sits at r+1
+                prev_e = padded_rev[pm, pr]
+                ok = owner[pt, prev_e] == pm
+                owner[pt[ok], prev_e[ok]] = -1
+                # `owned` stays in sync unconditionally: where the ok
+                # guard fails, the message's claim there is already
+                # cleared, so re-clearing is a no-op.
+                owned[pr, pt, pm] = False
                 if probes is not None:
                     rel_events.extend(
                         (0, int(m), int(e))
-                        for m, e in zip(nm[ok], prev_e[ok])
+                        for m, e in zip(pm[ok], prev_e[ok])
                     )
-            last = newly & (D[None, :] == i + 1)
+            last = nr == self.rev_last[nm]
             if last.any():
-                lt, lm = np.nonzero(last)
-                le = padded[lm, i]
+                lt, lm = nt[last], nm[last]
+                lr = nr[last]
+                le = padded_rev[lm, lr]
                 owner[lt, le] = -1
+                owned[lr, lt, lm] = False
+                # Reaching L on the final edge IS delivery: the old
+                # active & (last count == L) scan finds exactly these.
+                delivered_t, delivered_m = lt, lm
                 if probes is not None:
                     rel_events.extend(
                         (1, int(m), int(e)) for m, e in zip(lm, le)
                     )
 
-        lastc = crossed[:, self.msg_ids, self.last_idx]
-        fin = active & (lastc == L[None, :])
-        ft, fm = np.nonzero(fin)
-        self.state.completion[ft, fm] = t
-        self.state.done[ft, fm] = True
-        self.state.blocked += active & ~progressed
+        self.state.completion[delivered_t, delivered_m] = t
+        self.state.done[delivered_t, delivered_m] = True
+        self.state.blocked[:hi] += active[:hi] & ~progressed
 
         if probes is not None:
-            self._emit_step_events(t, active, progressed, rel_events, fm)
-        return progressed.any(axis=1)
+            self._emit_step_events(
+                t, active, progressed, rel_events, delivered_m
+            )
+        ret = np.zeros(self.T, dtype=bool)
+        np.any(progressed, axis=1, out=ret[:hi])
+        return ret
+
+    def _active_hi(self, active: np.ndarray) -> int:
+        """1 + the highest trial row with any active message."""
+        rows = np.flatnonzero(active.any(axis=1))
+        return int(rows[-1]) + 1 if rows.size else 0
 
     def _emit_step_events(self, t, active, progressed, rel_events, finished):
         """Reproduce the serial per-step event stream (T = 1 only)."""
         probes, crossed, padded, D = (
-            self.probes, self.crossed[0], self.padded, self.D,
+            self.probes, self.crossed[:, 0].T, self.padded, self.D,
         )
         stalled = np.flatnonzero(active[0] & ~progressed[0])
         if stalled.size:
@@ -464,7 +651,7 @@ class StoreForwardKernel(_Kernel):
         probes=None,
     ) -> None:
         T, M = len(rngs), int(lengths.size)
-        assert probes is None or T == 1
+        _check_serial_probes(probes, T)
         self.state = state
         self.T, self.M = T, M
         self.num_edges = int(num_edges)
@@ -487,7 +674,7 @@ class StoreForwardKernel(_Kernel):
         hd = self.hops_done[rows, cols]
         edges = self.padded[cols, hd]
         if self.priority == "random":
-            prio = self._trial_draws(rows, lambda rng, n: rng.random(n))
+            prio = self._random_prio(rows)
         elif self.priority == "age":
             prio = self.release[rows, cols].astype(np.float64)
         else:  # farthest to go first
@@ -557,7 +744,8 @@ class RestrictedKernel(_Kernel):
         probes=None,
     ) -> None:
         T, M = len(rngs), int(lengths.size)
-        assert probes is None, "restricted model has no telemetry hooks"
+        if probes is not None:
+            raise NetworkError("restricted model has no telemetry hooks")
         self.state = state
         self.T, self.M = T, M
         self.num_edges = int(num_edges)
@@ -574,13 +762,35 @@ class RestrictedKernel(_Kernel):
         site_m, site_i = np.nonzero(padded >= 0)
         site_e = padded[site_m, site_i]
         self.site_m, self.site_i, self.site_e = site_m, site_i, site_e
+        self._site_fi = site_m * self.max_D + site_i
+        self._site_L = message_length[site_m]
         order = np.lexsort((site_m, site_e))
         se, sm, si = site_e[order], site_m[order], site_i[order]
-        self._sites: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._all_edges = np.unique(se)
+        # Static per-edge tables: flat (message, index) gather indices
+        # for the site, its downstream neighbour, and its upstream
+        # neighbour, plus the header ordering keys.  Residents sort by
+        # admission stamp (< _HDR_BASE), eligible headers after them in
+        # site (= message) order, so one stable argsort of the combined
+        # key reproduces the serial candidate order.
         starts = np.searchsorted(se, np.arange(num_edges + 1))
-        for e in np.unique(se):
+        self._edge_tabs: dict[int, tuple] = {}
+        for e in self._all_edges:
             lo, hi = starts[e], starts[e + 1]
-            self._sites[int(e)] = (sm[lo:hi], si[lo:hi])
+            sm_e, si_e = sm[lo:hi], si[lo:hi]
+            is_last = si_e == lengths[sm_e] - 1
+            si_next = np.where(is_last, si_e, si_e + 1)
+            self._edge_tabs[int(e)] = (
+                sm_e,
+                si_e,
+                sm_e * self.max_D + si_e,
+                sm_e * self.max_D + si_next,
+                sm_e * self.max_D + np.maximum(si_e - 1, 0),
+                si_e == 0,
+                message_length[sm_e],
+                is_last,
+                _HDR_BASE + np.arange(sm_e.size),
+            )
         # Rotating service offsets: the only RNG use of this model.
         self.rr_offset = np.stack(
             [rng.integers(0, 1 << 30, size=num_edges) for rng in rngs]
@@ -594,93 +804,102 @@ class RestrictedKernel(_Kernel):
         self.counter = np.zeros(T, dtype=np.int64)
         self.head_edge = np.zeros((T, M), dtype=np.int64)
         self.res_count = np.zeros((T, num_edges), dtype=np.int64)
+        # Preallocated per-step scratch.
+        self._snap = np.empty((T, M, self.max_D), dtype=np.int64)
+        self._progressed = np.zeros((T, M), dtype=bool)
+        self._serviced = np.zeros((T, num_edges), dtype=bool)
+        self._emask = np.zeros(num_edges, dtype=bool)
+        self._dirty = np.zeros(num_edges, dtype=bool)
+        self._tarange = np.arange(T)
 
     def body(self, t: int, active: np.ndarray) -> np.ndarray:
         crossed, padded, D, L = self.crossed, self.padded, self.D, self.L
-        T = self.T
-        snapshot = crossed.copy()
-        progressed = np.zeros((T, self.M), dtype=bool)
+        T, B = self.T, self.B
+        snapshot = self._snap
+        np.copyto(snapshot, crossed)
+        snap2 = snapshot.reshape(T, -1)
+        crossed2 = crossed.reshape(T, -1)
+        res2 = self.resident.reshape(T, -1)
+        stamp2 = self.stamp.reshape(T, -1)
+        progressed = self._progressed
+        progressed[:] = False
 
-        # Union of edges with any potential work in any trial.
+        # Union of edges with any potential work in any trial,
+        # ascending (the serial visit order).
         alive = (
-            active[:, self.site_m]
-            & (snapshot[:, self.site_m, self.site_i] < L[self.site_m])
+            active[:, self.site_m] & (snap2[:, self._site_fi] < self._site_L)
         ).any(axis=0)
-        order_edges = np.unique(self.site_e[alive])
+        emask = self._emask
+        emask[:] = False
+        emask[self.site_e[alive]] = True
+        oe_sel = emask[self._all_edges]
+        visit = self._all_edges[oe_sel]
 
         res0 = self.res_count.copy()  # start-of-step counts gate headers
-        serviced = np.zeros((T, self.num_edges), dtype=bool)
+        serviced = self._serviced
+        serviced[:] = False
         done = self.state.done
-        changed = True
-        while changed:
-            changed = False
-            for e in order_edges:
+        dirty = self._dirty
+        tarange, rr = self._tarange, self.rr_offset
+        # Gauss-Seidel fixpoint: repeat passes until a pass fires
+        # nothing.  A fire can only *open* eligibility upstream of
+        # itself (the buffer below the fired site drains, and a
+        # resident release frees that edge's admission slot), so later
+        # passes need only revisit the fired sites' upstream edges —
+        # every skipped visit is provably a no-op, keeping the fire
+        # sequence exactly the serial full-pass one.
+        while visit.size:
+            dirty[:] = False
+            fired = False
+            for e in visit:
                 e = int(e)
                 notserv = ~serviced[:, e]
                 if not notserv.any():
                     continue
-                sm, si = self._sites[e]
-                k = sm.size
+                (
+                    sm, si, fi, fi_nx, fi_up, si0, L_sm, is_last, hdr_key,
+                ) = self._edge_tabs[e]
                 # Resident candidates: a waiting flit (start-of-step
                 # availability) and a free own-message slot downstream
                 # (live counts — lock-step pipelining).
                 act = active[:, sm]
-                res = self.resident[:, sm, si]
-                snap_i = snapshot[:, sm, si]
-                up = np.where(
-                    (si == 0)[None, :],
-                    L[sm][None, :],
-                    snapshot[:, sm, np.maximum(si - 1, 0)],
-                )
-                has_flit = snap_i < up
-                is_last = si == D[sm] - 1
-                si_next = np.where(is_last, si, si + 1)
-                in_buf = crossed[:, sm, si] - crossed[:, sm, si_next]
-                room = is_last[None, :] | (in_buf < 1)
+                up = np.where(si0, L_sm, snap2[:, fi_up])
+                in_buf = crossed2[:, fi] - crossed2[:, fi_nx]
                 elig_r = (
-                    res
+                    res2[:, fi]
                     & act
                     & ~done[:, sm]
-                    & has_flit
-                    & room
+                    & (snap2[:, fi] < up)
+                    & (is_last | (in_buf < 1))
                     & notserv[:, None]
                 )
                 # Header candidates: an admissible slot (start-of-step
                 # AND live counts below B) and an injectable flit.
                 can_admit = (
-                    (res0[:, e] < self.B)
-                    & (self.res_count[:, e] < self.B)
-                    & notserv
+                    (res0[:, e] < B) & (self.res_count[:, e] < B) & notserv
                 )
                 elig_h = (
                     act
-                    & (self.head_edge[:, sm] == si[None, :])
+                    & (self.head_edge[:, sm] == si)
                     & (up >= 1)
                     & can_admit[:, None]
                 )
-                n_r = elig_r.sum(axis=1)
-                n = n_r + elig_h.sum(axis=1)
+                key = np.where(
+                    elig_r, stamp2[:, fi], np.where(elig_h, hdr_key, _FAR)
+                )
+                n = (key < _FAR).sum(axis=1)
                 has = n > 0
                 if not has.any():
                     continue
                 # Candidate order: residents by admission stamp, then
                 # headers by message id; rotate by (offset + t).
-                pick = (self.rr_offset[:, e] + t) % np.where(has, n, 1)
-                stamps = np.where(elig_r, self.stamp[:, sm, si], _FAR)
-                r_rank = np.argsort(stamps, axis=1, kind="stable")
-                h_rank = np.argsort(~elig_h, axis=1, kind="stable")
-                from_r = pick < n_r
-                pick_r = np.minimum(pick, k - 1)
-                pick_h = np.minimum(np.maximum(pick - n_r, 0), k - 1)
-                j = np.where(
-                    from_r,
-                    np.take_along_axis(r_rank, pick_r[:, None], axis=1)[:, 0],
-                    np.take_along_axis(h_rank, pick_h[:, None], axis=1)[:, 0],
-                )
+                pick = (rr[:, e] + t) % np.where(has, n, 1)
+                order_k = np.argsort(key, axis=1, kind="stable")
+                j = order_k[tarange, pick]
                 tt = np.flatnonzero(has)
                 jj = j[tt]
                 msel, isel = sm[jj], si[jj]
-                is_h = ~from_r[tt]
+                is_h = key[tt, jj] >= _HDR_BASE
                 if is_h.any():
                     at, am, ai = tt[is_h], msel[is_h], isel[is_h]
                     self.resident[at, am, ai] = True
@@ -692,7 +911,10 @@ class RestrictedKernel(_Kernel):
                 crossed[tt, msel, isel] += 1
                 serviced[tt, e] = True
                 progressed[tt, msel] = True
-                changed = True
+                fired = True
+                inner_f = isel > 0
+                if inner_f.any():
+                    dirty[padded[msel[inner_f], isel[inner_f] - 1]] = True
                 doneL = crossed[tt, msel, isel] == L[msel]
                 if not doneL.any():
                     continue
@@ -715,6 +937,9 @@ class RestrictedKernel(_Kernel):
                     self.res_count[ct[was], e] -= 1
                     self.state.completion[ct, cm] = t
                     done[ct, cm] = True
+            if not fired:
+                break
+            visit = self._all_edges[dirty[self._all_edges] & oe_sel]
 
         self.state.blocked += active & ~progressed
         return progressed.any(axis=1)
@@ -754,7 +979,7 @@ class AdaptiveKernel(_Kernel):
         probes=None,
     ) -> None:
         T, M = len(rngs), len(demands)
-        assert probes is None or T == 1
+        _check_serial_probes(probes, T)
         self.state = state
         self.T, self.M = T, M
         self.L = int(message_length)
@@ -778,7 +1003,11 @@ class AdaptiveKernel(_Kernel):
                 if 0 <= x2 < kk and 0 <= y2 < kk:
                     u = cube.node((x2, y2))
                     e = net.edge_between(v, u)
-                    assert e is not None
+                    if e is None:
+                        raise NetworkError(
+                            f"mesh is missing the edge between nodes "
+                            f"{v} and {u}"
+                        )
                     self.dir_edge[v, d] = e
                     self.dir_node[v, d] = u
         src = np.asarray([s for s, _ in demands], dtype=np.int64)
@@ -789,6 +1018,11 @@ class AdaptiveKernel(_Kernel):
         max_d = int(dists.max()) if M else 0
         self.taken = np.zeros((T, M, max(max_d, 1)), dtype=np.int64)
         self.tlen = np.zeros((T, M), dtype=np.int64)
+        # Preallocated per-step scratch: the padded shuffle matrices and
+        # the movement mask (no per-step (T, M) allocations).
+        self._ids_mat = np.zeros((T, M), dtype=np.int64)
+        self._draw_mat = np.empty((T, M), dtype=np.float64)
+        self._mov = np.zeros((T, M), dtype=bool)
 
     def taken_paths(self, trial: int) -> list[list[int]]:
         """The edge ids trial ``trial``'s messages actually traversed."""
@@ -833,72 +1067,81 @@ class AdaptiveKernel(_Kernel):
     def body(self, t: int, active: np.ndarray) -> np.ndarray:
         T, M, L = self.T, self.M, self.L
         dists, probes = self.dists, self.probes
-        # Per-trial head-service order, drawn from each trial's own RNG
-        # only in steps where that trial has active messages.
-        orders: list[np.ndarray | None] = []
-        max_len = 0
-        for tr in range(T):
-            act = np.flatnonzero(active[tr])
-            if act.size:
-                orders.append(act[np.argsort(self.rngs[tr].random(act.size))])
-                max_len = max(max_len, act.size)
-            else:
-                orders.append(None)
-        movers: list[list[int]] = [[] for _ in range(T)]
+        occ, B, k = self.occ, self.B, self.k
+        # Per-trial head-service order: each trial with active messages
+        # shuffles them with its own RNG (the serial draw, one
+        # ``random(n)`` per trial), but the argsort runs batched over a
+        # +inf-padded (T, max_len) matrix and the active-id scatter is
+        # one vectorized write.
+        counts = active.sum(axis=1)
+        max_len = int(counts.max())
+        rows, cols = np.nonzero(active)
+        starts = np.zeros(T + 1, dtype=np.int64)
+        np.cumsum(counts, out=starts[1:])
+        ids_mat = self._ids_mat
+        ids_mat[rows, np.arange(rows.size) - starts[rows]] = cols
+        draw_mat = self._draw_mat[:, :max_len]
+        draw_mat[...] = np.inf
+        for tr in np.flatnonzero(counts):
+            n = counts[tr]
+            draw_mat[tr, :n] = self.rngs[tr].random(n)
+        perm = np.argsort(draw_mat, axis=1)
+        order_mat = np.take_along_axis(ids_mat[:, :max_len], perm, axis=1)
+
+        movers0: list[int] = []
         grants: list[tuple[int, int]] = []
         blocks: list[tuple[int, int]] = []
-
+        mov = self._mov
+        mov[:] = False
+        # Round r serves every trial's r-th message at once; a trial
+        # contributes at most one head per round, so all the scatter
+        # updates below hit distinct (trial, *) cells.
         for r in range(max_len):
-            trs = np.asarray(
-                [
-                    tr
-                    for tr in range(T)
-                    if orders[tr] is not None and orders[tr].size > r
-                ],
-                dtype=np.int64,
-            )
-            ms = np.asarray(
-                [int(orders[tr][r]) for tr in trs], dtype=np.int64
-            )
-            heads = self.k[trs, ms] < dists[ms]
+            trs = np.flatnonzero(counts > r)
+            ms = order_mat[trs, r]
+            heads = k[trs, ms] < dists[ms]
             ht, hm = trs[heads], ms[heads]
             if ht.size:
                 o1e, o1n, o2e, o2n = self._options(ht, hm)
-                f1 = (o1e >= 0) & (
-                    self.occ[ht, np.maximum(o1e, 0)] < self.B[ht]
-                )
-                f2 = (o2e >= 0) & (
-                    self.occ[ht, np.maximum(o2e, 0)] < self.B[ht]
-                )
-                for i in range(ht.size):
-                    tr, m = int(ht[i]), int(hm[i])
-                    n_free = int(f1[i]) + int(f2[i])
-                    if n_free == 0:
-                        self.state.blocked[tr, m] += 1
-                        if probes is not None:
-                            first = int(o1e[i]) if o1e[i] >= 0 else int(o2e[i])
-                            blocks.append((m, first))
-                        continue
-                    c = int(self.rngs[tr].integers(n_free))
-                    if f1[i] and c == 0:
-                        e, nd = int(o1e[i]), int(o1n[i])
-                    else:
-                        e, nd = int(o2e[i]), int(o2n[i])
-                    self.occ[tr, e] += 1
-                    self.taken[tr, m, self.tlen[tr, m]] = e
-                    self.tlen[tr, m] += 1
-                    self.position[tr, m] = nd
-                    movers[tr].append(m)
+                f1 = (o1e >= 0) & (occ[ht, np.maximum(o1e, 0)] < B[ht])
+                f2 = (o2e >= 0) & (occ[ht, np.maximum(o2e, 0)] < B[ht])
+                blk = ~(f1 | f2)
+                if blk.any():
+                    self.state.blocked[ht[blk], hm[blk]] += 1
                     if probes is not None:
-                        grants.append((m, e))
-            for tr, m in zip(trs[~heads], ms[~heads]):
-                movers[int(tr)].append(int(m))  # draining
+                        first = np.where(o1e[blk] >= 0, o1e[blk], o2e[blk])
+                        blocks.extend(
+                            (int(m), int(e))
+                            for m, e in zip(hm[blk], first)
+                        )
+                # Free-channel choice: ``integers(1)`` never consumes
+                # RNG state and always returns 0, so only heads with
+                # both options free draw from their trial's stream.
+                ch = np.zeros(ht.size, dtype=np.int64)
+                for i in np.flatnonzero(f1 & f2):
+                    ch[i] = self.rngs[ht[i]].integers(2)
+                win = ~blk
+                use1 = f1 & (ch == 0)
+                e_sel = np.where(use1, o1e, o2e)[win]
+                n_sel = np.where(use1, o1n, o2n)[win]
+                wt, wm = ht[win], hm[win]
+                occ[wt, e_sel] += 1
+                tl = self.tlen[wt, wm]
+                self.taken[wt, wm, tl] = e_sel
+                self.tlen[wt, wm] = tl + 1
+                self.position[wt, wm] = n_sel
+                mov[wt, wm] = True
+                if probes is not None:
+                    grants.extend(
+                        (int(m), int(e)) for m, e in zip(wm, e_sel)
+                    )
+                    movers0.extend(int(m) for m in wm)
+            dt, dm = trs[~heads], ms[~heads]
+            mov[dt, dm] = True  # draining worms always move
+            if probes is not None:
+                movers0.extend(int(m) for m in dm)
 
         # -- movement: lock-step advance, strict buffer release ---------
-        mov = np.zeros((T, M), dtype=bool)
-        for tr in range(T):
-            if movers[tr]:
-                mov[tr, movers[tr]] = True
         pre_k = self.k[0].copy() if probes is not None else None
         self.k += mov
         rel = self.k - L - 1
@@ -918,7 +1161,7 @@ class AdaptiveKernel(_Kernel):
             self.state.done[ft, fm] = True
 
         if probes is not None:
-            self._emit_step_events(t, movers[0], pre_k, grants, blocks)
+            self._emit_step_events(t, movers0, pre_k, grants, blocks)
         return mov.any(axis=1)
 
     def _emit_step_events(self, t, movers0, pre_k, grants, blocks):

@@ -165,6 +165,19 @@ class TrialSpec:
         return f"{self.simulator}/{self.workload} B={self.B}{rep}"
 
 
+#: Per-process memo for :func:`trial_seed`: (root_seed, config digest)
+#: -> (base sequence, children spawned so far).  Spawned children are a
+#: stable prefix sequence, so extending the cached list with
+#: ``base.spawn(k)`` yields exactly the children a fresh
+#: ``base.spawn(repeat + 1)`` would — but the per-config work drops
+#: from O(repeats^2) spawns per sweep to O(repeats).
+_SEED_CACHE: dict[
+    tuple[int, bytes],
+    tuple[np.random.SeedSequence, list[np.random.SeedSequence]],
+] = {}
+_SEED_CACHE_MAX = 4096
+
+
 def trial_seed(spec: TrialSpec, root_seed: int) -> np.random.SeedSequence:
     """Derive the trial's :class:`~numpy.random.SeedSequence`.
 
@@ -173,14 +186,30 @@ def trial_seed(spec: TrialSpec, root_seed: int) -> np.random.SeedSequence:
     :meth:`~numpy.random.SeedSequence.spawn` (children are a stable
     prefix sequence, so repeat ``i`` never changes when more repeats are
     added).  Execution order and worker count cannot influence this.
+
+    Returned sequences are memoized per process; they are safe to share
+    because every consumer treats them read-only (``default_rng`` and
+    ``generate_state`` never mutate a :class:`SeedSequence`).
     """
     config = spec.key()
     config.pop("repeat")
     blob = json.dumps(config, sort_keys=True, separators=(",", ":"))
     digest = hashlib.sha256(blob.encode()).digest()
-    entropy = [int(root_seed) & 0xFFFFFFFF, int.from_bytes(digest[:16], "little")]
-    base = np.random.SeedSequence(entropy)
-    return base.spawn(spec.repeat + 1)[spec.repeat]
+    key = (int(root_seed), digest[:16])
+    entry = _SEED_CACHE.get(key)
+    if entry is None:
+        if len(_SEED_CACHE) >= _SEED_CACHE_MAX:
+            _SEED_CACHE.clear()
+        entropy = [
+            int(root_seed) & 0xFFFFFFFF,
+            int.from_bytes(digest[:16], "little"),
+        ]
+        entry = (np.random.SeedSequence(entropy), [])
+        _SEED_CACHE[key] = entry
+    base, children = entry
+    if len(children) <= spec.repeat:
+        children.extend(base.spawn(spec.repeat + 1 - len(children)))
+    return children[spec.repeat]
 
 
 # ----------------------------------------------------------------------
@@ -509,9 +538,11 @@ def _execute_trial(item: tuple[TrialSpec, int]) -> tuple[dict[str, Any], float]:
 _BATCH_SIMULATORS = BATCHED_MODELS
 
 #: Default trials per lockstep batch when ``batch_size`` is ``None``.
-#: Large enough to amortize per-step dispatch, small enough that a
-#: handful of batches still load-balance across worker processes.
-DEFAULT_BATCH_SIZE = 32
+#: With the SoA kernels the per-step cost is almost flat in the trial
+#: count, so wider batches are nearly free wall-clock-wise and slash
+#: the number of per-batch Python setups; 128 still splits big sweeps
+#: into enough batches to load-balance across worker processes.
+DEFAULT_BATCH_SIZE = 128
 
 
 # Grid cells batchable together: everything but ``B`` and ``repeat``.

@@ -1,0 +1,221 @@
+"""Parity and backend-selection tests for :mod:`repro.sim.fastpath`.
+
+The fastpath module swaps the inner rank/grant scan of
+:func:`repro.sim.engine.grant_free_slots` between a NumPy build and an
+optional numba jit.  These tests pin three things:
+
+1. the module imports and resolves a backend without numba installed;
+2. the ``REPRO_FASTPATH`` override is honoured (and rejected when it
+   cannot be, or is garbage) — checked in subprocesses because the
+   choice is made at import time;
+3. the production grant kernel is bit-identical to the naive per-slot
+   reference across every priority shape the routers feed it (random
+   floats, age counters, rank permutations), mixed per-contender
+   capacities, pre-existing occupancy, and degenerate boundaries.
+"""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import fastpath
+from repro.sim.engine import grant_free_slots, grant_free_slots_reference
+
+# ----------------------------------------------------------------------
+# backend selection
+# ----------------------------------------------------------------------
+
+
+def _probe(env_value):
+    """Import fastpath in a subprocess with REPRO_FASTPATH=env_value."""
+    code = (
+        "from repro.sim import fastpath; print(fastpath.active_backend())"
+    )
+    import os
+
+    env = dict(os.environ)
+    if env_value is None:
+        env.pop("REPRO_FASTPATH", None)
+    else:
+        env["REPRO_FASTPATH"] = env_value
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+def test_import_without_numba_resolves_a_backend():
+    assert fastpath.active_backend() in ("numpy", "numba")
+
+
+def test_auto_backend_matches_numba_availability():
+    try:
+        import numba  # noqa: F401
+
+        expected = "numba"
+    except ImportError:
+        expected = "numpy"
+    proc = _probe(None)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == expected
+
+
+def test_forced_numpy_always_wins():
+    proc = _probe("numpy")
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "numpy"
+
+
+def test_forced_numba_without_numba_raises():
+    try:
+        import numba  # noqa: F401
+
+        pytest.skip("numba is installed; the failure leg needs it absent")
+    except ImportError:
+        pass
+    proc = _probe("numba")
+    assert proc.returncode != 0
+    assert "REPRO_FASTPATH" in proc.stderr
+
+
+def test_invalid_backend_value_raises():
+    proc = _probe("cython")
+    assert proc.returncode != 0
+    assert "REPRO_FASTPATH" in proc.stderr
+
+
+def test_case_and_whitespace_insensitive():
+    proc = _probe("  NumPy ")
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "numpy"
+
+
+# ----------------------------------------------------------------------
+# scan build parity (sorted-order interface)
+# ----------------------------------------------------------------------
+
+
+def test_segmented_grant_numpy_empty():
+    out = fastpath.segmented_grant_numpy(
+        np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), None
+    )
+    assert out.shape == (0,) and out.dtype == bool
+
+
+def test_segmented_grant_matches_reference_build():
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        n = int(rng.integers(0, 40))
+        sorted_slots = np.sort(rng.integers(0, 8, size=n))
+        caps = rng.integers(1, 5, size=n)
+        # Capacity must be constant within a slot group.
+        for s in np.unique(sorted_slots):
+            caps[sorted_slots == s] = caps[sorted_slots == s][0]
+        occ = rng.integers(0, 3, size=8)
+        a = fastpath.segmented_grant(sorted_slots, caps, occ)
+        b = fastpath.segmented_grant_numpy(sorted_slots, caps, occ)
+        assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# grant_free_slots vs naive reference (hypothesis)
+# ----------------------------------------------------------------------
+
+_PRIO_MODES = ("random", "age", "rank")
+
+
+def _priorities(rng, n, mode):
+    if mode == "random":
+        return rng.random(n)
+    if mode == "age":
+        # Age counters: small non-negative ints with heavy ties.
+        return rng.integers(0, 4, size=n).astype(np.float64)
+    # Rank: a permutation — every priority distinct.
+    return rng.permutation(n).astype(np.float64)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=64),
+    n_slots=st.integers(min_value=1, max_value=9),
+    mode=st.sampled_from(_PRIO_MODES),
+    scalar_cap=st.integers(min_value=1, max_value=4),
+    use_occupancy=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_grant_parity_scalar_capacity(
+    n, n_slots, mode, scalar_cap, use_occupancy, seed
+):
+    rng = np.random.default_rng(seed)
+    slots = rng.integers(0, n_slots, size=n)
+    prio = _priorities(rng, n, mode)
+    occ = (
+        rng.integers(0, scalar_cap + 1, size=n_slots)
+        if use_occupancy
+        else None
+    )
+    got = grant_free_slots(slots, prio, scalar_cap, occ)
+    want = grant_free_slots_reference(slots, prio, scalar_cap, occ)
+    assert np.array_equal(got, want)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=64),
+    n_slots=st.integers(min_value=1, max_value=9),
+    mode=st.sampled_from(_PRIO_MODES),
+    use_occupancy=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_grant_parity_mixed_capacity_array(
+    n, n_slots, mode, use_occupancy, seed
+):
+    """Per-contender capacity arrays — the mixed-B batched-arbiter shape."""
+    rng = np.random.default_rng(seed)
+    slots = rng.integers(0, n_slots, size=n)
+    prio = _priorities(rng, n, mode)
+    # Each slot belongs to one trial with its own B: capacity varies by
+    # slot but is constant within a slot group, exactly as
+    # BatchSlotArbiter guarantees.
+    per_slot_cap = rng.integers(1, 5, size=n_slots)
+    capacity = per_slot_cap[slots]
+    occ = (
+        np.minimum(
+            rng.integers(0, 5, size=n_slots), per_slot_cap
+        )
+        if use_occupancy
+        else None
+    )
+    got = grant_free_slots(slots, prio, capacity, occ)
+    want = grant_free_slots_reference(slots, prio, capacity, occ)
+    assert np.array_equal(got, want)
+
+
+def test_grant_parity_padding_boundary():
+    """A slot whose contenders all sit past the free capacity, plus an
+    untouched trailing slot — the padded-lane shape batched kernels emit."""
+    slots = np.array([3, 3, 3, 3, 7], dtype=np.int64)
+    prio = np.array([0.4, 0.1, 0.3, 0.2, 0.5])
+    occ = np.zeros(8, dtype=np.int64)
+    occ[3] = 2  # only one free seat in slot 3
+    occ[7] = 1  # slot 7 already full at capacity 1
+    for cap in (1, 3):
+        got = grant_free_slots(slots, prio, cap, occ)
+        want = grant_free_slots_reference(slots, prio, cap, occ)
+        assert np.array_equal(got, want)
+
+
+def test_grant_parity_tie_order_is_first_come():
+    """Equal priorities must grant in input order on both paths."""
+    slots = np.zeros(5, dtype=np.int64)
+    prio = np.zeros(5)
+    got = grant_free_slots(slots, prio, 2)
+    want = grant_free_slots_reference(slots, prio, 2)
+    assert np.array_equal(got, want)
+    assert got.tolist() == [True, True, False, False, False]
