@@ -232,6 +232,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare execution backends (inline vs thread vs process) "
         "on one grid instead of batched-vs-serial; writes BENCH_exec.json",
     )
+    p.add_argument(
+        "--cluster",
+        action="store_true",
+        help="benchmark the sharded service tier (throughput at "
+        "1/2/4 workers + cache hit rate); writes BENCH_cluster.json",
+    )
     p.add_argument("--seed", type=int, default=0, help="root seed")
 
     p = sub.add_parser(
@@ -278,6 +284,68 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-batch execution timeout (process backend only)",
     )
+    p.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound port here once listening (pairs with "
+        "--port 0; how a supervisor finds an ephemeral-port worker)",
+    )
+
+    p = sub.add_parser(
+        "cluster",
+        help="sharded multi-worker service tier: consistent-hash router "
+        "over supervised workers with a shared result cache",
+    )
+    csub = p.add_subparsers(dest="cluster_command", required=True)
+    pc = csub.add_parser(
+        "serve",
+        help="run a v1-protocol router fronting N supervised "
+        "'repro serve' worker processes",
+    )
+    pc.add_argument("--host", default="127.0.0.1")
+    pc.add_argument("--port", type=int, default=7900, help="0 = ephemeral")
+    pc.add_argument(
+        "--workers", type=int, default=2, help="worker service processes"
+    )
+    pc.add_argument(
+        "--cache-dir",
+        default=None,
+        help="shared cross-worker result cache directory "
+        "(default: fresh per-tier tempdir)",
+    )
+    pc.add_argument(
+        "--queue-limit", type=int, default=64, help="per-worker queue depth"
+    )
+    pc.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="per-worker max compatible trials per lockstep batch",
+    )
+    pc.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="per-worker max wait for batch company",
+    )
+    pc.add_argument(
+        "--backend",
+        choices=("inline", "thread", "process"),
+        default="thread",
+        help="execution backend inside each worker process",
+    )
+    pc.add_argument(
+        "--backend-workers",
+        type=int,
+        default=1,
+        help="threads/processes inside each worker's backend",
+    )
+    pc.add_argument(
+        "--runtime-dir",
+        default=None,
+        help="port files + worker logs (default: tempdir)",
+    )
 
     p = sub.add_parser(
         "loadgen",
@@ -309,6 +377,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--length", type=int, default=0, help="flits per message (0 = auto)"
+    )
+    p.add_argument(
+        "--simulators",
+        default=None,
+        help="comma-separated simulators to cycle (multi-key traffic "
+        "for a sharded tier; default: wormhole only)",
+    )
+    p.add_argument(
+        "--lengths",
+        default=None,
+        help="comma-separated message lengths to cycle (multi-key "
+        "traffic; overrides --length)",
     )
     p.add_argument("--requests", type=int, default=32, help="total requests")
     p.add_argument(
@@ -425,6 +505,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "bench": _cmd_bench,
         "serve": _cmd_serve,
+        "cluster": _cmd_cluster,
         "loadgen": _cmd_loadgen,
         "scenario": _cmd_scenario,
         "fuzz": _cmd_fuzz,
@@ -1026,9 +1107,42 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         backend=args.backend,
         workers=args.workers,
         batch_timeout_s=args.batch_timeout_s,
+        port_file=args.port_file,
     )
     try:
         asyncio.run(serve(config))
+    except KeyboardInterrupt:
+        pass  # signal handler already drained; double-^C lands here
+
+
+def _cmd_cluster(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from repro.cluster import (
+        ClusterConfig,
+        ClusterWorkerConfig,
+        serve_cluster,
+    )
+
+    worker = ClusterWorkerConfig(
+        workers=args.workers,
+        host=args.host,
+        queue_limit=args.queue_limit,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        backend=args.backend,
+        backend_workers=args.backend_workers,
+        runtime_dir=args.runtime_dir,
+    )
+    config = ClusterConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        worker=worker,
+    )
+    try:
+        asyncio.run(serve_cluster(config))
     except KeyboardInterrupt:
         pass  # signal handler already drained; double-^C lands here
 
@@ -1051,11 +1165,19 @@ def _cmd_loadgen(args: argparse.Namespace) -> None:
             get_scenario(args.scenario)
         except NetworkError as exc:
             raise SystemExit(f"repro loadgen: {exc}")
+    simulators = tuple(
+        s.strip() for s in (args.simulators or "").split(",") if s.strip()
+    )
+    lengths = tuple(
+        int(v) for v in (args.lengths or "").split(",") if v.strip()
+    )
     config = LoadgenConfig(
         workload=args.workload,
         workload_params=dict(_parse_param(p) for p in args.param),
         scenario=args.scenario,
         channels=channels,
+        simulators=simulators,
+        lengths=lengths,
         message_length=args.length or None,
         requests=args.requests,
         concurrency=args.concurrency,
@@ -1265,6 +1387,33 @@ def _cmd_bench(args: argparse.Namespace) -> None:
 
     if args.backend:
         _bench_backends(args)
+        return
+    if args.cluster:
+        import asyncio
+
+        from repro.cluster.bench import run_cluster_bench
+
+        payload = asyncio.run(
+            run_cluster_bench(quick=args.quick, root_seed=args.seed)
+        )
+        payload["machine"] = _machine_info()
+        output = Path(args.output or "BENCH_cluster.json")
+        output.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        scaling = payload["scaling"]
+        print(
+            "bench cluster: "
+            + " ".join(
+                f"{w}w={scaling[w]['throughput_rps']}rps" for w in scaling
+            )
+            + f" speedup_4v1={payload['speedup_4v1']}x "
+            f"cache_hit_rate={payload['cache']['second_pass']['hit_rate']} "
+            f"bit_exact={payload['bit_exact']}\n"
+            f"written to {output}"
+        )
+        if not payload["bit_exact"]:
+            raise SystemExit(
+                "repro bench: cluster responses diverged from serial replay"
+            )
         return
 
     repeats = 6 if args.quick else args.repeats

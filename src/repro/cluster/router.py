@@ -1,0 +1,533 @@
+"""The cluster front-end: one v1-protocol endpoint over N workers.
+
+:class:`ClusterRouter` is wire-compatible with a single
+:class:`~repro.service.server.SimulationService` — ``repro loadgen``
+and every existing client work unchanged — but behind the acceptor it:
+
+1. answers repeat ``run`` requests from the shared
+   :class:`~repro.cache.ResultCache` (keyed by
+   :meth:`~repro.sim.sweep.TrialSpec.cache_key`, the sweep's content
+   hash) *before* spending any worker compute — cache hits carry
+   ``"cached": true`` and ``batched: 0``;
+2. shards misses across workers by consistent hashing on
+   :func:`~repro.service.batcher.batch_compat_key`, so every request
+   that *could* share a lockstep batch reaches the same worker's
+   :class:`~repro.service.batcher.DynamicBatcher` and actually does;
+3. retries a forward whose worker died mid-flight: the
+   :class:`~repro.cluster.worker.WorkerSupervisor` respawns the slot
+   while the router backs off, falls back to the key's next ring
+   neighbour if the home slot stays down, and only after the attempt
+   budget is spent answers ``rejected`` with ``retry_after_ms`` — an
+   accepted request is retried or rejected-with-retry, never dropped.
+   Re-execution is safe because trials are pure functions of
+   ``(spec, root_seed)``: a replayed forward is bit-identical.
+
+``health``/``stats`` aggregate the tier: router counters + cache
+hit/miss + per-slot liveness + summed worker batch occupancy, with
+``worker_restarts`` surfaced top-level exactly like the process
+backend's, so the crash-recovery smoke reads either layer the same way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..cache import ResultCache
+from ..telemetry.metrics import EventCounter, LatencyRecorder
+from ..service.batcher import batch_compat_key
+from ..service.client import (
+    ServiceClient,
+    ServiceConnectionError,
+    _spec_payload,
+)
+from ..service.protocol import (
+    PROTOCOL_VERSION,
+    STATUS_OK,
+    ProtocolError,
+    UnsupportedVersionError,
+    check_version,
+    decode_message,
+    encode_message,
+    error_response,
+    parse_run_request,
+    reject_response,
+    unsupported_version_response,
+)
+from ..service.server import MAX_LINE_BYTES
+from .hashing import HashRing
+from .worker import ClusterWorkerConfig, WorkerSupervisor
+
+__all__ = ["ClusterConfig", "ClusterRouter", "serve_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Tunables for one router + worker tier."""
+
+    host: str = "127.0.0.1"
+    port: int = 7900
+    workers: int = 2
+    #: Cross-worker result cache directory.  ``None`` puts it under the
+    #: supervisor's runtime dir (fresh per tier); point several tiers
+    #: at one directory to share results across routers.
+    cache_dir: str | None = None
+    #: Per-forward exchange budget; a worker that neither answers nor
+    #: dies within this window counts as a failed attempt.
+    forward_timeout_s: float = 300.0
+    #: Forward attempts per request before the structured reject.
+    max_forward_attempts: int = 4
+    #: Base of the between-attempt backoff (doubles per attempt).
+    retry_backoff_s: float = 0.05
+    drain_retry_after_ms: float = 1000.0
+    #: ``retry_after_ms`` hint when the attempt budget is exhausted.
+    unavailable_retry_after_ms: float = 500.0
+    #: The worker tier (spawn/respawn policy, per-worker service knobs).
+    worker: ClusterWorkerConfig = field(default_factory=ClusterWorkerConfig)
+
+    def worker_config(self) -> ClusterWorkerConfig:
+        """The tier config with the router's worker count applied."""
+        if self.worker.workers == self.workers:
+            return self.worker
+        from dataclasses import replace
+
+        return replace(self.worker, workers=self.workers)
+
+
+class RouterStats:
+    """Router-side counters (worker internals stay on the workers)."""
+
+    def __init__(self) -> None:
+        self.counters = EventCounter(
+            "requests_total",
+            "completed",
+            "cache_served",
+            "forwarded",
+            "forward_retries",
+            "rejected_draining",
+            "rejected_unavailable",
+            "errors",
+            "protocol_errors",
+        )
+        self.latency = LatencyRecorder()
+
+
+class ClusterRouter:
+    """One router instance: call :meth:`run` (blocks until drained)."""
+
+    def __init__(self, config: ClusterConfig | None = None) -> None:
+        self.config = config or ClusterConfig()
+        if self.config.workers < 1:
+            raise ValueError(f"need >= 1 worker, got {self.config.workers}")
+        self.supervisor = WorkerSupervisor(self.config.worker_config())
+        self.cache = ResultCache(
+            self.config.cache_dir or self.supervisor.runtime_dir / "cache"
+        )
+        self.ring = HashRing(range(self.config.workers))
+        self.stats = RouterStats()
+        self.started = asyncio.Event()
+        self.port: int | None = None
+        self._shutdown = asyncio.Event()
+        self._draining = False
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._in_flight = 0
+        self._all_flushed = asyncio.Event()
+        self._all_flushed.set()
+        self._started_at: float | None = None
+        #: Idle pooled connections per (slot, generation).
+        self._pool: dict[tuple[int, int], list[ServiceClient]] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def request_shutdown(self) -> None:
+        """Begin the graceful drain (idempotent, callable from signals)."""
+        self._draining = True
+        self._shutdown.set()
+
+    async def run(self) -> None:
+        """Spawn the tier, listen, route, drain; returns when done."""
+        loop = asyncio.get_running_loop()
+        self._started_at = loop.time()
+        await self.supervisor.start()
+        monitor = asyncio.create_task(
+            self.supervisor.monitor(), name="repro-cluster-monitor"
+        )
+        server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self.started.set()
+        try:
+            await self._shutdown.wait()
+        finally:
+            self.request_shutdown()
+            # 1. Stop accepting new connections; new runs on live
+            #    connections are rejected as draining.
+            server.close()
+            await server.wait_closed()
+            # 2. Let every in-flight forward resolve and flush.
+            await self._all_flushed.wait()
+            # 3. Drain the worker tier (their own queued work flushes).
+            monitor.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await monitor
+            await self._close_pool()
+            await self.supervisor.stop()
+            # 4. Close lingering connections; handlers exit on EOF.
+            for writer in list(self._writers):
+                writer.close()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    # -- worker connection pool ----------------------------------------
+    async def _acquire(self, slot: int) -> tuple[ServiceClient, int]:
+        generation = self.supervisor.handles[slot].generation
+        idle = self._pool.get((slot, generation))
+        if idle:
+            return idle.pop(), generation
+        host, port = self.supervisor.address(slot)
+        client = await ServiceClient.connect(host, port)
+        return client, generation
+
+    def _release(self, slot: int, generation: int, client: ServiceClient) -> None:
+        if (
+            self._draining
+            or self.supervisor.handles[slot].generation != generation
+        ):
+            asyncio.ensure_future(client.close())
+            return
+        self._pool.setdefault((slot, generation), []).append(client)
+
+    async def _discard_pool(self, slot: int) -> None:
+        """Close every idle connection to a slot (it just died)."""
+        for key in [k for k in self._pool if k[0] == slot]:
+            for client in self._pool.pop(key):
+                await client.close()
+
+    async def _close_pool(self) -> None:
+        for clients in self._pool.values():
+            for client in clients:
+                await client.close()
+        self._pool.clear()
+
+    # -- connection handling (mirrors SimulationService) ---------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                ):
+                    break
+                if not line:
+                    break
+                await self._handle_line(line, writer)
+        except ConnectionResetError:
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _handle_line(
+        self, line: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            msg = decode_message(line)
+        except ProtocolError as exc:
+            self.stats.counters.bump("protocol_errors")
+            await self._send(writer, error_response(None, str(exc)))
+            return
+        op = msg.get("op")
+        req_id = msg.get("id") if isinstance(msg.get("id"), str) else ""
+        try:
+            check_version(msg)
+        except UnsupportedVersionError as exc:
+            self.stats.counters.bump("protocol_errors")
+            await self._send(
+                writer, unsupported_version_response(req_id, exc.got)
+            )
+            return
+        if op == "run":
+            await self._handle_run(msg, writer)
+        elif op == "health":
+            await self._send(
+                writer, {"v": PROTOCOL_VERSION, "id": req_id, **self._health()}
+            )
+        elif op == "stats":
+            snapshot = await self._stats_snapshot()
+            await self._send(
+                writer, {"v": PROTOCOL_VERSION, "id": req_id, **snapshot}
+            )
+        elif op == "shutdown":
+            await self._send(
+                writer,
+                {
+                    "v": PROTOCOL_VERSION,
+                    "id": req_id,
+                    "status": "ok",
+                    "draining": True,
+                },
+            )
+            self.request_shutdown()
+        else:
+            self.stats.counters.bump("protocol_errors")
+            await self._send(
+                writer, error_response(req_id, f"unknown op {op!r}")
+            )
+
+    # -- the routed run path -------------------------------------------
+    async def _handle_run(
+        self, msg: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        self.stats.counters.bump("requests_total")
+        try:
+            request = parse_run_request(msg)
+        except ProtocolError as exc:
+            self.stats.counters.bump("protocol_errors")
+            await self._send(writer, error_response(msg.get("id"), str(exc)))
+            return
+        if self._draining:
+            self.stats.counters.bump("rejected_draining")
+            await self._send(
+                writer,
+                reject_response(
+                    request.id,
+                    "draining",
+                    retry_after_ms=self.config.drain_retry_after_ms,
+                ),
+            )
+            return
+        self._in_flight += 1
+        self._all_flushed.clear()
+        t0 = loop.time()
+        try:
+            response = await self._route(request)
+        finally:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._all_flushed.set()
+        if response.get("status") == STATUS_OK:
+            self.stats.counters.bump("completed")
+            self.stats.latency.record(loop.time() - t0)
+        await self._send(writer, response)
+
+    async def _route(self, request) -> dict[str, Any]:
+        """Cache lookup, then shard-and-forward with retry/fallback."""
+        spec = request.spec
+        cache_key = spec.cache_key(request.root_seed)
+        cached = self.cache.load(cache_key, spec.key())
+        if cached is not None:
+            self.stats.counters.bump("cache_served")
+            return {
+                "v": PROTOCOL_VERSION,
+                "id": request.id,
+                "status": STATUS_OK,
+                "metrics": cached,
+                "batched": 0,
+                "queue_ms": 0.0,
+                "cached": True,
+            }
+        shard_key = repr(batch_compat_key(spec))
+        forward = {
+            "op": "run",
+            "id": request.id,
+            "spec": _spec_payload(spec),
+            "root_seed": request.root_seed,
+        }
+        if request.deadline_ms is not None:
+            forward["deadline_ms"] = request.deadline_ms
+        tried_down: set[int] = set()
+        for attempt in range(self.config.max_forward_attempts):
+            if attempt:
+                self.stats.counters.bump("forward_retries")
+                await asyncio.sleep(
+                    self.config.retry_backoff_s * 2 ** (attempt - 1)
+                )
+            slot = self._pick_slot(shard_key, tried_down)
+            if slot is None:
+                # Whole tier down right now; wait out a respawn.
+                self.supervisor.changed.clear()
+                with contextlib.suppress(asyncio.TimeoutError, TimeoutError):
+                    await asyncio.wait_for(
+                        self.supervisor.changed.wait(),
+                        self.config.worker.spawn_timeout_s,
+                    )
+                tried_down.clear()
+                continue
+            try:
+                client, generation = await self._acquire(slot)
+            except (OSError, RuntimeError):
+                tried_down.add(slot)
+                continue
+            try:
+                response = await client.request(
+                    dict(forward), timeout_s=self.config.forward_timeout_s
+                )
+            except ServiceConnectionError:
+                # Worker died mid-flight: poison the pool, remember the
+                # slot is suspect, and retry (elsewhere if needed).
+                await client.close()
+                await self._discard_pool(slot)
+                tried_down.add(slot)
+                continue
+            self._release(slot, generation, client)
+            self.stats.counters.bump("forwarded")
+            if response.get("status") == STATUS_OK and isinstance(
+                response.get("metrics"), dict
+            ):
+                self.cache.store(
+                    cache_key, spec.key(), response["metrics"], request.root_seed
+                )
+            response["worker"] = slot
+            return response
+        self.stats.counters.bump("rejected_unavailable")
+        return reject_response(
+            request.id,
+            "workers unavailable; request not executed",
+            retry_after_ms=self.config.unavailable_retry_after_ms,
+        )
+
+    def _pick_slot(self, shard_key: str, tried_down: set[int]) -> int | None:
+        """The key's home slot, else its next live ring neighbour."""
+        down = {
+            h.slot
+            for h in self.supervisor.handles
+            if not h.alive or h.failed
+        } | tried_down
+        try:
+            return self.ring.node_for(shard_key, exclude=down)
+        except ValueError:
+            return None
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, msg: dict[str, Any]
+    ) -> None:
+        try:
+            writer.write(encode_message(msg))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            pass  # client went away; the drain ledger still balances
+
+    # -- introspection -------------------------------------------------
+    def _uptime(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return asyncio.get_running_loop().time() - self._started_at
+
+    def _health(self) -> dict[str, Any]:
+        tier = self.supervisor.snapshot()
+        return {
+            "status": "draining" if self._draining else "ok",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": round(self._uptime(), 3),
+            "in_flight": self._in_flight,
+            "backend": "cluster",
+            "backend_mode": "cluster",
+            "workers": tier["slots"],
+            "workers_alive": len(self.supervisor.live_slots()),
+            "worker_restarts": tier["worker_restarts"],
+            "cache": self.cache.snapshot(),
+        }
+
+    async def _stats_snapshot(self) -> dict[str, Any]:
+        """Router counters + best-effort per-worker stats aggregation."""
+        worker_stats: list[dict[str, Any] | None] = []
+        occupancies: list[tuple[float, int]] = []
+        for handle in self.supervisor.handles:
+            if not handle.alive:
+                worker_stats.append(None)
+                continue
+            try:
+                client, generation = await self._acquire(handle.slot)
+                try:
+                    snap = await client.request(
+                        {"op": "stats", "id": f"router-w{handle.slot}"},
+                        timeout_s=5.0,
+                    )
+                finally:
+                    self._release(handle.slot, generation, client)
+            except (OSError, RuntimeError, ServiceConnectionError):
+                worker_stats.append(None)
+                continue
+            worker_stats.append(snap)
+            batches = snap.get("batches") or {}
+            if batches.get("count"):
+                occupancies.append(
+                    (int(batches.get("total", 0)), int(batches["count"]))
+                )
+        total_batches = sum(count for _, count in occupancies)
+        total_trials = sum(total for total, _ in occupancies)
+        mean_occupancy = (
+            total_trials / total_batches if total_batches else 0.0
+        )
+        return {
+            "status": "draining" if self._draining else "ok",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": round(self._uptime(), 3),
+            "in_flight": self._in_flight,
+            "counters": self.stats.counters.snapshot(),
+            "latency_ms": self.stats.latency.summary(),
+            "cache": self.cache.snapshot(),
+            "tier": self.supervisor.snapshot(),
+            "batches": {
+                "count": total_batches,
+                "total": total_trials,
+                "mean_occupancy": round(mean_occupancy, 3),
+            },
+            "workers": worker_stats,
+        }
+
+
+async def serve_cluster(
+    config: ClusterConfig | None = None, *, quiet: bool = False
+) -> None:
+    """Run a router + worker tier until SIGINT/SIGTERM, then drain."""
+    import signal
+
+    router = ClusterRouter(config)
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(sig, router.request_shutdown)
+    runner = asyncio.create_task(router.run())
+    await router.started.wait()
+    if not quiet:
+        cfg = router.config
+        print(
+            f"repro cluster listening on {cfg.host}:{router.port} "
+            f"({cfg.workers} workers, cache {router.cache.root})",
+            flush=True,
+        )
+    await runner
+    if not quiet:
+        counters = router.stats.counters
+        cache = router.cache.snapshot()
+        print(
+            f"repro cluster drained: {counters['completed']} completed "
+            f"({counters['cache_served']} from cache, "
+            f"{counters['forward_retries']} forward retries), "
+            f"cache hit rate {cache['hit_rate']}",
+            flush=True,
+        )

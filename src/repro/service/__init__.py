@@ -36,7 +36,13 @@ Usage::
 
 from .admission import AdmissionQueue, PendingRequest, QueueFullError
 from .batcher import BatchPolicy, DynamicBatcher, execute_compatible
-from .client import LoadgenConfig, ServiceClient, run_loadgen
+from .client import (
+    LoadgenConfig,
+    ServiceClient,
+    ServiceConnectionError,
+    ServiceTimeoutError,
+    run_loadgen,
+)
 from .protocol import (
     PROTOCOL_VERSION,
     STATUS_ERROR,
@@ -68,7 +74,9 @@ __all__ = [
     "STATUS_REJECTED",
     "ServiceClient",
     "ServiceConfig",
+    "ServiceConnectionError",
     "ServiceStats",
+    "ServiceTimeoutError",
     "SimulationService",
     "UnsupportedVersionError",
     "check_version",

@@ -34,18 +34,57 @@ from .protocol import (
 )
 from .server import MAX_LINE_BYTES
 
-__all__ = ["LoadgenConfig", "ServiceClient", "run_loadgen"]
+__all__ = [
+    "LoadgenConfig",
+    "ServiceClient",
+    "ServiceConnectionError",
+    "ServiceTimeoutError",
+    "run_loadgen",
+]
+
+
+class ServiceConnectionError(ConnectionError):
+    """The server went away mid-request (reset, EOF, refused).
+
+    Raised instead of a raw :class:`ConnectionResetError` traceback so
+    callers — the load generator, the cluster router — can attribute
+    the failure: the message names the peer, the op, and the request
+    id of whatever was in flight.
+    """
+
+    def __init__(self, peer: str, op: str, req_id: str, cause: str) -> None:
+        super().__init__(
+            f"connection to {peer} lost during {op!r} (id={req_id!r}): {cause}"
+        )
+        self.peer = peer
+        self.op = op
+        self.req_id = req_id
+
+
+class ServiceTimeoutError(ServiceConnectionError):
+    """A per-request ``timeout_s`` elapsed with no response line."""
+
+    def __init__(self, peer: str, op: str, req_id: str, timeout_s: float) -> None:
+        super().__init__(
+            peer, op, req_id, f"no response within {timeout_s}s"
+        )
+        self.timeout_s = timeout_s
 
 
 class ServiceClient:
     """One connection to a running service (async context manager)."""
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        peer: str = "server",
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._ids = itertools.count()
+        self.peer = peer
 
     @classmethod
     async def connect(
@@ -58,7 +97,7 @@ class ServiceClient:
                 reader, writer = await asyncio.open_connection(
                     host, port, limit=MAX_LINE_BYTES
                 )
-                return cls(reader, writer)
+                return cls(reader, writer, peer=f"{host}:{port}")
             except OSError:
                 if time.monotonic() >= deadline:
                     raise
@@ -77,14 +116,41 @@ class ServiceClient:
         except (ConnectionResetError, BrokenPipeError):
             pass
 
-    async def request(self, msg: dict[str, Any]) -> dict[str, Any]:
-        """Send one message (stamped ``v: 1``) and await its response."""
+    async def request(
+        self, msg: dict[str, Any], *, timeout_s: float | None = None
+    ) -> dict[str, Any]:
+        """Send one message (stamped ``v: 1``) and await its response.
+
+        ``timeout_s`` bounds the whole exchange; expiry raises
+        :class:`ServiceTimeoutError` (the connection is then poisoned —
+        a late response line would answer the wrong request — so the
+        caller must discard this client).  A connection torn down
+        mid-exchange raises :class:`ServiceConnectionError` naming the
+        peer, op, and request id instead of a raw reset traceback.
+        """
+        op = str(msg.get("op", "?"))
+        req_id = str(msg.get("id", ""))
         msg.setdefault("v", PROTOCOL_VERSION)
-        self._writer.write(encode_message(msg))
-        await self._writer.drain()
-        line = await self._reader.readline()
+
+        async def exchange() -> bytes:
+            self._writer.write(encode_message(msg))
+            await self._writer.drain()
+            return await self._reader.readline()
+
+        try:
+            line = await asyncio.wait_for(exchange(), timeout_s)
+        except (asyncio.TimeoutError, TimeoutError):
+            raise ServiceTimeoutError(
+                self.peer, op, req_id, timeout_s or 0.0
+            ) from None
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            raise ServiceConnectionError(
+                self.peer, op, req_id, str(exc) or type(exc).__name__
+            ) from None
         if not line:
-            raise ConnectionError("server closed the connection")
+            raise ServiceConnectionError(
+                self.peer, op, req_id, "server closed the connection"
+            )
         return decode_message(line)
 
     async def run_trial(
@@ -94,6 +160,7 @@ class ServiceClient:
         root_seed: int = 0,
         deadline_ms: float | None = None,
         req_id: str | None = None,
+        timeout_s: float | None = None,
     ) -> dict[str, Any]:
         if isinstance(spec, TrialSpec):
             spec = _spec_payload(spec)
@@ -105,7 +172,7 @@ class ServiceClient:
         }
         if deadline_ms is not None:
             msg["deadline_ms"] = deadline_ms
-        return await self.request(msg)
+        return await self.request(msg, timeout_s=timeout_s)
 
     async def health(self) -> dict[str, Any]:
         return await self.request({"op": "health", "id": "health"})
@@ -144,6 +211,13 @@ class LoadgenConfig:
     simulator: str = "wormhole"
     channels: tuple[int, ...] = (1, 2, 4)
     message_length: int | None = None
+    #: Cycle several simulators / message lengths across the request
+    #: stream (empty = just ``simulator`` / ``message_length``).  Each
+    #: distinct (simulator, length) pair is its own batch-compat key,
+    #: so this is how loadgen produces *multi-key* traffic — the kind a
+    #: sharded cluster can actually spread across workers.
+    simulators: tuple[str, ...] = ()
+    lengths: tuple[int | None, ...] = ()
     requests: int = 32
     concurrency: int = 8
     #: Aggregate request rate in req/s; 0 = as fast as possible.
@@ -173,19 +247,32 @@ class LoadgenConfig:
         return get_scenario(self.scenario)
 
     def specs(self) -> list[TrialSpec]:
-        """One unique spec per request: channels cycle, repeats advance."""
+        """One unique spec per request.
+
+        Channels cycle fastest, then (simulator, length) pairs, then
+        the repeat counter advances — so with the default single
+        simulator/length the stream is exactly the classic
+        channels-cycle/repeats-advance order, and with several pairs
+        every compat key sees the full channel rotation.
+        """
         workload = self.effective_workload()
-        return [
-            TrialSpec.make(
-                workload,
-                self.simulator,
-                B=self.channels[i % len(self.channels)],
-                workload_params=self.workload_params,
-                message_length=self.message_length,
-                repeat=i // len(self.channels),
+        sims = self.simulators or (self.simulator,)
+        lens = self.lengths or (self.message_length,)
+        pairs = [(sim, length) for sim in sims for length in lens]
+        specs = []
+        for i in range(self.requests):
+            sim, length = pairs[(i // len(self.channels)) % len(pairs)]
+            specs.append(
+                TrialSpec.make(
+                    workload,
+                    sim,
+                    B=self.channels[i % len(self.channels)],
+                    workload_params=self.workload_params,
+                    message_length=length,
+                    repeat=i // (len(self.channels) * len(pairs)),
+                )
             )
-            for i in range(self.requests)
-        ]
+        return specs
 
     def arrival_offsets(self) -> list[float] | None:
         """Per-request send offsets (seconds) from an arrival scenario.
@@ -257,12 +344,25 @@ async def run_loadgen(
                     await asyncio.sleep(delay)
                 t0 = time.monotonic()
                 send_times[i] = t0
-                responses[i] = await client.run_trial(
-                    spec,
-                    root_seed=config.root_seed,
-                    deadline_ms=config.deadline_ms,
-                    req_id=f"lg{i}",
-                )
+                try:
+                    responses[i] = await client.run_trial(
+                        spec,
+                        root_seed=config.root_seed,
+                        deadline_ms=config.deadline_ms,
+                        req_id=f"lg{i}",
+                    )
+                except ServiceConnectionError as exc:
+                    # Attribute the loss instead of crashing the run,
+                    # then reconnect for the remaining requests.
+                    responses[i] = {
+                        "id": f"lg{i}",
+                        "status": "connection_error",
+                        "error": str(exc),
+                    }
+                    await client.close()
+                    client = await ServiceClient.connect(
+                        host, port, retry_for_s=config.connect_timeout_s
+                    )
                 latencies.append(time.monotonic() - t0)
         finally:
             await client.close()
@@ -319,6 +419,8 @@ async def run_loadgen(
             "scenario": config.scenario,
             "workload_params": dict(config.workload_params),
             "simulator": config.simulator,
+            "simulators": list(config.simulators),
+            "lengths": list(config.lengths),
             "channels": list(config.channels),
             "message_length": config.message_length,
             "requests": config.requests,

@@ -84,6 +84,10 @@ class ServiceConfig:
     #: Optional per-batch wall-clock budget (process backend only); a
     #: stalled worker is terminated and the batch retried.
     batch_timeout_s: float | None = None
+    #: Write the bound port here (atomically) once listening.  With
+    #: ``port=0`` the OS picks an ephemeral port; the port file is how
+    #: a supervisor (``repro.cluster``) learns which one.
+    port_file: str | None = None
 
     def policy(self) -> BatchPolicy:
         return BatchPolicy(max_batch=self.max_batch, max_wait_ms=self.max_wait_ms)
@@ -204,6 +208,8 @@ class SimulationService:
             limit=MAX_LINE_BYTES,
         )
         self.port = server.sockets[0].getsockname()[1]
+        if self.config.port_file:
+            self._write_port_file(self.config.port_file, self.port)
         self.started.set()
         try:
             await self._shutdown.wait()
@@ -224,6 +230,16 @@ class SimulationService:
                 await asyncio.gather(
                     *self._conn_tasks, return_exceptions=True
                 )
+
+    @staticmethod
+    def _write_port_file(path: str, port: int) -> None:
+        """Atomic write so a polling supervisor never reads a torn file."""
+        import os
+
+        tmp = f"{path}.tmp{os.getpid()}"
+        with open(tmp, "w") as handle:
+            handle.write(f"{port}\n")
+        os.replace(tmp, path)
 
     # -- connection handling -------------------------------------------
     async def _handle_connection(

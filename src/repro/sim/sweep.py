@@ -42,11 +42,12 @@ import os
 import time
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
-from pathlib import Path
 from typing import Any
 
 import numpy as np
 
+from ..cache import CACHE_VERSION as _CACHE_VERSION
+from ..cache import ResultCache, load_entry, store_entry
 from ..network.graph import NetworkError
 from .batch import BATCHED_MODELS, batch_compat_key
 
@@ -63,8 +64,6 @@ __all__ = [
     "sweep_grid",
     "trial_seed",
 ]
-
-_CACHE_VERSION = 1
 
 _Scalar = (str, int, float, bool, type(None))
 
@@ -772,29 +771,11 @@ def sweep_grid(
     ]
 
 
-def _cache_load(path: Path, key: dict[str, Any]) -> dict[str, Any] | None:
-    try:
-        payload = json.loads(path.read_text())
-    except (OSError, ValueError):
-        return None
-    if payload.get("v") != _CACHE_VERSION or payload.get("spec") != key:
-        return None  # hash collision or stale format: recompute
-    metrics = payload.get("metrics")
-    return metrics if isinstance(metrics, dict) else None
-
-
-def _cache_store(
-    path: Path, key: dict[str, Any], metrics: dict[str, Any], root_seed: int
-) -> None:
-    payload = {
-        "v": _CACHE_VERSION,
-        "root_seed": int(root_seed),
-        "spec": key,
-        "metrics": metrics,
-    }
-    tmp = path.with_suffix(f".tmp{os.getpid()}")
-    tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
-    os.replace(tmp, path)
+# The on-disk cache implementation lives in the shared ``repro.cache``
+# module (the cluster router fronts the same tier); these aliases keep
+# the sweep's historical private surface working.
+_cache_load = load_entry
+_cache_store = store_entry
 
 
 def _resolve_backend(backend, workers: int):
@@ -866,17 +847,15 @@ def run_sweep(
     if batch_size < 1:
         raise NetworkError("batch_size must be >= 1")
     started = time.perf_counter()
-    cache_path: Path | None = None
+    cache: ResultCache | None = None
     if cache_dir is not None:
-        cache_path = Path(cache_dir)
-        cache_path.mkdir(parents=True, exist_ok=True)
+        cache = ResultCache(cache_dir)
 
     results: list[TrialResult | None] = [None] * len(specs)
     pending: list[int] = []
     for i, spec in enumerate(specs):
-        if cache_path is not None and not force:
-            entry = cache_path / f"{spec.cache_key(root_seed)}.json"
-            metrics = _cache_load(entry, spec.key())
+        if cache is not None and not force:
+            metrics = cache.load(spec.cache_key(root_seed), spec.key())
             if metrics is not None:
                 results[i] = TrialResult(spec, metrics, cached=True)
                 continue
@@ -896,9 +875,13 @@ def run_sweep(
                 results[i] = TrialResult(
                     specs[i], metrics, cached=False, elapsed=elapsed
                 )
-                if cache_path is not None:
-                    entry = cache_path / f"{specs[i].cache_key(root_seed)}.json"
-                    _cache_store(entry, specs[i].key(), metrics, root_seed)
+                if cache is not None:
+                    cache.store(
+                        specs[i].cache_key(root_seed),
+                        specs[i].key(),
+                        metrics,
+                        root_seed,
+                    )
 
     done = [r for r in results if r is not None]
     assert len(done) == len(specs)
