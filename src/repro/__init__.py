@@ -24,7 +24,7 @@ True
 from . import exec  # noqa: A004 - the subpackage is deliberately ``repro.exec``
 from . import telemetry
 from .analysis.balls_bins import lemma_3_2_3_bound, prob_no_bin_exceeds
-from .facade import MODELS, simulate
+from .facade import MODELS, SIMULATE_MODES, SimResult, simulate
 from .analysis.lll import chernoff_upper_tail, lll_condition
 from .analysis.fitting import PowerLawFit, fit_power_law, loglog_slope
 from .analysis.render import render_butterfly, render_route, render_spacetime
@@ -146,8 +146,10 @@ __all__ = [
     "PowerLawFit",
     "RestrictedWormholeSimulator",
     "RoutingInstance",
+    "SIMULATE_MODES",
     "ScheduleBuild",
     "ShuffleExchange",
+    "SimResult",
     "SimulationResult",
     "StoreForwardSimulator",
     "Table",

@@ -11,6 +11,14 @@ from .circuit_recursion import (
     expected_survivors,
     kruskal_snir_b1_probability,
 )
+from .estimate import (
+    ESTIMATABLE_MODELS,
+    DelayEnvelope,
+    EstimateError,
+    estimate_paths,
+    estimate_spec,
+    estimate_workload,
+)
 from .fitting import PowerLawFit, fit_power_law, loglog_slope
 from .lll import (
     bad_event_probability_case12,
@@ -24,6 +32,9 @@ from .render import render_butterfly, render_route, render_spacetime
 from .tables import Table, format_value
 
 __all__ = [
+    "DelayEnvelope",
+    "ESTIMATABLE_MODELS",
+    "EstimateError",
     "PowerLawFit",
     "Table",
     "bad_event_probability_case12",
@@ -31,6 +42,9 @@ __all__ = [
     "binomial",
     "chernoff_upper_tail",
     "edge_load_distribution",
+    "estimate_paths",
+    "estimate_spec",
+    "estimate_workload",
     "expected_survivors",
     "fit_power_law",
     "format_value",

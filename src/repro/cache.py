@@ -128,11 +128,29 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*.json"))
 
     def snapshot(self) -> dict[str, Any]:
-        """JSON-safe counters for ``stats``/``health`` endpoints."""
+        """JSON-safe counters for ``stats``/``health`` endpoints.
+
+        The canonical keys are namespaced — ``cache_hits``,
+        ``cache_misses``, ``cache_stores``, ``cache_hit_rate`` — so a
+        cache block can be merged into a service's flat counter dict
+        without colliding with other subsystems (the schema every
+        endpoint follows; see ``repro.service.server.ServiceStats``).
+
+        .. deprecated::
+            The bare ``hits`` / ``misses`` / ``stores`` / ``hit_rate``
+            keys are still emitted for one release; read the
+            ``cache_``-prefixed names.
+        """
         counts = self.counters.snapshot()
         lookups = counts["hits"] + counts["misses"]
+        hit_rate = round(counts["hits"] / lookups, 4) if lookups else 0.0
         return {
             "dir": str(self.root),
+            "cache_hits": counts["hits"],
+            "cache_misses": counts["misses"],
+            "cache_stores": counts["stores"],
+            "cache_hit_rate": hit_rate,
+            # Legacy aliases (one release): prefer the cache_* keys.
             **counts,
-            "hit_rate": round(counts["hits"] / lookups, 4) if lookups else 0.0,
+            "hit_rate": hit_rate,
         }

@@ -238,6 +238,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark the sharded service tier (throughput at "
         "1/2/4 workers + cache hit rate); writes BENCH_cluster.json",
     )
+    p.add_argument(
+        "--estimate",
+        action="store_true",
+        help="benchmark the analytic estimator against exact trials "
+        "(latency + envelope tightness per model); writes "
+        "BENCH_estimate.json",
+    )
     p.add_argument("--seed", type=int, default=0, help="root seed")
 
     p = sub.add_parser(
@@ -405,6 +412,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="per-request queueing deadline",
+    )
+    p.add_argument(
+        "--mode",
+        default="exact",
+        choices=("exact", "estimate"),
+        help="request mode: 'exact' runs trials through the batcher, "
+        "'estimate' asks for the analytic delay envelope (verified "
+        "against the local estimator instead of a serial replay)",
     )
     p.add_argument(
         "--no-verify",
@@ -1184,6 +1199,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> None:
         rate=args.rate,
         root_seed=args.seed,
         deadline_ms=args.deadline_ms,
+        mode=args.mode,
         verify=not args.no_verify,
         shutdown=args.shutdown,
     )
@@ -1197,6 +1213,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> None:
     lat = report["latency_ms"]
     server = report.get("server") or {}
     occupancy = (server.get("batches") or {}).get("mean_occupancy")
+    oracle = "local estimate" if args.mode == "estimate" else "serial replay"
     print(
         f"loadgen: {report['ok']}/{config.requests} ok "
         f"({', '.join(f'{k}={v}' for k, v in sorted(report['statuses'].items()))}) "
@@ -1205,14 +1222,14 @@ def _cmd_loadgen(args: argparse.Namespace) -> None:
         f"max={lat['max']}\n"
         f"  mean batch occupancy: client={report['client_mean_batch']}"
         + (f" server={occupancy}" if occupancy is not None else "")
-        + f"\n  bit-exact vs serial replay: {report['bit_exact']} "
+        + f"\n  bit-exact vs {oracle}: {report['bit_exact']} "
         f"({report['verified']} verified)\n"
         f"written to {args.output}"
     )
     if report["mismatches"]:
         for line in report["mismatches"][:5]:
             print(f"  MISMATCH: {line}")
-        raise SystemExit("repro loadgen: responses diverged from serial replay")
+        raise SystemExit(f"repro loadgen: responses diverged from {oracle}")
 
 
 def _bench_micro(bench_dir) -> list[dict]:
@@ -1377,6 +1394,115 @@ _BENCH_MODELS: "tuple[tuple[str, str, dict, int], ...]" = (
 )
 
 
+def _bench_estimate(args: argparse.Namespace) -> None:
+    """Time the analytic estimator against exact trials per model.
+
+    Writes ``BENCH_estimate.json``: per ``(model, B)`` the estimator's
+    call latency, the exact trial's latency, the envelope's bounds and
+    tightness (``upper / lower``), and whether the measured makespan
+    landed inside the envelope.  The headline numbers — overall p50/p95
+    estimate latency — are what CI pins (p95 < 1 ms) and what an
+    operator uses to calibrate ``step_cost_ms`` for deadline screening.
+    """
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.analysis.estimate import estimate_spec
+    from repro.sim.sweep import TrialSpec, _execute_trial
+
+    channels = (1, 2, 4)
+    reps = 50 if args.quick else 200
+    models: dict[str, dict] = {}
+    lines = []
+    all_inside = True
+    all_est_us: list[float] = []
+    for model, workload, workload_params, L in _BENCH_MODELS:
+        per_b: dict[str, dict] = {}
+        for B in channels:
+            spec = TrialSpec.make(
+                workload,
+                model,
+                B=B,
+                workload_params=workload_params,
+                message_length=L,
+            )
+            env = estimate_spec(spec)  # warm the workload cache
+            walls = []
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                env = estimate_spec(spec)
+                walls.append(time.perf_counter() - t0)
+            est_us = [w * 1e6 for w in walls]
+            all_est_us.extend(est_us)
+            t0 = time.perf_counter()
+            metrics, _ = _execute_trial((spec, args.seed))
+            exact_ms = (time.perf_counter() - t0) * 1e3
+            makespan = int(metrics["makespan"])
+            inside = env.check(makespan)
+            all_inside &= inside
+            p50_us = float(np.percentile(est_us, 50))
+            per_b[str(B)] = {
+                "estimate_p50_us": round(p50_us, 2),
+                "estimate_p95_us": round(float(np.percentile(est_us, 95)), 2),
+                "exact_ms": round(exact_ms, 3),
+                "speedup_vs_exact": round(exact_ms * 1e3 / p50_us, 1),
+                "makespan": makespan,
+                "lower": env.lower,
+                "upper": env.upper,
+                "tightness": (
+                    None if env.tightness is None else round(env.tightness, 3)
+                ),
+                "within_envelope": inside,
+            }
+        models[model] = {
+            "workload": workload,
+            "workload_params": workload_params,
+            "message_length": L,
+            "per_B": per_b,
+        }
+        mid = per_b[str(channels[len(channels) // 2])]
+        lines.append(
+            f"  {model:<14} estimate p50 {mid['estimate_p50_us']:8.1f}us  "
+            f"exact {mid['exact_ms']:8.2f}ms  "
+            f"speedup {mid['speedup_vs_exact']:>9.1f}x  "
+            f"tightness {mid['tightness'] or '-'}  "
+            f"inside: {mid['within_envelope']}"
+        )
+    payload = {
+        "machine": _machine_info(),
+        "grid": {
+            "channels": list(channels),
+            "models": [m for m, *_ in _BENCH_MODELS],
+            "latency_samples_per_cell": reps,
+            "root_seed": args.seed,
+        },
+        "estimate_latency_us": {
+            "count": len(all_est_us),
+            "p50": round(float(np.percentile(all_est_us, 50)), 2),
+            "p95": round(float(np.percentile(all_est_us, 95)), 2),
+            "max": round(max(all_est_us), 2),
+        },
+        "models": models,
+        "envelope_holds": all_inside,
+    }
+    output = Path(args.output or "BENCH_estimate.json")
+    output.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    lat = payload["estimate_latency_us"]
+    print(
+        f"bench estimate: {len(all_est_us)} estimator calls, "
+        f"p50={lat['p50']}us p95={lat['p95']}us"
+    )
+    print("\n".join(lines))
+    print(
+        f"  envelope holds: {all_inside}\nwritten to {output}"
+    )
+    if not all_inside:
+        raise SystemExit(
+            "repro bench: a measured makespan escaped its analytic envelope"
+        )
+
+
 def _cmd_bench(args: argparse.Namespace) -> None:
     """Time batched vs per-trial sweeps per model; write BENCH_sim.json."""
     import json
@@ -1387,6 +1513,9 @@ def _cmd_bench(args: argparse.Namespace) -> None:
 
     if args.backend:
         _bench_backends(args)
+        return
+    if args.estimate:
+        _bench_estimate(args)
         return
     if args.cluster:
         import asyncio

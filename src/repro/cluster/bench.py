@@ -90,7 +90,7 @@ def _pass_summary(report: dict[str, Any]) -> dict[str, Any]:
 
 def _cache_counts(report: dict[str, Any]) -> tuple[int, int]:
     cache = (report.get("server") or {}).get("cache") or {}
-    return int(cache.get("hits", 0)), int(cache.get("misses", 0))
+    return int(cache.get("cache_hits", 0)), int(cache.get("cache_misses", 0))
 
 
 async def run_cluster_bench(

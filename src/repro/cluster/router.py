@@ -38,22 +38,23 @@ from typing import Any
 from ..cache import ResultCache
 from ..telemetry.metrics import EventCounter, LatencyRecorder
 from ..service.batcher import batch_compat_key
-from ..service.client import (
-    ServiceClient,
-    ServiceConnectionError,
-    _spec_payload,
-)
+from ..service.client import ServiceClient, ServiceConnectionError
 from ..service.protocol import (
+    MODE_ESTIMATE,
     PROTOCOL_VERSION,
     STATUS_OK,
     ProtocolError,
+    RunRequest,
+    UnknownModeError,
     UnsupportedVersionError,
     check_version,
     decode_message,
     encode_message,
     error_response,
+    ok_response,
     parse_run_request,
     reject_response,
+    unknown_mode_response,
     unsupported_version_response,
 )
 from ..service.server import MAX_LINE_BYTES
@@ -103,6 +104,7 @@ class RouterStats:
         self.counters = EventCounter(
             "requests_total",
             "completed",
+            "estimated",
             "cache_served",
             "forwarded",
             "forward_retries",
@@ -304,9 +306,27 @@ class ClusterRouter:
         self.stats.counters.bump("requests_total")
         try:
             request = parse_run_request(msg)
+        except UnknownModeError as exc:
+            self.stats.counters.bump("protocol_errors")
+            await self._send(
+                writer, unknown_mode_response(msg.get("id"), exc.got)
+            )
+            return
         except ProtocolError as exc:
             self.stats.counters.bump("protocol_errors")
             await self._send(writer, error_response(msg.get("id"), str(exc)))
+            return
+        if request.mode == MODE_ESTIMATE:
+            # Estimates are answered on the router from closed form —
+            # bit-stable pure functions of the spec — without touching
+            # any worker's queue or batcher (and, like health/stats,
+            # even while draining).
+            t0 = loop.time()
+            response = self._estimate_response(request)
+            if response.get("status") == STATUS_OK:
+                self.stats.counters.bump("completed")
+                self.stats.latency.record(loop.time() - t0)
+            await self._send(writer, response)
             return
         if self._draining:
             self.stats.counters.bump("rejected_draining")
@@ -333,7 +353,22 @@ class ClusterRouter:
             self.stats.latency.record(loop.time() - t0)
         await self._send(writer, response)
 
-    async def _route(self, request) -> dict[str, Any]:
+    def _estimate_response(self, request: RunRequest) -> dict[str, Any]:
+        """Answer an estimate request locally from the analytic envelope."""
+        from ..analysis.estimate import estimate_spec
+        from ..network.graph import NetworkError
+
+        try:
+            metrics = estimate_spec(request.spec).to_metrics()
+        except NetworkError as exc:
+            self.stats.counters.bump("errors")
+            return error_response(request.id, str(exc))
+        self.stats.counters.bump("estimated")
+        return ok_response(
+            request.id, metrics, batched=0, queue_ms=0.0, mode=MODE_ESTIMATE
+        )
+
+    async def _route(self, request: RunRequest) -> dict[str, Any]:
         """Cache lookup, then shard-and-forward with retry/fallback."""
         spec = request.spec
         cache_key = spec.cache_key(request.root_seed)
@@ -348,16 +383,15 @@ class ClusterRouter:
                 "batched": 0,
                 "queue_ms": 0.0,
                 "cached": True,
+                "provenance": "cache",
             }
         shard_key = repr(batch_compat_key(spec))
-        forward = {
-            "op": "run",
-            "id": request.id,
-            "spec": _spec_payload(spec),
-            "root_seed": request.root_seed,
-        }
-        if request.deadline_ms is not None:
-            forward["deadline_ms"] = request.deadline_ms
+        # The one run-request schema: re-serialize the parsed request
+        # instead of re-assembling a raw dict field by field.
+        forward = request.to_wire()
+        timeout_s = self.config.forward_timeout_s
+        if request.timeout_s is not None:
+            timeout_s = min(timeout_s, request.timeout_s)
         tried_down: set[int] = set()
         for attempt in range(self.config.max_forward_attempts):
             if attempt:
@@ -383,7 +417,7 @@ class ClusterRouter:
                 continue
             try:
                 response = await client.request(
-                    dict(forward), timeout_s=self.config.forward_timeout_s
+                    dict(forward), timeout_s=timeout_s
                 )
             except ServiceConnectionError:
                 # Worker died mid-flight: poison the pool, remember the
@@ -528,6 +562,6 @@ async def serve_cluster(
             f"repro cluster drained: {counters['completed']} completed "
             f"({counters['cache_served']} from cache, "
             f"{counters['forward_retries']} forward retries), "
-            f"cache hit rate {cache['hit_rate']}",
+            f"cache hit rate {cache['cache_hit_rate']}",
             flush=True,
         )

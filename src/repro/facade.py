@@ -24,6 +24,12 @@ Legacy                                                 Facade
 ``repro.sim.wormhole.check_edge_simple`` (removed)     ``repro.sim.engine.check_edge_simple``
 ``repro.sim.cut_through.pad_paths`` (removed)          ``repro.sim.engine.pad_paths``
 ``repro.sim.restricted.check_edge_simple`` (removed)   ``repro.sim.engine.check_edge_simple``
+bare ``SimulationResult`` return                       :class:`SimResult` (attribute-compatible wrapper)
+``metrics["makespan"]`` dict access                    ``result.makespan`` (``result["makespan"]`` still works, with a ``DeprecationWarning``)
+``metrics["steps"]``                                   ``result.steps``
+``metrics["delivered"]`` count                         ``result.num_delivered``
+``metrics["completion_digest"]`` / raw times           ``result.delays``
+(no legacy equivalent)                                 ``result.mode`` / ``result.provenance`` / ``simulate(..., mode="estimate")`` -> ``result.envelope``
 =====================================================  =====================================
 
 Passing ``batch=[seed, ...]`` runs one lockstep trial per seed through
@@ -42,21 +48,124 @@ serial ``seed=...`` call.
   can execute on a :mod:`repro.exec` process backend.  Registered
   scenarios (``repro.scenarios``) appear here as ``scenario:<name>``.
 
-Every model returns a :class:`~repro.sim.stats.SimulationResult` (the
-adaptive router's chosen routes are dropped — use
+Every model returns a :class:`SimResult` wrapping the underlying
+:class:`~repro.sim.stats.SimulationResult` (the adaptive router's
+chosen routes are dropped — use
 :class:`~repro.sim.adaptive.AdaptiveMeshRouter` directly if you need
 ``taken_paths``) except ``"continuous"``, which returns its
-:class:`~repro.sim.continuous.ContinuousResult` rate report.
+:class:`~repro.sim.continuous.ContinuousResult` rate report unwrapped.
+With ``mode="estimate"`` no simulation runs at all: the result carries
+a :class:`~repro.analysis.estimate.DelayEnvelope` (analytic lower /
+upper makespan bounds) computed in microseconds.
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass
 from typing import Any
+
+import numpy as np
 
 from .network.graph import NetworkError
 from .sim.sweep import WORKLOADS, Workload, _build_workload
 
-__all__ = ["MODELS", "simulate"]
+__all__ = ["MODELS", "SIMULATE_MODES", "SimResult", "simulate"]
+
+#: Execution modes of :func:`simulate` (and of v1 wire run requests).
+SIMULATE_MODES = ("exact", "estimate")
+
+
+@dataclass
+class SimResult:
+    """Structured result of one :func:`simulate` call.
+
+    Attributes
+    ----------
+    mode:
+        The execution mode that produced it: ``"exact"`` (a simulation
+        ran) or ``"estimate"`` (analytic envelope, no simulation).
+    provenance:
+        Where the numbers came from: ``"exact"`` | ``"estimate"`` |
+        ``"cache"`` (an exact result served from a result cache, e.g.
+        by :func:`repro.sim.sweep.run_sweep` or the cluster tier).
+    result:
+        The wrapped :class:`~repro.sim.stats.SimulationResult` (exact
+        runs only).  Every attribute of it — ``makespan``,
+        ``completion_times``, ``deadlocked``, ... — is also reachable
+        directly on this object, so exact results are drop-in
+        compatible with the bare results :func:`simulate` used to
+        return.
+    envelope:
+        The :class:`~repro.analysis.estimate.DelayEnvelope` (estimate
+        runs only); its ``lower`` / ``upper`` / ``tightness`` fields
+        are likewise reachable directly.
+
+    ``result["key"]`` dict-style access is supported for legacy metric
+    consumers but deprecated — use the attributes (see the migration
+    table in the module docstring).
+    """
+
+    mode: str
+    provenance: str
+    result: Any = None
+    envelope: Any = None
+
+    @property
+    def steps(self) -> int:
+        """Flit steps executed (0 for estimates — nothing is simulated)."""
+        return 0 if self.result is None else int(self.result.steps_executed)
+
+    @property
+    def delays(self) -> np.ndarray:
+        """Per-message delivery times: measured completion times for
+        exact runs, analytic per-message floors for estimates."""
+        if self.result is not None:
+            return self.result.completion_times
+        return np.asarray(self.envelope.per_message_lower, dtype=np.int64)
+
+    def __getattr__(self, name: str) -> Any:
+        # Dataclass fields resolve normally; only unknown names land
+        # here and are forwarded to the wrapped result / envelope.  The
+        # field names themselves must never recurse (unpickling probes
+        # attributes before __dict__ is populated).
+        if name.startswith("_") or name in (
+            "mode",
+            "provenance",
+            "result",
+            "envelope",
+        ):
+            raise AttributeError(name)
+        target = self.result if self.result is not None else self.envelope
+        if target is not None:
+            try:
+                return getattr(target, name)
+            except AttributeError:
+                pass
+        raise AttributeError(
+            f"{type(self).__name__} ({self.mode} mode) has no attribute "
+            f"{name!r}"
+        )
+
+    def __getitem__(self, key: str) -> Any:
+        warnings.warn(
+            "dict-style access to simulate() results is deprecated; use "
+            f"attribute access (result.{key}) — see the migration table "
+            "in repro.facade",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        try:
+            return getattr(self, key)
+        except AttributeError:
+            raise KeyError(key) from None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Dict-compat ``get`` (deprecated, like ``__getitem__``)."""
+        try:
+            return self[key]
+        except KeyError:
+            return default
 
 #: The models :func:`simulate` dispatches across, in paper order.
 MODELS = (
@@ -359,6 +468,7 @@ def simulate(
     *,
     model: str = "wormhole",
     B: int = 1,
+    mode: str = "exact",
     message_length: int | None = None,
     seed: int | None = 0,
     priority: str | None = None,
@@ -387,6 +497,15 @@ def simulate(
         knob: virtual channels (wormhole / adaptive / continuous),
         buffer flits (cut-through), link bandwidth (store-and-forward),
         or buffer slots (restricted).
+    mode:
+        ``"exact"`` (default) runs the simulator; ``"estimate"``
+        computes the analytic delay envelope instead
+        (:mod:`repro.analysis.estimate`) — no simulation, microsecond
+        latency, and the returned :class:`SimResult` carries the
+        envelope's ``lower`` / ``upper`` makespan bounds in place of a
+        trajectory.  Estimates exist for every batched model (adaptive
+        is upper-bound only); the continuous model and ``batch=`` /
+        ``telemetry`` / ``backend`` options are exact-mode features.
     message_length:
         Flits per message; defaults to the workload's recommended
         length for name/:class:`Workload` problems, required otherwise.
@@ -424,13 +543,47 @@ def simulate(
 
     Returns
     -------
-    :class:`~repro.sim.stats.SimulationResult` — or the continuous
-    model's :class:`~repro.sim.continuous.ContinuousResult`.
+    :class:`SimResult` wrapping the
+    :class:`~repro.sim.stats.SimulationResult` (a list of them for
+    ``batch=`` runs) — or the continuous model's bare
+    :class:`~repro.sim.continuous.ContinuousResult`.
     """
     if model not in MODELS:
         raise NetworkError(
             f"unknown model {model!r}; supported: {', '.join(MODELS)}"
         )
+    if mode not in SIMULATE_MODES:
+        raise NetworkError(
+            f"unknown mode {mode!r}; supported: {', '.join(SIMULATE_MODES)}"
+        )
+    if mode == "estimate":
+        from .analysis.estimate import EstimateError, estimate_workload
+
+        if model == "continuous":
+            raise EstimateError(
+                "the continuous model has no analytic envelope; estimable "
+                "models are the batched routers (see "
+                "repro.analysis.estimate.ESTIMATABLE_MODELS)"
+            )
+        for name, value in (("batch", batch), ("telemetry", telemetry)):
+            if value is not None:
+                raise NetworkError(
+                    f"{name}= is an exact-mode feature; estimates are "
+                    "single closed-form evaluations"
+                )
+        wl = _as_workload(problem, model, workload_params)
+        L = message_length
+        if L is None:
+            if isinstance(problem, (str, Workload)):
+                L = wl.default_length
+            else:
+                raise NetworkError(
+                    "message_length is required with a (net, paths) problem"
+                )
+        env = estimate_workload(
+            wl, model, B=int(B), message_length=L, release_times=release_times
+        )
+        return SimResult(mode="estimate", provenance="estimate", envelope=env)
     if telemetry is not None and model not in _TELEMETRY_MODELS:
         raise NetworkError(
             f"model {model!r} does not support telemetry probes"
@@ -458,7 +611,7 @@ def simulate(
         "sample_every": sample_every,
     }
     if backend is None:
-        return _simulate_local(problem, kwargs)
+        return _wrap_exact(model, _simulate_local(problem, kwargs))
     if telemetry is not None:
         raise NetworkError(
             "telemetry probes are in-process; run with backend=None"
@@ -468,7 +621,19 @@ def simulate(
     owned = isinstance(backend, str)
     exec_backend = create_backend(backend) if owned else backend
     try:
-        return exec_backend.run(_simulate_payload, (problem, kwargs))
+        return _wrap_exact(
+            model, exec_backend.run(_simulate_payload, (problem, kwargs))
+        )
     finally:
         if owned:
             exec_backend.close()
+
+
+def _wrap_exact(model: str, raw: Any) -> Any:
+    """Wrap simulator output in :class:`SimResult` (continuous results
+    are rate reports with their own shape and stay bare)."""
+    if model == "continuous":
+        return raw
+    if isinstance(raw, list):
+        return [SimResult(mode="exact", provenance="exact", result=r) for r in raw]
+    return SimResult(mode="exact", provenance="exact", result=raw)

@@ -9,8 +9,11 @@ Each round draws a random case from one of five families —
     store-and-forward), full-vs-restricted dominance, the LLL schedule
     length bound, Dally-Seitz consistency, batched == serial
     bit-exactness for every batched model (all five lockstep kernels,
-    the adaptive one on a derived permutation mesh), and the
-    store-and-forward ``O(L (C + D))`` envelope;
+    the adaptive one on a derived permutation mesh), the
+    store-and-forward ``O(L (C + D))`` envelope, and the
+    ``repro.analysis.estimate`` delay envelope (``lower <= makespan
+    <= upper``) on every clean wormhole / store-and-forward /
+    restricted run;
 ``chain``
     :func:`~repro.network.random_networks.chain_bundle` bundles with
     exactly dialed congestion/dilation, same oracles;
@@ -315,6 +318,31 @@ def _run_model(case: FuzzCase, model: str, B: int, telemetry=None):
     )
 
 
+def _envelope_check(
+    case: FuzzCase, model: str, B: int, res: Any, C: int
+) -> Violation | None:
+    """Clean run inside the ``repro.analysis.estimate`` envelope.
+
+    Skips deadlocked / step-capped runs: the upper budget is
+    conditioned on clean delivery (a stalled run's makespan measures
+    the stall, not the routing).
+    """
+    if res.deadlocked or res.hit_step_cap:
+        return None
+    from ..analysis.estimate import estimate_paths
+
+    env = estimate_paths(
+        model,
+        message_length=case.message_length,
+        B=B,
+        path_lengths=[len(p) for p in case.paths],
+        congestion=C,
+    )
+    return inv.check_estimate_envelope(
+        int(res.makespan), lower=env.lower, upper=env.upper, model=model
+    )
+
+
 def _check_routed(case: FuzzCase, telemetry=None) -> list[Violation]:
     """The wormhole-family oracles on one routed case."""
     C, D = _stats(case.paths)
@@ -352,6 +380,7 @@ def _check_routed(case: FuzzCase, telemetry=None) -> list[Violation]:
                     congestion=C,
                     B=B,
                 ),
+                _envelope_check(case, "wormhole", B, res, C),
                 inv.check_deadlock_consistency(
                     f_deadlocked,
                     cdg_acyclic=bool(case.extra.get("acyclic", False)),
@@ -403,6 +432,9 @@ def _check_dominance_and_schedule(
         if res.deadlocked or res.hit_step_cap:
             continue
         sf_makespans[B] = int(res.makespan)
+        got = _envelope_check(case, "store_forward", B, res, C)
+        if got is not None:
+            out.append(got)
         got = inv.check_unobstructed(
             int(res.makespan),
             message_length=L,
@@ -439,6 +471,9 @@ def _check_dominance_and_schedule(
                 B=B_low,
                 congestion=C,
             )
+            if got is not None:
+                out.append(got)
+            got = _envelope_check(case, "restricted", B_low, restricted, C)
             if got is not None:
                 out.append(got)
 

@@ -40,6 +40,11 @@ Checker                        Source
 :func:`check_deadlock_consistency`
                                Dally–Seitz: an acyclic channel
                                dependency graph rules deadlock out
+:func:`check_estimate_envelope`
+                               ``repro.analysis.estimate`` contract: a
+                               clean run's makespan lies inside the
+                               analytic delay envelope
+                               ``lower <= makespan <= upper``
 :func:`check_batch_matches_serial`
                                ``repro.sim.batch`` contract: batched
                                lockstep trials are bit-identical to
@@ -66,6 +71,7 @@ __all__ = [
     "check_conservation",
     "check_deadlock_consistency",
     "check_delivery",
+    "check_estimate_envelope",
     "check_full_vs_restricted",
     "check_gadget_bound",
     "check_schedule_bound",
@@ -189,6 +195,41 @@ def check_congestion_bound(
         observed=int(makespan),
         bound=bound,
     )
+
+
+def check_estimate_envelope(
+    makespan: int,
+    *,
+    lower: int | None,
+    upper: int | None,
+    model: str = "wormhole",
+) -> Violation | None:
+    """Analytic delay envelope: ``lower <= makespan <= upper``.
+
+    ``lower``/``upper`` come from a
+    :class:`repro.analysis.estimate.DelayEnvelope` for the *same*
+    ``(model, B, L, paths)`` as the simulated run; either side may be
+    ``None`` when the estimator declines it (the adaptive model has no
+    congestion-based lower bound).  Only clean runs — no deadlock, no
+    step cap — are in scope; the caller filters those.
+    """
+    if lower is not None and makespan < lower:
+        return Violation(
+            "estimate-envelope",
+            f"{model}: makespan {makespan} beats the analytic lower "
+            f"envelope {lower}",
+            observed=int(makespan),
+            bound=int(lower),
+        )
+    if upper is not None and makespan > upper:
+        return Violation(
+            "estimate-envelope",
+            f"{model}: makespan {makespan} exceeds the analytic upper "
+            f"envelope {upper}",
+            observed=int(makespan),
+            bound=int(upper),
+        )
+    return None
 
 
 def check_gadget_bound(makespan: int, *, lower_bound: float) -> Violation | None:

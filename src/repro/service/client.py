@@ -26,11 +26,14 @@ from typing import Any
 
 from ..sim.sweep import TrialSpec, _execute_trial
 from .protocol import (
+    MODE_EXACT,
     PROTOCOL_VERSION,
     STATUS_OK,
     ProtocolError,
+    RunRequest,
     decode_message,
     encode_message,
+    spec_payload,
 )
 from .server import MAX_LINE_BYTES
 
@@ -161,17 +164,32 @@ class ServiceClient:
         deadline_ms: float | None = None,
         req_id: str | None = None,
         timeout_s: float | None = None,
+        mode: str = MODE_EXACT,
     ) -> dict[str, Any]:
+        rid = req_id if req_id is not None else f"c{next(self._ids)}"
         if isinstance(spec, TrialSpec):
-            spec = _spec_payload(spec)
-        msg: dict[str, Any] = {
-            "op": "run",
-            "id": req_id if req_id is not None else f"c{next(self._ids)}",
-            "spec": spec,
-            "root_seed": int(root_seed),
-        }
-        if deadline_ms is not None:
-            msg["deadline_ms"] = deadline_ms
+            # The unified request schema: build the RunRequest the server
+            # will parse, rather than assembling a raw dict by hand.
+            msg = RunRequest(
+                id=rid,
+                spec=spec,
+                root_seed=int(root_seed),
+                deadline_ms=deadline_ms,
+                mode=mode,
+                timeout_s=timeout_s,
+            ).to_wire()
+        else:
+            msg = {
+                "op": "run",
+                "id": rid,
+                "spec": spec,
+                "root_seed": int(root_seed),
+                "mode": mode,
+            }
+            if deadline_ms is not None:
+                msg["deadline_ms"] = deadline_ms
+            if timeout_s is not None:
+                msg["timeout_s"] = timeout_s
         return await self.request(msg, timeout_s=timeout_s)
 
     async def health(self) -> dict[str, Any]:
@@ -184,17 +202,10 @@ class ServiceClient:
         return await self.request({"op": "shutdown", "id": "shutdown"})
 
 
-def _spec_payload(spec: TrialSpec) -> dict[str, Any]:
-    """A :class:`TrialSpec` as the wire-format ``spec`` object."""
-    return {
-        "workload": spec.workload,
-        "simulator": spec.simulator,
-        "B": spec.B,
-        "workload_params": dict(spec.workload_params),
-        "sim_params": dict(spec.sim_params),
-        "message_length": spec.message_length,
-        "repeat": spec.repeat,
-    }
+# The wire-format spec builder now lives with the rest of the schema in
+# ``repro.service.protocol``; this alias keeps the historical private
+# import path (e.g. older embedding code) working.
+_spec_payload = spec_payload
 
 
 # ----------------------------------------------------------------------
@@ -224,6 +235,12 @@ class LoadgenConfig:
     rate: float = 0.0
     root_seed: int = 0
     deadline_ms: float | None = None
+    #: Execution mode stamped on every run request: ``"exact"`` runs
+    #: trials through the batcher, ``"estimate"`` exercises the
+    #: closed-form envelope tier (verification then compares against a
+    #: local :func:`repro.analysis.estimate.estimate_spec` call, which
+    #: must be bit-stable with what the service returned).
+    mode: str = MODE_EXACT
     #: Replay a registered adversarial scenario (``repro.scenarios``)
     #: instead of ``workload``: trial-shaped scenarios substitute their
     #: ``scenario:<name>`` sweep workload; arrival-trace scenarios keep
@@ -350,6 +367,7 @@ async def run_loadgen(
                         root_seed=config.root_seed,
                         deadline_ms=config.deadline_ms,
                         req_id=f"lg{i}",
+                        mode=config.mode,
                     )
                 except ServiceConnectionError as exc:
                     # Attribute the loss instead of crashing the run,
@@ -386,12 +404,21 @@ async def run_loadgen(
         for i, (spec, resp) in enumerate(zip(specs, responses)):
             if not resp or resp.get("status") != STATUS_OK:
                 continue
-            local, _ = _execute_trial((spec, config.root_seed))
+            if config.mode == "estimate":
+                # Estimates are deterministic closed forms of the spec:
+                # the oracle is the local estimator, not a serial replay.
+                from ..analysis.estimate import estimate_spec
+
+                local = estimate_spec(spec).to_metrics()
+                oracle = "local estimate"
+            else:
+                local, _ = _execute_trial((spec, config.root_seed))
+                oracle = "serial replay"
             verified += 1
             if resp["metrics"] != local:
                 mismatches.append(
                     f"request lg{i} ({spec.label()}): served "
-                    f"{resp['metrics']} != serial replay {local}"
+                    f"{resp['metrics']} != {oracle} {local}"
                 )
 
     server_stats: dict[str, Any] | None = None
@@ -428,6 +455,7 @@ async def run_loadgen(
             "rate_rps": config.rate,
             "root_seed": config.root_seed,
             "deadline_ms": config.deadline_ms,
+            "mode": config.mode,
         },
         "wall_s": round(wall_s, 4),
         "throughput_rps": round(len(latencies) / wall_s, 2) if wall_s else 0.0,

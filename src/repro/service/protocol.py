@@ -17,12 +17,23 @@ Requests are ``{"op": ..., "id": ..., "v": 1}`` objects:
     Execute one trial.  Carries a ``spec`` (the :class:`~repro.sim
     .sweep.TrialSpec` identity fields: ``workload``, ``simulator``,
     ``B``, ``workload_params``, ``sim_params``, ``message_length``,
-    ``repeat``), a ``root_seed``, and an optional ``deadline_ms``
-    (maximum queueing delay before the request is abandoned).  The
-    trial's RNG seed derives from ``(spec, root_seed)`` exactly as in
+    ``repeat``), a ``root_seed``, an optional ``deadline_ms`` (maximum
+    queueing delay before the request is abandoned), an optional
+    ``timeout_s`` (client-side transport patience, echoed so proxies
+    can honor it), and a ``mode`` — one of :data:`RUN_MODES`.
+    ``"exact"`` (the default) simulates; ``"estimate"`` answers from
+    the analytic delay envelope (:mod:`repro.analysis.estimate`)
+    without touching the batcher or the queue.  ``mode`` is a
+    *request* property, not a spec field: it never enters the trial's
+    identity, seed derivation, or cache key.  The exact trial's RNG
+    seed derives from ``(spec, root_seed)`` exactly as in
     :func:`repro.sim.sweep.trial_seed`, so a response is bit-identical
     to the same spec run through ``run_sweep`` or a serial
-    :class:`~repro.sim.wormhole.WormholeSimulator` replay.
+    :class:`~repro.sim.wormhole.WormholeSimulator` replay; estimate
+    responses are a pure function of the spec alone and therefore
+    bit-stable across replicas.  A request carrying an unknown mode is
+    answered with a structured ``error`` response listing
+    ``supported_modes``.
 ``health`` / ``stats``
     Liveness and metrics snapshots (always served, even while draining).
 ``shutdown``
@@ -56,13 +67,18 @@ from ..network.graph import NetworkError
 from ..sim.sweep import SIMULATORS, WORKLOADS, TrialSpec
 
 __all__ = [
+    "MODE_ESTIMATE",
+    "MODE_EXACT",
     "PROTOCOL_VERSION",
+    "RUN_MODES",
     "STATUS_ERROR",
     "STATUS_EXPIRED",
     "STATUS_OK",
     "STATUS_REJECTED",
     "ProtocolError",
     "RunRequest",
+    "RunResponse",
+    "UnknownModeError",
     "UnsupportedVersionError",
     "check_version",
     "decode_message",
@@ -72,10 +88,18 @@ __all__ = [
     "ok_response",
     "parse_run_request",
     "reject_response",
+    "spec_payload",
+    "unknown_mode_response",
     "unsupported_version_response",
 ]
 
 PROTOCOL_VERSION = 1
+
+MODE_EXACT = "exact"
+MODE_ESTIMATE = "estimate"
+#: Execution modes a v1 ``run`` request may carry (the facade's
+#: ``simulate(mode=...)`` accepts the same names).
+RUN_MODES = (MODE_EXACT, MODE_ESTIMATE)
 
 STATUS_OK = "ok"
 STATUS_REJECTED = "rejected"
@@ -98,6 +122,16 @@ class UnsupportedVersionError(ProtocolError):
         super().__init__(
             f"unsupported protocol version {got!r}; this server speaks "
             f"v{PROTOCOL_VERSION}"
+        )
+        self.got = got
+
+
+class UnknownModeError(ProtocolError):
+    """A ``run`` request carrying a mode this server cannot execute."""
+
+    def __init__(self, got: Any) -> None:
+        super().__init__(
+            f"unknown mode {got!r}; supported modes: {', '.join(RUN_MODES)}"
         )
         self.got = got
 
@@ -141,14 +175,119 @@ def decode_message(line: bytes | str) -> dict[str, Any]:
     return msg
 
 
+def spec_payload(spec: TrialSpec) -> dict[str, Any]:
+    """A :class:`TrialSpec` as the wire-format ``spec`` object."""
+    return {
+        "workload": spec.workload,
+        "simulator": spec.simulator,
+        "B": spec.B,
+        "workload_params": dict(spec.workload_params),
+        "sim_params": dict(spec.sim_params),
+        "message_length": spec.message_length,
+        "repeat": spec.repeat,
+    }
+
+
 @dataclass(frozen=True)
 class RunRequest:
-    """A validated ``run`` request, ready for admission."""
+    """A validated ``run`` request, ready for admission.
+
+    This is the *one* run-request schema: the server parses wire
+    messages into it, the cluster router re-serializes it with
+    :meth:`to_wire` when forwarding to a shard, and the client builds
+    it before encoding — nobody re-assembles raw dicts by hand.
+    """
 
     id: str
     spec: TrialSpec
     root_seed: int
     deadline_ms: float | None = None
+    mode: str = MODE_EXACT
+    #: Client transport patience, echoed end-to-end so a proxy hop can
+    #: bound its own wait on the upstream with the client's budget.
+    timeout_s: float | None = None
+
+    def to_wire(self) -> dict[str, Any]:
+        """The request as a v1 ``run`` message (parse round-trips it)."""
+        msg: dict[str, Any] = {
+            "v": PROTOCOL_VERSION,
+            "op": "run",
+            "id": self.id,
+            "spec": spec_payload(self.spec),
+            "root_seed": int(self.root_seed),
+            "mode": self.mode,
+        }
+        if self.deadline_ms is not None:
+            msg["deadline_ms"] = float(self.deadline_ms)
+        if self.timeout_s is not None:
+            msg["timeout_s"] = float(self.timeout_s)
+        return msg
+
+
+@dataclass(frozen=True)
+class RunResponse:
+    """A structured run response, decoupled from the wire dict.
+
+    ``status`` is one of the ``STATUS_*`` constants; the remaining
+    fields mirror the response-builder keys (absent fields are
+    ``None``).  :meth:`from_wire` is the one place response dicts are
+    interpreted, so the router and client agree on every field.
+    """
+
+    id: str
+    status: str
+    metrics: dict[str, Any] | None = None
+    mode: str = MODE_EXACT
+    batched: int | None = None
+    queue_ms: float | None = None
+    error: str | None = None
+    retry_after_ms: float | None = None
+    waited_ms: float | None = None
+    supported_modes: tuple[str, ...] | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @classmethod
+    def from_wire(cls, msg: dict[str, Any]) -> "RunResponse":
+        status = msg.get("status")
+        if not isinstance(status, str):
+            raise ProtocolError(f"response has no status: {msg!r}")
+        metrics = msg.get("metrics")
+        if metrics is not None and not isinstance(metrics, dict):
+            raise ProtocolError("'metrics' must be an object")
+        modes = msg.get("supported_modes")
+        return cls(
+            id=str(msg.get("id", "")),
+            status=status,
+            metrics=metrics,
+            mode=str(msg.get("mode", MODE_EXACT)),
+            batched=msg.get("batched"),
+            queue_ms=msg.get("queue_ms"),
+            error=msg.get("error"),
+            retry_after_ms=msg.get("retry_after_ms"),
+            waited_ms=msg.get("waited_ms"),
+            supported_modes=None if modes is None else tuple(modes),
+        )
+
+    def to_wire(self) -> dict[str, Any]:
+        msg: dict[str, Any] = {
+            "v": PROTOCOL_VERSION,
+            "id": self.id,
+            "status": self.status,
+        }
+        if self.metrics is not None:
+            msg["metrics"] = self.metrics
+        if self.mode != MODE_EXACT:
+            msg["mode"] = self.mode
+        for key in ("batched", "queue_ms", "error", "retry_after_ms", "waited_ms"):
+            value = getattr(self, key)
+            if value is not None:
+                msg[key] = value
+        if self.supported_modes is not None:
+            msg["supported_modes"] = list(self.supported_modes)
+        return msg
 
 
 def _require_int(msg: dict, key: str, default: int) -> int:
@@ -209,20 +348,30 @@ def parse_run_request(msg: dict[str, Any]) -> RunRequest:
     except (NetworkError, TypeError) as exc:
         raise ProtocolError(f"invalid spec: {exc}") from None
     root_seed = _require_int(msg, "root_seed", 0)
-    deadline_ms = msg.get("deadline_ms")
-    if deadline_ms is not None:
-        if isinstance(deadline_ms, bool) or not isinstance(
-            deadline_ms, (int, float)
-        ):
-            raise ProtocolError(
-                f"'deadline_ms' must be a number, got {deadline_ms!r}"
-            )
-        if deadline_ms < 0:
-            raise ProtocolError("'deadline_ms' must be >= 0")
-        deadline_ms = float(deadline_ms)
+    deadline_ms = _optional_number(msg, "deadline_ms")
+    timeout_s = _optional_number(msg, "timeout_s")
+    mode = msg.get("mode", MODE_EXACT)
+    if mode not in RUN_MODES:
+        raise UnknownModeError(mode)
     return RunRequest(
-        id=req_id, spec=spec, root_seed=root_seed, deadline_ms=deadline_ms
+        id=req_id,
+        spec=spec,
+        root_seed=root_seed,
+        deadline_ms=deadline_ms,
+        mode=mode,
+        timeout_s=timeout_s,
     )
+
+
+def _optional_number(msg: dict[str, Any], key: str) -> float | None:
+    value = msg.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{key!r} must be a number, got {value!r}")
+    if value < 0:
+        raise ProtocolError(f"{key!r} must be >= 0")
+    return float(value)
 
 
 # ----------------------------------------------------------------------
@@ -236,8 +385,9 @@ def ok_response(
     *,
     batched: int,
     queue_ms: float,
+    mode: str = MODE_EXACT,
 ) -> dict[str, Any]:
-    return {
+    out = {
         "v": PROTOCOL_VERSION,
         "id": req_id,
         "status": STATUS_OK,
@@ -245,6 +395,9 @@ def ok_response(
         "batched": int(batched),
         "queue_ms": round(float(queue_ms), 3),
     }
+    if mode != MODE_EXACT:
+        out["mode"] = mode
+    return out
 
 
 def reject_response(
@@ -275,6 +428,17 @@ def error_response(req_id: str | None, message: str) -> dict[str, Any]:
         "id": req_id or "",
         "status": STATUS_ERROR,
         "error": message,
+    }
+
+
+def unknown_mode_response(req_id: str | None, got: Any) -> dict[str, Any]:
+    """The structured reject for a ``run`` request with an unknown mode."""
+    return {
+        **error_response(
+            req_id,
+            f"unknown mode {got!r}; supported modes: {', '.join(RUN_MODES)}",
+        ),
+        "supported_modes": list(RUN_MODES),
     }
 
 

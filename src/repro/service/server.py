@@ -39,15 +39,20 @@ from ..telemetry.metrics import (
 from .admission import AdmissionQueue, PendingRequest, QueueFullError
 from .batcher import BatchPolicy, DynamicBatcher, batch_compat_key
 from .protocol import (
+    MODE_ESTIMATE,
     PROTOCOL_VERSION,
     ProtocolError,
+    RunRequest,
+    UnknownModeError,
     UnsupportedVersionError,
     check_version,
     decode_message,
     encode_message,
     error_response,
+    ok_response,
     parse_run_request,
     reject_response,
+    unknown_mode_response,
     unsupported_version_response,
 )
 
@@ -88,6 +93,15 @@ class ServiceConfig:
     #: ``port=0`` the OS picks an ephemeral port; the port file is how
     #: a supervisor (``repro.cluster``) learns which one.
     port_file: str | None = None
+    #: Estimator-driven admission control: wall milliseconds one
+    #: simulated flit step costs on this host.  When set, an exact run
+    #: request carrying a ``deadline_ms`` is pre-screened against the
+    #: analytic *lower* envelope (:mod:`repro.analysis.estimate`) —
+    #: if even the optimistic ``lower * step_cost_ms`` floor exceeds
+    #: the deadline, the request is rejected ``infeasible_deadline``
+    #: before it ever queues.  ``None`` disables the screen.  Calibrate
+    #: from ``BENCH_estimate.json`` (exact latency / simulated steps).
+    step_cost_ms: float | None = None
 
     def policy(self) -> BatchPolicy:
         return BatchPolicy(max_batch=self.max_batch, max_wait_ms=self.max_wait_ms)
@@ -108,14 +122,26 @@ class ServiceConfig:
 
 
 class ServiceStats:
-    """Cross-request service metrics, snapshot-ready for ``stats``."""
+    """Cross-request service metrics, snapshot-ready for ``stats``.
+
+    Counter schema (shared verbatim by the cluster router's
+    :class:`~repro.cluster.router.RouterStats` where the concepts
+    overlap, and merged with :meth:`repro.cache.ResultCache.snapshot`'s
+    ``cache_*`` keys and the exec backends' ``worker_restarts``):
+    ``requests_total`` admissions attempted, ``completed`` answered
+    ``ok`` (exact and estimate alike; ``estimated`` sub-counts the
+    estimate fast path), ``rejected_*`` one key per reject reason,
+    ``deadline_expired``, ``errors``, ``protocol_errors``.
+    """
 
     def __init__(self) -> None:
         self.counters = EventCounter(
             "requests_total",
             "completed",
+            "estimated",
             "rejected_queue_full",
             "rejected_draining",
+            "rejected_infeasible",
             "deadline_expired",
             "errors",
             "protocol_errors",
@@ -325,9 +351,33 @@ class SimulationService:
         self.stats.counters.bump("requests_total")
         try:
             request = parse_run_request(msg)
+        except UnknownModeError as exc:
+            self.stats.counters.bump("protocol_errors")
+            await self._send(
+                writer, unknown_mode_response(msg.get("id"), exc.got)
+            )
+            return
         except ProtocolError as exc:
             self.stats.counters.bump("protocol_errors")
             await self._send(writer, error_response(msg.get("id"), str(exc)))
+            return
+        if request.mode == MODE_ESTIMATE:
+            # Estimates are closed-form and never touch the queue or the
+            # batcher, so — like health/stats — they are served even
+            # while draining.
+            await self._send(writer, self._estimate_response(request, loop))
+            return
+        infeasible = self._infeasible_floor_ms(request)
+        if infeasible is not None:
+            self.stats.counters.bump("rejected_infeasible")
+            await self._send(
+                writer,
+                reject_response(
+                    request.id,
+                    "infeasible_deadline",
+                    retry_after_ms=infeasible,
+                ),
+            )
             return
         if self._draining:
             self.stats.counters.bump("rejected_draining")
@@ -376,6 +426,57 @@ class SimulationService:
             self._responses_pending -= 1
             if self._responses_pending == 0:
                 self._all_flushed.set()
+
+    def _estimate_response(
+        self, request: RunRequest, loop: asyncio.AbstractEventLoop
+    ) -> dict[str, Any]:
+        """Answer an estimate request synchronously from closed form."""
+        from ..analysis.estimate import estimate_spec
+        from ..network.graph import NetworkError
+
+        start = loop.time()
+        try:
+            metrics = estimate_spec(request.spec).to_metrics()
+        except NetworkError as exc:
+            self.stats.counters.bump("errors")
+            return error_response(request.id, str(exc))
+        self.stats.counters.bump("estimated")
+        self.stats.note_completed(
+            latency_s=loop.time() - start, batch_size=0
+        )
+        return ok_response(
+            request.id,
+            metrics,
+            batched=0,
+            queue_ms=0.0,
+            mode=MODE_ESTIMATE,
+        )
+
+    def _infeasible_floor_ms(self, request: RunRequest) -> float | None:
+        """The minimum feasible deadline, when the request's own one is
+        provably too small (estimator-driven admission control).
+
+        Returns ``None`` when the screen is off (no ``step_cost_ms``),
+        the request carries no deadline, the spec has no envelope, or
+        the deadline is feasible.  Uses the *lower* envelope: rejection
+        only when even a contention-free run could not finish in time.
+        """
+        if self.config.step_cost_ms is None or request.deadline_ms is None:
+            return None
+        from ..analysis.estimate import estimate_spec
+        from ..network.graph import NetworkError
+
+        try:
+            envelope = estimate_spec(request.spec)
+        except NetworkError:
+            return None  # not estimable (e.g. schedule): admit normally
+        lower = envelope.lower
+        if lower is None:  # adaptive: fall back to the per-message floor
+            lower = max(envelope.per_message_lower, default=0)
+        floor_ms = lower * self.config.step_cost_ms
+        if floor_ms <= request.deadline_ms:
+            return None
+        return floor_ms
 
     async def _send(
         self, writer: asyncio.StreamWriter, msg: dict[str, Any]

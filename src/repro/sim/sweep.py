@@ -696,12 +696,22 @@ class TrialResult:
     cached: bool = False
     elapsed: float = 0.0
 
+    @property
+    def provenance(self) -> str:
+        """Where the numbers came from, in the :class:`repro.SimResult`
+        vocabulary: ``"cache"`` for cache-served trials, otherwise the
+        metrics' execution mode (``"exact"`` | ``"estimate"``)."""
+        if self.cached:
+            return "cache"
+        return str(self.metrics.get("mode", "exact"))
+
     def row(self) -> dict[str, Any]:
         return {
             "workload": self.spec.workload,
             "simulator": self.spec.simulator,
             "B": self.spec.B,
             "repeat": self.spec.repeat,
+            "provenance": self.provenance,
             **self.metrics,
         }
 

@@ -1,0 +1,299 @@
+"""The analytic delay-envelope estimator (``repro.analysis.estimate``).
+
+Three layers of pinning:
+
+* hand-computed formula checks per model (the arithmetic itself);
+* the envelope *property* — ``lower <= simulated makespan <= upper``
+  for every clean run — on the full E5 comparison grid and on 50
+  seeded fuzz cases across all estimable models;
+* the wire/metric contract: ``to_metrics`` is JSON-safe, deterministic,
+  and bit-stable across calls (what lets services answer estimates
+  from any replica).
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.estimate import (
+    ESTIMATABLE_MODELS,
+    DelayEnvelope,
+    EstimateError,
+    estimate_paths,
+    estimate_spec,
+    estimate_workload,
+)
+from repro.sim.sweep import TrialSpec, _build_workload, run_sweep, sweep_grid
+
+# ----------------------------------------------------------------------
+# Formula checks (hand-computed)
+# ----------------------------------------------------------------------
+
+
+def test_wormhole_formulas():
+    # Three worms over a shared edge: d = [3, 3, 2], C = 3, L = 8, B = 2.
+    env = estimate_paths(
+        "wormhole", message_length=8, B=2, path_lengths=[3, 3, 2], congestion=3
+    )
+    # Unobstructed floors: L + d - 1 = [10, 10, 9].
+    assert env.per_message_lower == (10, 10, 9)
+    # Occupancy term ceil(L*C/B) = 12 beats the floor max 10.
+    assert env.lower == 12
+    # Progress budget: sum(L + d - 1) = 29.
+    assert env.upper == 29
+    assert env.dilation == 3 and env.total_path_length == 8
+    assert env.tightness == pytest.approx(29 / 12)
+
+
+def test_cut_through_and_restricted_ignore_B_in_occupancy():
+    # One flit per physical edge per step regardless of B.
+    for model in ("cut_through", "restricted"):
+        e1 = estimate_paths(
+            model, message_length=6, B=1, path_lengths=[4, 4], congestion=2
+        )
+        e4 = estimate_paths(
+            model, message_length=6, B=4, path_lengths=[4, 4], congestion=2
+        )
+        assert e1.lower == e4.lower == 6 * 2  # L * C
+        assert e1.upper == e4.upper == 6 * 8  # L * sum(d)
+
+
+def test_store_forward_formulas():
+    env = estimate_paths(
+        "store_forward", message_length=7, B=2, path_lengths=[5, 3], congestion=2
+    )
+    hop = math.ceil(7 / 2)
+    assert env.per_message_lower == (5 * hop, 3 * hop)
+    assert env.lower == max(5 * hop, 2 * hop)
+    assert env.upper == 8 * hop  # sum(d) message steps of ceil(L/B)
+
+
+def test_adaptive_upper_only():
+    env = estimate_paths("adaptive", message_length=5, B=2, path_lengths=[4, 2])
+    assert env.lower is None
+    assert env.congestion is None
+    assert env.tightness is None
+    assert env.upper == (5 + 4 - 1) + (5 + 2 - 1)
+    assert env.check(env.upper) and not env.check(env.upper + 1)
+
+
+def test_release_times_shift_both_sides():
+    base = estimate_paths(
+        "wormhole", message_length=4, B=1, path_lengths=[3, 3], congestion=1
+    )
+    late = estimate_paths(
+        "wormhole",
+        message_length=4,
+        B=1,
+        path_lengths=[3, 3],
+        congestion=1,
+        release_times=[0, 10],
+    )
+    assert late.per_message_lower == (6, 16)
+    assert late.lower == 16
+    assert late.upper == base.upper + 10  # max_release shifts the budget
+    assert late.max_release == 10
+
+
+def test_zero_length_paths_are_free():
+    # Source == destination: delivered at release, no network time.
+    env = estimate_paths(
+        "wormhole", message_length=9, B=1, path_lengths=[0, 0, 2], congestion=1
+    )
+    assert env.per_message_lower == (0, 0, 10)
+    assert env.upper == 10  # only the active path consumes budget
+
+
+def test_empty_workload():
+    env = estimate_paths(
+        "wormhole", message_length=4, B=1, path_lengths=[], congestion=0
+    )
+    assert env.lower == 0 and env.upper == 0 and env.messages == 0
+    assert env.check(0)
+
+
+def test_validation_errors():
+    with pytest.raises(EstimateError, match="no analytic envelope"):
+        estimate_paths("schedule", message_length=4, B=1, path_lengths=[1])
+    with pytest.raises(EstimateError, match="message_length"):
+        estimate_paths("wormhole", message_length=0, B=1, path_lengths=[1])
+    with pytest.raises(EstimateError, match="B must"):
+        estimate_paths("wormhole", message_length=4, B=0, path_lengths=[1])
+    with pytest.raises(EstimateError, match="congestion"):
+        estimate_paths("wormhole", message_length=4, B=1, path_lengths=[1])
+    with pytest.raises(EstimateError, match="release_times"):
+        estimate_paths(
+            "wormhole",
+            message_length=4,
+            B=1,
+            path_lengths=[1, 2],
+            congestion=1,
+            release_times=[0],
+        )
+
+
+# ----------------------------------------------------------------------
+# Workload / spec plumbing
+# ----------------------------------------------------------------------
+
+
+def test_estimate_workload_matches_route_stats():
+    from repro.routing.paths import congestion as path_congestion
+    from repro.routing.paths import dilation as path_dilation
+
+    wl = _build_workload(
+        "chain-bundle", (("chains", 3), ("depth", 5), ("messages", 4))
+    )
+    env = estimate_workload(wl, "wormhole", B=2)
+    assert env.message_length == wl.default_length
+    assert env.congestion == path_congestion(wl.paths)
+    assert env.dilation == path_dilation(wl.paths)
+    assert env.messages == len(wl.paths)
+
+
+def test_estimate_workload_plain_edge_lists():
+    # butterfly-bitrev stores plain edge-id lists, not Path objects.
+    wl = _build_workload("butterfly-bitrev", (("n", 8),))
+    env = estimate_workload(wl, "cut_through", B=2)
+    assert env.messages == len(wl.paths)
+    assert env.dilation == max(len(p) for p in wl.paths)
+
+
+def test_estimate_spec_deterministic_and_seed_blind():
+    a = TrialSpec.make("chain-bundle", "wormhole", B=2, message_length=8)
+    b = TrialSpec.make(
+        "chain-bundle", "wormhole", B=2, message_length=8, repeat=3
+    )
+    ma, mb = estimate_spec(a).to_metrics(), estimate_spec(b).to_metrics()
+    assert ma == mb  # repeats / seeds never move the bounds
+    assert ma == estimate_spec(a).to_metrics()  # bit-stable across calls
+    json.dumps(ma)  # JSON-safe for the wire
+
+
+def test_estimate_spec_rejects_schedule():
+    spec = TrialSpec.make("chain-bundle", "schedule", B=1)
+    with pytest.raises(EstimateError):
+        estimate_spec(spec)
+
+
+def test_to_metrics_digest_tracks_per_message_floors():
+    e1 = estimate_paths(
+        "wormhole", message_length=4, B=1, path_lengths=[2, 3], congestion=1
+    )
+    e2 = estimate_paths(
+        "wormhole", message_length=4, B=1, path_lengths=[3, 2], congestion=1
+    )
+    m1, m2 = e1.to_metrics(), e2.to_metrics()
+    assert m1["delay_lower_digest"] != m2["delay_lower_digest"]
+    assert m1["makespan_upper"] == m2["makespan_upper"]
+
+
+# ----------------------------------------------------------------------
+# The envelope property
+# ----------------------------------------------------------------------
+
+
+def test_envelope_holds_on_e5_grid():
+    """lower <= simulated makespan <= upper on the full E5 sweep grid."""
+    specs = sweep_grid(
+        "chain-bundle",
+        ["wormhole", "cut_through", "store_forward", "restricted"],
+        (1, 2, 4),
+        workload_params={"chains": 4, "depth": 12, "messages": 8},
+        sim_params={"seed": 0},
+        message_length=24,
+    )
+    for trial in run_sweep(specs):
+        env = estimate_spec(trial.spec)
+        makespan = trial.metrics["makespan"]
+        assert env.lower <= makespan <= env.upper, (
+            f"{trial.spec.label()}: {env.lower} <= {makespan} <= {env.upper}"
+        )
+
+
+def test_envelope_holds_on_fuzz_cases():
+    """50 seeded fuzz rounds: every clean run sits inside its envelope.
+
+    Draws the same reproducible cases as ``repro fuzz`` (layered /
+    chain / gadget / ring families) and checks all four fixed-route
+    models at the case's lowest channel count, plus the adaptive model
+    on a derived permutation mesh — the property the fuzzer's
+    ``estimate-envelope`` oracle then watches continuously.
+    """
+    from repro.facade import simulate
+    from repro.fuzz.fuzzer import generate_case
+    from repro.network.mesh import KAryNCube
+
+    checked = 0
+    for i in range(50):
+        case = generate_case(11, i)
+        if case.family == "continuous":
+            continue
+        B = case.channels[0]
+        lengths = [len(p) for p in case.paths]
+        loads = {}
+        for p in case.paths:
+            for e in p:
+                loads[e] = loads.get(e, 0) + 1
+        C = max(loads.values(), default=0)
+        for model in ("wormhole", "cut_through", "store_forward", "restricted"):
+            res = simulate(
+                (case.network, case.paths),
+                model=model,
+                B=B,
+                message_length=case.message_length,
+                seed=case.sim_seed,
+                max_steps=200_000,
+            )
+            if res.deadlocked or res.hit_step_cap:
+                continue
+            env = estimate_paths(
+                model,
+                message_length=case.message_length,
+                B=B,
+                path_lengths=lengths,
+                congestion=C,
+            )
+            assert env.check(int(res.makespan)), (
+                f"round {i} {case.family} {model} B={B}: "
+                f"{env.lower} <= {res.makespan} <= {env.upper}"
+            )
+            checked += 1
+        # Adaptive: upper bound only, on a mesh permutation.
+        cube = KAryNCube(4, 2, wrap=False)
+        perm = np.random.default_rng(case.sim_seed).permutation(cube.num_nodes)
+        demands = [(s, int(d)) for s, d in enumerate(perm) if s != int(d)]
+        L = min(case.message_length, 6)
+        res = simulate(
+            (cube, demands), model="adaptive", B=B, message_length=L,
+            seed=case.sim_seed, max_steps=200_000,
+        )
+        if not (res.deadlocked or res.hit_step_cap):
+            from repro.analysis.estimate import _cube_distances
+
+            env = estimate_paths(
+                "adaptive",
+                message_length=L,
+                B=B,
+                path_lengths=_cube_distances(cube, demands),
+            )
+            assert env.check(int(res.makespan))
+            checked += 1
+    assert checked > 100  # the sweep really exercised the property
+
+
+def test_estimatable_models_cover_batched_kernels():
+    from repro.sim.batch import BATCHED_MODELS
+
+    assert set(ESTIMATABLE_MODELS) == set(BATCHED_MODELS)
+
+
+def test_envelope_is_frozen():
+    env = estimate_paths(
+        "wormhole", message_length=4, B=1, path_lengths=[2], congestion=1
+    )
+    assert isinstance(env, DelayEnvelope)
+    with pytest.raises(AttributeError):
+        env.upper = 0

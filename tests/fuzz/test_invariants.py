@@ -227,3 +227,28 @@ class TestViolationSerialization:
         v = Violation("x", "d")
         with pytest.raises(AttributeError):
             v.detail = "other"
+
+
+class TestEstimateEnvelope:
+    def test_inside_envelope_passes(self):
+        assert inv.check_estimate_envelope(10, lower=5, upper=20) is None
+        assert inv.check_estimate_envelope(5, lower=5, upper=20) is None
+        assert inv.check_estimate_envelope(20, lower=5, upper=20) is None
+
+    def test_below_lower_violates(self):
+        v = inv.check_estimate_envelope(4, lower=5, upper=20, model="wormhole")
+        assert v is not None and v.invariant == "estimate-envelope"
+        assert v.observed == 4 and v.bound == 5
+        assert "lower" in v.detail
+
+    def test_above_upper_violates(self):
+        v = inv.check_estimate_envelope(21, lower=5, upper=20)
+        assert v is not None and v.observed == 21 and v.bound == 20
+        assert "upper" in v.detail
+
+    def test_none_sides_are_unchecked(self):
+        # Adaptive: no lower bound — only the upper side can fire.
+        assert inv.check_estimate_envelope(0, lower=None, upper=20) is None
+        v = inv.check_estimate_envelope(21, lower=None, upper=20)
+        assert v is not None
+        assert inv.check_estimate_envelope(10**9, lower=5, upper=None) is None

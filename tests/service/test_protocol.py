@@ -3,7 +3,16 @@
 import pytest
 
 from repro.service.protocol import (
+    MODE_ESTIMATE,
+    MODE_EXACT,
     PROTOCOL_VERSION,
+    RUN_MODES,
+    RunRequest,
+    RunResponse,
+    UnknownModeError,
+    unknown_mode_response,
+)
+from repro.service.protocol import (
     STATUS_ERROR,
     STATUS_EXPIRED,
     STATUS_OK,
@@ -180,3 +189,79 @@ class TestVersioning:
         assert resp["supported_versions"] == [PROTOCOL_VERSION]
         assert "42" in resp["error"]
         decode_message(encode_message(resp))  # JSON-safe
+
+
+class TestModes:
+    def test_mode_defaults_to_exact(self):
+        req = parse_run_request(_run_msg())
+        assert req.mode == MODE_EXACT
+
+    def test_mode_estimate_parsed(self):
+        req = parse_run_request(_run_msg(mode="estimate"))
+        assert req.mode == MODE_ESTIMATE
+        assert req.timeout_s is None
+
+    def test_unknown_mode_is_structured(self):
+        with pytest.raises(UnknownModeError) as exc_info:
+            parse_run_request(_run_msg(mode="turbo"))
+        assert exc_info.value.got == "turbo"
+        resp = unknown_mode_response("r1", "turbo")
+        assert resp["status"] == STATUS_ERROR
+        assert resp["supported_modes"] == list(RUN_MODES)
+        assert "turbo" in resp["error"]
+        decode_message(encode_message(resp))  # JSON-safe
+
+    def test_run_request_round_trips_through_the_wire(self):
+        spec = TrialSpec.make(
+            "chain-bundle",
+            "wormhole",
+            B=2,
+            workload_params={"chains": 2, "depth": 5, "messages": 3},
+            message_length=8,
+            repeat=1,
+        )
+        req = RunRequest(
+            id="r7",
+            spec=spec,
+            root_seed=9,
+            deadline_ms=125.0,
+            mode=MODE_ESTIMATE,
+            timeout_s=2.5,
+        )
+        wire = req.to_wire()
+        assert wire["op"] == "run" and wire["v"] == PROTOCOL_VERSION
+        parsed = parse_run_request(decode_message(encode_message(wire)))
+        assert parsed.spec == spec
+        assert parsed.id == "r7" and parsed.root_seed == 9
+        assert parsed.deadline_ms == 125.0
+        assert parsed.mode == MODE_ESTIMATE
+        assert parsed.timeout_s == 2.5
+
+    def test_to_wire_omits_unset_optionals(self):
+        spec = TrialSpec.make("chain-bundle", "wormhole", B=1)
+        wire = RunRequest(id="a", spec=spec, root_seed=0).to_wire()
+        assert "deadline_ms" not in wire and "timeout_s" not in wire
+        assert wire["mode"] == MODE_EXACT
+
+    def test_ok_response_marks_estimates_only(self):
+        exact = ok_response("a", {"makespan": 3}, batched=1, queue_ms=0.0)
+        assert "mode" not in exact
+        est = ok_response(
+            "a", {"makespan_upper": 9}, batched=0, queue_ms=0.0,
+            mode=MODE_ESTIMATE,
+        )
+        assert est["mode"] == MODE_ESTIMATE
+
+    def test_run_response_round_trip(self):
+        wire = ok_response(
+            "a", {"makespan_upper": 9}, batched=0, queue_ms=0.5,
+            mode=MODE_ESTIMATE,
+        )
+        resp = RunResponse.from_wire(wire)
+        assert resp.ok and resp.mode == MODE_ESTIMATE
+        assert resp.metrics == {"makespan_upper": 9}
+        assert resp.to_wire()["status"] == STATUS_OK
+        rej = RunResponse.from_wire(
+            reject_response("a", "queue full", retry_after_ms=5)
+        )
+        assert not rej.ok and rej.retry_after_ms == 5

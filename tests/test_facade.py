@@ -219,3 +219,67 @@ class TestDeprecations:
             text=True,
         )
         assert proc.returncode == 0, proc.stderr
+
+
+class TestSimResultAndModes:
+    """The ``SimResult`` facade and the ``mode=`` request axis."""
+
+    def test_exact_result_delegates(self, butterfly_problem):
+        res = simulate(butterfly_problem, model="wormhole", B=2,
+                       message_length=L, seed=SEED)
+        assert isinstance(res, repro.SimResult)
+        assert res.mode == "exact" and res.provenance == "exact"
+        assert res.steps == res.result.steps_executed
+        assert np.array_equal(res.delays, res.result.completion_times)
+        # Delegation: every SimulationResult attribute still reads.
+        assert res.makespan == res.result.makespan
+        assert res.num_delivered == res.result.num_delivered
+        assert res.delivered.dtype == bool
+
+    def test_estimate_mode_brackets_exact(self, butterfly_problem):
+        exact = simulate(butterfly_problem, model="wormhole", B=2,
+                         message_length=L, seed=SEED)
+        bounds = simulate(butterfly_problem, model="wormhole", B=2,
+                          message_length=L, mode="estimate")
+        assert bounds.mode == "estimate"
+        assert bounds.provenance == "estimate"
+        assert bounds.steps == 0  # no simulation ran
+        assert bounds.lower <= exact.makespan <= bounds.upper
+        assert tuple(bounds.delays) == bounds.envelope.per_message_lower
+
+    def test_estimate_is_deterministic(self, butterfly_problem):
+        a = simulate(butterfly_problem, model="wormhole", B=2,
+                     message_length=L, mode="estimate")
+        b = simulate(butterfly_problem, model="wormhole", B=2,
+                     message_length=L, mode="estimate")
+        assert a.envelope.to_metrics() == b.envelope.to_metrics()
+
+    def test_unknown_mode_rejected(self, butterfly_problem):
+        with pytest.raises(NetworkError, match="unknown mode"):
+            simulate(butterfly_problem, model="wormhole", B=2,
+                     message_length=L, mode="turbo")
+
+    def test_estimate_rejects_exact_only_features(self, butterfly_problem):
+        with pytest.raises(NetworkError, match="exact-mode"):
+            simulate(butterfly_problem, model="wormhole", B=2,
+                     message_length=L, mode="estimate", batch=[1, 2])
+
+    def test_batch_results_are_wrapped(self, butterfly_problem):
+        out = simulate(butterfly_problem, model="wormhole", B=2,
+                       message_length=L, batch=[1, 2])
+        assert all(isinstance(r, repro.SimResult) for r in out)
+        assert all(r.mode == "exact" for r in out)
+
+    def test_dict_access_warns_once_per_key(self, butterfly_problem):
+        res = simulate(butterfly_problem, model="wormhole", B=2,
+                       message_length=L, seed=SEED)
+        with pytest.warns(DeprecationWarning, match="makespan"):
+            assert res["makespan"] == res.makespan
+        with pytest.warns(DeprecationWarning):
+            assert res.get("nope", 42) == 42
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(KeyError):
+                res["not_a_field"]
+
+    def test_simulate_modes_exported(self):
+        assert repro.SIMULATE_MODES == ("exact", "estimate")
